@@ -1,0 +1,207 @@
+// Command dsmtxbench regenerates the paper's evaluation (§5): every figure
+// and table, printed as terminal tables and ASCII charts.
+//
+// Usage:
+//
+//	dsmtxbench -figure 4                 # all Fig. 4 panels + geomean
+//	dsmtxbench -figure 4 -bench 164.gzip # one panel
+//	dsmtxbench -figure 5a | -figure 5b | -figure 6 | -figure 1
+//	dsmtxbench -table 2
+//	dsmtxbench -micro                    # §5.3 queue-vs-MPI bandwidth
+//	dsmtxbench -all
+//	dsmtxbench -quick                    # coarser core counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsmtx/internal/harness"
+	"dsmtx/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsmtxbench: ")
+	var (
+		figure   = flag.String("figure", "", "figure to regenerate: 1, 3, 4, 5a, 5b or 6")
+		table    = flag.Int("table", 0, "table to regenerate: 2")
+		micro    = flag.Bool("micro", false, "run the §5.3 queue-vs-MPI micro-benchmark")
+		manycore = flag.Bool("manycore", false, "run the §7 coherence-free manycore comparison")
+		all      = flag.Bool("all", false, "regenerate everything")
+		bench    = flag.String("bench", "", "restrict to one benchmark (or \"geomean\")")
+		quick    = flag.Bool("quick", false, "coarse core counts (8,16,32,64,96,128)")
+		coreArg  = flag.String("cores", "", "comma-separated core counts (overrides -quick)")
+		rate     = flag.Float64("rate", 0.001, "misspeculation rate for figure 6")
+		scale    = flag.Int("scale", 1, "problem-size multiplier")
+		seed     = flag.Uint64("seed", 42, "input generation seed")
+	)
+	flag.Parse()
+
+	in := workloads.Input{Scale: *scale, Seed: *seed}
+	cores := harness.DefaultCores()
+	if *quick {
+		cores = harness.QuickCores()
+	}
+	if *coreArg != "" {
+		cores = nil
+		for _, f := range strings.Split(*coreArg, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("bad -cores: %v", err)
+			}
+			cores = append(cores, c)
+		}
+	}
+
+	ran := false
+	if *all || *figure == "1" {
+		runFigure1()
+		ran = true
+	}
+	if *all || *table == 2 {
+		fmt.Println(harness.RenderTable2())
+		ran = true
+	}
+	if *all || *micro {
+		fmt.Println(harness.RenderMicro(harness.RunMicroQueue()))
+		ran = true
+	}
+	if *all || *figure == "3" {
+		r, err := harness.RunFigure3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(harness.RenderFigure3(r))
+		ran = true
+	}
+	if *all || *manycore {
+		runManycore(in, *bench)
+		ran = true
+	}
+	if *all || *figure == "4" {
+		runFigure4(in, cores, *bench)
+		ran = true
+	}
+	if *all || *figure == "5a" {
+		runFigure5a(in, *bench)
+		ran = true
+	}
+	if *all || *figure == "5b" {
+		runFigure5b(in, *bench)
+		ran = true
+	}
+	if *all || *figure == "6" {
+		runFigure6(in, *rate, cores)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func selected(name string) []*workloads.Benchmark {
+	if name == "" || name == "geomean" {
+		return workloads.All()
+	}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return []*workloads.Benchmark{b}
+}
+
+func runManycore(in workloads.Input, bench string) {
+	names := []string{"456.hmmer", "crc32", "blackscholes"}
+	if bench != "" && bench != "geomean" {
+		names = []string{bench}
+	}
+	var rows []harness.ManycoreRow
+	for _, name := range names {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row, err := harness.RunManycore(b, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(harness.RenderManycore(rows))
+}
+
+func runFigure1() {
+	var results []harness.Fig1Result
+	for _, lat := range []int{1, 2, 4, 8} {
+		results = append(results, harness.RunFigure1(lat))
+	}
+	fmt.Println(harness.RenderFigure1(results))
+}
+
+func runFigure4(in workloads.Input, cores []int, bench string) {
+	var series []harness.Fig4Series
+	for _, b := range selected(bench) {
+		s, err := harness.RunFigure4(b, in, cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bench != "geomean" {
+			fmt.Println(harness.RenderFigure4(s))
+		}
+		series = append(series, s)
+	}
+	if bench == "" || bench == "geomean" {
+		fmt.Println(harness.RenderGeomean(harness.Geomean(series)))
+	}
+}
+
+func runFigure5a(in workloads.Input, bench string) {
+	var rows []harness.Fig5aRow
+	for _, b := range selected(bench) {
+		row, err := harness.RunFigure5a(b, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(harness.RenderFigure5a(rows))
+}
+
+func runFigure5b(in workloads.Input, bench string) {
+	var rows []harness.Fig5bRow
+	for _, b := range selected(bench) {
+		row, err := harness.RunFigure5b(b, in, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println(harness.RenderFigure5b(rows))
+}
+
+func runFigure6(in workloads.Input, rate float64, cores []int) {
+	if len(cores) > 4 {
+		cores = []int{32, 64, 96, 128} // the paper's Fig. 6 core counts
+	}
+	var rows []harness.Fig6Row
+	for _, name := range harness.Fig6Benches() {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cores {
+			row, err := harness.RunFigure6(b, in, rate, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Println(harness.RenderFigure6(rows))
+}

@@ -1,0 +1,111 @@
+// Command dsmtxrun executes one benchmark configuration and reports its
+// statistics: speedup over the sequential baseline, traffic, commit and
+// recovery behaviour, and output verification.
+//
+// Usage:
+//
+//	dsmtxrun -bench 456.hmmer -cores 64
+//	dsmtxrun -bench 130.li -cores 32 -paradigm tls
+//	dsmtxrun -bench crc32 -cores 96 -misspec 0.001
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/harness"
+	"dsmtx/internal/stats"
+	"dsmtx/internal/workloads"
+)
+
+// writeTrace dumps events as JSON lines for external tooling.
+func writeTrace(path string, events []core.TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, e := range events {
+		rec := map[string]any{
+			"kind": e.Kind.String(), "mtx": e.MTX,
+			"start_ns": int64(e.Start), "end_ns": int64(e.End),
+		}
+		if e.Kind == core.TraceSubTX {
+			rec["stage"] = e.Stage
+			rec["worker"] = e.Tid
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsmtxrun: ")
+	var (
+		bench    = flag.String("bench", "", "benchmark name (see dsmtxbench -table 2); empty lists them")
+		cores    = flag.Int("cores", 32, "total cores (workers + try-commit + commit)")
+		paradigm = flag.String("paradigm", "dsmtx", "dsmtx or tls")
+		misspec  = flag.Float64("misspec", 0, "input misspeculation rate (e.g. 0.001)")
+		scale    = flag.Int("scale", 1, "problem-size multiplier")
+		seed     = flag.Uint64("seed", 42, "input generation seed")
+		trace    = flag.String("trace", "", "write the MTX lifecycle trace to this JSON-lines file")
+	)
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Println(harness.RenderTable2())
+		return
+	}
+	b, err := workloads.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := workloads.Input{Scale: *scale, Seed: *seed, MisspecRate: *misspec}
+
+	p := workloads.DSMTX
+	if *paradigm == "tls" {
+		p = workloads.TLS
+	}
+
+	seqTime, seqCheck, err := workloads.RunSequentialRef(b, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tune func(*core.Config)
+	if *trace != "" {
+		tune = func(cfg *core.Config) { cfg.Trace = true }
+	}
+	res, err := workloads.RunParallel(b, in, p, *cores, tune)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, res.Trace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(res.Trace), *trace)
+	}
+
+	fmt.Printf("%s (%s), %d cores, paradigm %s\n", b.Name, b.Paradigm, *cores, p)
+	fmt.Printf("  sequential      %v\n", seqTime)
+	fmt.Printf("  parallel        %v\n", res.Elapsed)
+	fmt.Printf("  speedup         %s\n", stats.FormatSpeedup(seqTime.Seconds()/res.Elapsed.Seconds()))
+	fmt.Printf("  MTXs committed  %d (misspeculations: %d)\n", res.Committed, res.Misspecs)
+	fmt.Printf("  wire traffic    %.2f MB (%.1f MB/s)\n", float64(res.Bytes)/1e6, res.Bandwidth()/1e6)
+	if res.Misspecs > 0 {
+		fmt.Printf("  recovery        ERM %v  FLQ %v  SEQ %v  RFP %v\n", res.ERM, res.FLQ, res.SEQ, res.RFP)
+	}
+	if res.Checksum == seqCheck {
+		fmt.Printf("  output          VERIFIED (checksum %#x matches sequential)\n", res.Checksum)
+	} else {
+		fmt.Printf("  output          MISMATCH: parallel %#x, sequential %#x\n", res.Checksum, seqCheck)
+	}
+}

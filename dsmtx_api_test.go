@@ -1,0 +1,113 @@
+package dsmtx_test
+
+import (
+	"testing"
+
+	"dsmtx"
+)
+
+// apiProg exercises the public facade end to end: a two-stage pipeline
+// summing squares, with validated reads and committed output.
+type apiProg struct {
+	n       uint64
+	in, out dsmtx.Addr
+}
+
+func (p *apiProg) Setup(ctx *dsmtx.SeqCtx) {
+	p.in = ctx.AllocWords(int(p.n))
+	p.out = ctx.AllocWords(int(p.n))
+	for k := uint64(0); k < p.n; k++ {
+		ctx.Store(p.in+dsmtx.Addr(k*8), k+2)
+	}
+}
+
+func (p *apiProg) Stage(ctx *dsmtx.Ctx, stage int, iter uint64) bool {
+	switch stage {
+	case 0:
+		if iter >= p.n {
+			return false
+		}
+		ctx.Produce(1, ctx.Load(p.in+dsmtx.Addr(iter*8)))
+	case 1:
+		v := ctx.Consume(0)
+		ctx.Compute(90000) // the parallel stage carries the work
+		ctx.WriteCommit(p.out+dsmtx.Addr(iter*8), v*v)
+	}
+	return true
+}
+
+func (p *apiProg) SeqIter(ctx *dsmtx.SeqCtx, iter uint64) {
+	v := ctx.Load(p.in + dsmtx.Addr(iter*8))
+	ctx.Compute(90000)
+	ctx.Store(p.out+dsmtx.Addr(iter*8), v*v)
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prog := &apiProg{n: 60}
+	plan := dsmtx.SpecDSWP("S", "DOALL")
+	seqTime, seqImg, err := dsmtx.RunSequential(dsmtx.DefaultConfig(4, plan), prog, prog.n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dsmtx.NewSystem(dsmtx.DefaultConfig(8, plan), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != prog.n {
+		t.Fatalf("Committed = %d, want %d", res.Committed, prog.n)
+	}
+	if res.Elapsed >= seqTime {
+		t.Fatalf("parallel (%v) not faster than sequential (%v)", res.Elapsed, seqTime)
+	}
+	img := sys.CommitImage()
+	for k := uint64(0); k < prog.n; k++ {
+		want := seqImg.Load(p0(prog) + dsmtx.Addr(k*8))
+		if got := img.Load(p0(prog) + dsmtx.Addr(k*8)); got != want {
+			t.Fatalf("out[%d] = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func p0(p *apiProg) dsmtx.Addr { return p.out }
+
+func TestPlanConstructors(t *testing.T) {
+	if got := dsmtx.SpecDSWP("S", "DOALL", "S").Name; got != "Spec-DSWP+[S,DOALL,S]" {
+		t.Fatalf("SpecDSWP name = %q", got)
+	}
+	if got := dsmtx.DSWP("Spec-DOALL", "S").Name; got != "DSWP+[Spec-DOALL,S]" {
+		t.Fatalf("DSWP name = %q", got)
+	}
+	if p := dsmtx.SpecDOALL(); p.MinWorkers() != 1 {
+		t.Fatalf("SpecDOALL MinWorkers = %d", p.MinWorkers())
+	}
+	tls := dsmtx.TLSPlan()
+	if !tls.Sync || tls.Name != "TLS" {
+		t.Fatalf("TLSPlan = %+v", tls)
+	}
+}
+
+func TestDefaultConfigValidates(t *testing.T) {
+	cfg := dsmtx.DefaultConfig(16, dsmtx.SpecDOALL())
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers() != 14 {
+		t.Fatalf("Workers = %d, want 14", cfg.Workers())
+	}
+	bad := dsmtx.DefaultConfig(2, dsmtx.SpecDOALL()) // 0 workers
+	if err := bad.Validate(); err == nil {
+		t.Fatal("2-core config accepted")
+	}
+}
+
+func TestNewImageUsable(t *testing.T) {
+	img := dsmtx.NewImage()
+	img.Store(dsmtx.Addr(4096), 7)
+	if img.Load(dsmtx.Addr(4096)) != 7 {
+		t.Fatal("image round trip failed")
+	}
+}

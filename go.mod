@@ -1,0 +1,3 @@
+module dsmtx
+
+go 1.24

@@ -1,0 +1,297 @@
+// Package cluster models a commodity cluster: nodes with private memory,
+// several cores per node, and a message-passing interconnect with realistic
+// latency, per-NIC bandwidth serialization, and per-instruction CPU cost.
+//
+// The model matches the paper's evaluation platform in structure: 32 nodes
+// of 4 cores (Intel Xeon 5160 @ 3.00 GHz) connected by InfiniBand. Ranks
+// (0..n-1) map onto (node, core) pairs; messages between ranks on the same
+// node take the cheap intra-node path, messages between nodes serialize
+// through the sender's NIC and pay wire latency.
+package cluster
+
+import (
+	"fmt"
+
+	"dsmtx/internal/sim"
+)
+
+// Config describes the machine. The zero value is unusable; use
+// DefaultConfig and override fields as needed.
+type Config struct {
+	Nodes        int // number of nodes
+	CoresPerNode int // cores (ranks) per node
+
+	InterNodeLatency sim.Duration // one-way wire latency between nodes
+	IntraNodeLatency sim.Duration // one-way latency between cores of a node
+
+	LinkBandwidth      float64 // bytes per virtual second through one NIC
+	IntraNodeBandwidth float64 // bytes per virtual second between local cores
+
+	// HeadNode, if >= 0, designates a node with HeadBandwidth of outbound
+	// bandwidth instead of LinkBandwidth. The DSMTX runtime marks the
+	// commit unit's node: it both serves Copy-On-Access pages (the role a
+	// storage/NFS server plays in the paper's cluster) and runs the
+	// sequential program portions, so it gets the fat pipe a head node
+	// would have.
+	HeadNode      int
+	HeadBandwidth float64
+
+	ClockGHz float64 // core clock; instruction costs are charged at this rate
+}
+
+// DefaultConfig mirrors the paper's platform: 32 × 4 cores at 3.0 GHz on
+// InfiniBand (≈1.9 µs one-way latency, ≈1.2 GB/s effective per NIC).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:              32,
+		CoresPerNode:       4,
+		InterNodeLatency:   1900 * sim.Nanosecond,
+		IntraNodeLatency:   90 * sim.Nanosecond,
+		LinkBandwidth:      2.0e9,
+		IntraNodeBandwidth: 24e9,
+		HeadNode:           -1,
+		HeadBandwidth:      6.0e9,
+		ClockGHz:           3.0,
+	}
+}
+
+// ManycoreConfig models the emerging coherence-free manycore the paper's
+// §7 points at (Intel's 48-core SCC-style part [14]): one chip, 48 cores
+// with private memory domains, explicit message passing — "the same
+// programming challenges as clusters, with the main difference being lower
+// communication latency".
+func ManycoreConfig() Config {
+	return Config{
+		Nodes:              48,
+		CoresPerNode:       1,
+		InterNodeLatency:   200 * sim.Nanosecond, // on-die mesh hop
+		IntraNodeLatency:   50 * sim.Nanosecond,
+		LinkBandwidth:      5e9, // on-die links
+		IntraNodeBandwidth: 24e9,
+		HeadNode:           -1,
+		HeadBandwidth:      10e9,
+		ClockGHz:           1.0, // SCC-class simple cores
+	}
+}
+
+// bandwidthOf reports a node's outbound NIC bandwidth.
+func (c Config) bandwidthOf(node int) float64 {
+	if node == c.HeadNode && c.HeadBandwidth > 0 {
+		return c.HeadBandwidth
+	}
+	return c.LinkBandwidth
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster: Nodes = %d, need >= 1", c.Nodes)
+	case c.CoresPerNode < 1:
+		return fmt.Errorf("cluster: CoresPerNode = %d, need >= 1", c.CoresPerNode)
+	case c.LinkBandwidth <= 0 || c.IntraNodeBandwidth <= 0:
+		return fmt.Errorf("cluster: bandwidths must be positive")
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("cluster: ClockGHz must be positive")
+	}
+	return nil
+}
+
+// Ranks reports the total number of ranks (cores) in the machine.
+func (c Config) Ranks() int { return c.Nodes * c.CoresPerNode }
+
+// NodeOf reports the node hosting a rank. Ranks are laid out round-robin
+// across nodes (rank r lives on node r % Nodes) so that consecutive ranks —
+// which DSMTX places adjacent pipeline stages on — land on different nodes.
+// This is the pessimistic placement the paper's latency-tolerance argument
+// is about.
+func (c Config) NodeOf(rank int) int { return rank % c.Nodes }
+
+// InstrTime converts an instruction count to virtual time at the
+// configured clock rate.
+func (c Config) InstrTime(instructions int64) sim.Duration {
+	if instructions <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(instructions) / c.ClockGHz)
+}
+
+// Message is one unit of data in flight between ranks.
+type Message struct {
+	From, To int
+	Tag      int
+	Payload  any
+	Bytes    int // modelled wire size; must be >= 0
+}
+
+// AnySource registers a mailbox that receives messages from every sender
+// using a given tag. Register such mailboxes before any traffic flows.
+const AnySource = -1
+
+// TrafficStats accumulates modelled wire traffic for an entire run; the
+// figure-5a bandwidth numbers divide these by execution time.
+type TrafficStats struct {
+	Messages       uint64
+	Bytes          uint64
+	InterNodeBytes uint64
+	IntraNodeBytes uint64
+}
+
+type mailboxKey struct {
+	from int
+	tag  int
+}
+
+// Machine is a simulated cluster instance bound to a sim.Kernel.
+type Machine struct {
+	k       *sim.Kernel
+	cfg     Config
+	nicFree []sim.Time // per-node time at which the NIC is next idle
+	// lastArrival enforces MPI's non-overtaking guarantee: two messages
+	// between the same (src, dst) pair are never delivered out of order,
+	// even when a small message follows a large one on a faster path.
+	lastArrival map[[2]int]sim.Time
+	eps         []*Endpoint
+	stats       TrafficStats
+}
+
+// New builds a machine on the given kernel. It panics on invalid
+// configuration (construction-time misuse, per Effective Go).
+func New(k *sim.Kernel, cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		k:           k,
+		cfg:         cfg,
+		nicFree:     make([]sim.Time, cfg.Nodes),
+		lastArrival: make(map[[2]int]sim.Time),
+		eps:         make([]*Endpoint, cfg.Ranks()),
+	}
+	for r := range m.eps {
+		m.eps[r] = &Endpoint{m: m, rank: r, boxes: make(map[mailboxKey]*sim.Chan[Message])}
+	}
+	return m
+}
+
+// Kernel returns the simulation kernel the machine runs on.
+func (m *Machine) Kernel() *sim.Kernel { return m.k }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Endpoint returns the communication endpoint for a rank.
+func (m *Machine) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= len(m.eps) {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, len(m.eps)))
+	}
+	return m.eps[rank]
+}
+
+// Stats returns a snapshot of accumulated traffic.
+func (m *Machine) Stats() TrafficStats { return m.stats }
+
+// ResetStats zeroes the traffic accounting (e.g. after warm-up).
+func (m *Machine) ResetStats() { m.stats = TrafficStats{} }
+
+// transmit models the wire: serialization through the sender's NIC for
+// inter-node messages, a fast path for intra-node ones. It returns the
+// arrival time at the destination.
+func (m *Machine) transmit(msg Message) sim.Time {
+	now := m.k.Now()
+	m.stats.Messages++
+	m.stats.Bytes += uint64(msg.Bytes)
+	srcNode, dstNode := m.cfg.NodeOf(msg.From), m.cfg.NodeOf(msg.To)
+	var arrival sim.Time
+	if srcNode == dstNode {
+		m.stats.IntraNodeBytes += uint64(msg.Bytes)
+		xmit := sim.Duration(float64(msg.Bytes) / m.cfg.IntraNodeBandwidth * 1e9)
+		arrival = now + m.cfg.IntraNodeLatency + xmit
+	} else {
+		m.stats.InterNodeBytes += uint64(msg.Bytes)
+		depart := max(now, m.nicFree[srcNode])
+		xmit := sim.Duration(float64(msg.Bytes) / m.cfg.bandwidthOf(srcNode) * 1e9)
+		m.nicFree[srcNode] = depart + xmit
+		arrival = depart + xmit + m.cfg.InterNodeLatency
+	}
+	pair := [2]int{msg.From, msg.To}
+	if last := m.lastArrival[pair]; arrival < last {
+		arrival = last
+	}
+	m.lastArrival[pair] = arrival
+	return arrival
+}
+
+// Endpoint is one rank's attachment to the interconnect. Mailboxes are
+// keyed by (source, tag); register any-source mailboxes with
+// Mailbox(AnySource, tag) before traffic with that tag flows.
+type Endpoint struct {
+	m     *Machine
+	rank  int
+	boxes map[mailboxKey]*sim.Chan[Message]
+}
+
+// Rank reports this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Node reports the node hosting this endpoint.
+func (e *Endpoint) Node() int { return e.m.cfg.NodeOf(e.rank) }
+
+// Machine returns the owning machine.
+func (e *Endpoint) Machine() *Machine { return e.m }
+
+// Mailbox returns (creating if needed) the mailbox for messages from a
+// specific source rank (or AnySource) carrying the given tag.
+func (e *Endpoint) Mailbox(from, tag int) *sim.Chan[Message] {
+	key := mailboxKey{from, tag}
+	box, ok := e.boxes[key]
+	if !ok {
+		name := fmt.Sprintf("r%d<-%d#%d", e.rank, from, tag)
+		box = sim.NewChan[Message](e.m.k, name, 0)
+		e.boxes[key] = box
+	}
+	return box
+}
+
+// deliver routes an arrived message to the matching mailbox: an exact
+// (from, tag) box if registered, else the any-source box for the tag, else a
+// fresh exact box.
+func (e *Endpoint) deliver(msg Message) {
+	if box, ok := e.boxes[mailboxKey{msg.From, msg.Tag}]; ok {
+		box.Push(msg)
+		return
+	}
+	if box, ok := e.boxes[mailboxKey{AnySource, msg.Tag}]; ok {
+		box.Push(msg)
+		return
+	}
+	e.Mailbox(msg.From, msg.Tag).Push(msg)
+}
+
+// Send injects a message into the network; it does not charge CPU time (the
+// mpi package layers per-call instruction costs on top). Delivery happens at
+// the modelled arrival time.
+func (e *Endpoint) Send(to, tag int, payload any, bytes int) {
+	if bytes < 0 {
+		panic("cluster: negative message size")
+	}
+	msg := Message{From: e.rank, To: to, Tag: tag, Payload: payload, Bytes: bytes}
+	dst := e.m.Endpoint(to)
+	arrival := e.m.transmit(msg)
+	e.m.k.At(arrival, func() { dst.deliver(msg) })
+}
+
+// Recv blocks p until a message from the given source (or AnySource) with
+// the given tag arrives, and returns it.
+func (e *Endpoint) Recv(p *sim.Proc, from, tag int) Message {
+	msg, ok := e.Mailbox(from, tag).Recv(p)
+	if !ok {
+		panic("cluster: mailbox closed")
+	}
+	return msg
+}
+
+// TryRecv returns a pending message without blocking.
+func (e *Endpoint) TryRecv(from, tag int) (Message, bool) {
+	return e.Mailbox(from, tag).TryRecv()
+}

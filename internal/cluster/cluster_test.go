@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsmtx/internal/sim"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CoresPerNode = 2
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CoresPerNode = 0 },
+		func(c *Config) { c.LinkBandwidth = 0 },
+		func(c *Config) { c.ClockGHz = -1 },
+	}
+	for i, mutate := range cases {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNodePlacementRoundRobin(t *testing.T) {
+	cfg := testConfig() // 4 nodes x 2 cores
+	wantNodes := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for r, want := range wantNodes {
+		if got := cfg.NodeOf(r); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestInstrTime(t *testing.T) {
+	cfg := testConfig() // 3 GHz
+	if got := cfg.InstrTime(3000); got != 1000*sim.Nanosecond {
+		t.Fatalf("3000 instr @3GHz = %v, want 1µs", got)
+	}
+	if got := cfg.InstrTime(-5); got != 0 {
+		t.Fatalf("negative instructions charged %v", got)
+	}
+}
+
+func TestInterNodeLatencyApplied(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testConfig())
+	var arrival sim.Time
+	k.Spawn("rx", func(p *sim.Proc) {
+		m.Endpoint(1).Recv(p, 0, 7) // rank 1 is node 1: inter-node
+		arrival = p.Now()
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		m.Endpoint(0).Send(1, 7, "x", 0)
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if arrival != testConfig().InterNodeLatency {
+		t.Fatalf("arrival = %v, want %v", arrival, testConfig().InterNodeLatency)
+	}
+}
+
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testConfig())
+	var intra, inter sim.Time
+	// Rank 0 and 4 share node 0; rank 1 is on node 1.
+	k.Spawn("rxIntra", func(p *sim.Proc) {
+		m.Endpoint(4).Recv(p, 0, 1)
+		intra = p.Now()
+	})
+	k.Spawn("rxInter", func(p *sim.Proc) {
+		m.Endpoint(1).Recv(p, 0, 2)
+		inter = p.Now()
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		m.Endpoint(0).Send(4, 1, nil, 64)
+		m.Endpoint(0).Send(1, 2, nil, 64)
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if intra >= inter {
+		t.Fatalf("intra-node %v not faster than inter-node %v", intra, inter)
+	}
+}
+
+// Two back-to-back large messages through one NIC must serialize: the second
+// arrives one transmission time after the first.
+func TestNICSerialization(t *testing.T) {
+	cfg := testConfig()
+	cfg.LinkBandwidth = 1e9 // 1 byte/ns
+	k := sim.NewKernel()
+	m := New(k, cfg)
+	var first, second sim.Time
+	k.Spawn("rx", func(p *sim.Proc) {
+		m.Endpoint(1).Recv(p, 0, 1)
+		first = p.Now()
+		m.Endpoint(1).Recv(p, 0, 1)
+		second = p.Now()
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		m.Endpoint(0).Send(1, 1, nil, 1000) // 1000 ns on the wire
+		m.Endpoint(0).Send(1, 1, nil, 1000)
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if second-first != 1000*sim.Nanosecond {
+		t.Fatalf("gap = %v, want 1µs NIC serialization", second-first)
+	}
+}
+
+func TestAnySourceMailbox(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testConfig())
+	const tag = 9
+	got := map[int]bool{}
+	k.Spawn("rx", func(p *sim.Proc) {
+		ep := m.Endpoint(0)
+		ep.Mailbox(AnySource, tag) // register before traffic
+		p.Advance(10)
+		for i := 0; i < 3; i++ {
+			msg := ep.Recv(p, AnySource, tag)
+			got[msg.From] = true
+		}
+	})
+	for _, src := range []int{1, 2, 3} {
+		k.Spawn("tx", func(p *sim.Proc) {
+			p.Advance(sim.Duration(src * 100))
+			m.Endpoint(src).Send(0, tag, nil, 8)
+		})
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("received from %d sources, want 3", len(got))
+	}
+}
+
+func TestTrafficStats(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testConfig())
+	k.Spawn("rx1", func(p *sim.Proc) { m.Endpoint(1).Recv(p, 0, 1) })
+	k.Spawn("rx4", func(p *sim.Proc) { m.Endpoint(4).Recv(p, 0, 1) })
+	k.Spawn("tx", func(p *sim.Proc) {
+		m.Endpoint(0).Send(1, 1, nil, 100) // inter-node
+		m.Endpoint(0).Send(4, 1, nil, 50)  // intra-node
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Messages != 2 || s.Bytes != 150 || s.InterNodeBytes != 100 || s.IntraNodeBytes != 50 {
+		t.Fatalf("stats = %+v", s)
+	}
+	m.ResetStats()
+	if m.Stats() != (TrafficStats{}) {
+		t.Fatal("ResetStats did not zero stats")
+	}
+}
+
+func TestMessagesFIFOPerPair(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 100 {
+			return true
+		}
+		k := sim.NewKernel()
+		m := New(k, testConfig())
+		var got []int
+		k.Spawn("rx", func(p *sim.Proc) {
+			for range sizes {
+				msg := m.Endpoint(1).Recv(p, 0, 3)
+				got = append(got, msg.Payload.(int))
+			}
+		})
+		k.Spawn("tx", func(p *sim.Proc) {
+			for i, sz := range sizes {
+				m.Endpoint(0).Send(1, 3, i, int(sz))
+				p.Advance(sim.Duration(sz % 7))
+			}
+		})
+		if err := k.Run(0); err != nil {
+			return false
+		}
+		for i := range sizes {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointRankPanicsOutOfRange(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range rank")
+		}
+	}()
+	m.Endpoint(99)
+}

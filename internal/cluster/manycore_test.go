@@ -1,0 +1,20 @@
+package cluster
+
+import "testing"
+
+func TestManycoreConfig(t *testing.T) {
+	cfg := ManycoreConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ranks() != 48 {
+		t.Fatalf("Ranks = %d, want 48 (the §7 part)", cfg.Ranks())
+	}
+	base := DefaultConfig()
+	if cfg.InterNodeLatency >= base.InterNodeLatency {
+		t.Fatal("on-die mesh must have lower latency than InfiniBand")
+	}
+	if cfg.ClockGHz >= base.ClockGHz {
+		t.Fatal("SCC-class cores are slower than the cluster's Xeons")
+	}
+}

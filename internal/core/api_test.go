@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"dsmtx/internal/pipeline"
+	"dsmtx/internal/uva"
+)
+
+// API-misuse and edge-of-contract tests for the worker context.
+
+// misuseProg runs a single callback as its only iteration's stage body.
+type misuseProg struct {
+	body func(ctx *Ctx)
+	addr uva.Addr
+}
+
+func (p *misuseProg) Setup(ctx *SeqCtx)             { p.addr = ctx.AllocWords(4) }
+func (p *misuseProg) SeqIter(ctx *SeqCtx, _ uint64) {}
+func (p *misuseProg) Stage(ctx *Ctx, _ int, iter uint64) bool {
+	if iter >= 1 {
+		return false
+	}
+	p.body(ctx)
+	return true
+}
+
+// expectRunPanic runs the program and expects the simulation to surface a
+// panic from the stage body as a Run error.
+func expectRunPanic(t *testing.T, body func(ctx *Ctx)) {
+	t.Helper()
+	prog := &misuseProg{body: body}
+	sys, err := NewSystem(smallConfig(4, pipeline.SpecDOALL()), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err == nil {
+		t.Fatal("expected the misuse to fail the run")
+	}
+}
+
+func TestConsumeWithoutProducePanics(t *testing.T) {
+	expectRunPanic(t, func(ctx *Ctx) { ctx.Consume(0) })
+}
+
+func TestProduceToMissingEdgePanics(t *testing.T) {
+	expectRunPanic(t, func(ctx *Ctx) { ctx.Produce(5, 1) })
+}
+
+func TestSyncWithoutRingPanics(t *testing.T) {
+	expectRunPanic(t, func(ctx *Ctx) { ctx.SyncSend(1) })
+	expectRunPanic(t, func(ctx *Ctx) { ctx.SyncRecv() })
+}
+
+func TestWriteToMissingEdgePanics(t *testing.T) {
+	expectRunPanic(t, func(ctx *Ctx) { ctx.WriteTo(3, uva.Base(0)+8, 1) })
+}
+
+func TestCtxIntrospection(t *testing.T) {
+	var iter, stage, poolSize int = -1, -1, -1
+	prog := &misuseProg{body: func(ctx *Ctx) {
+		iter = int(ctx.Iter())
+		stage = ctx.Stage()
+		poolSize = ctx.PoolSize()
+		if !ctx.EpochFirst() {
+			panic("iteration 0 must be epoch-first")
+		}
+		if ctx.PoolIndex() < 0 || ctx.PoolIndex() >= poolSize {
+			panic("pool index out of range")
+		}
+	}}
+	sys, err := NewSystem(smallConfig(5, pipeline.SpecDOALL()), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if iter != 0 || stage != 0 || poolSize != 3 {
+		t.Fatalf("iter=%d stage=%d pool=%d", iter, stage, poolSize)
+	}
+}
+
+func TestWorkerAllocFree(t *testing.T) {
+	prog := &misuseProg{body: func(ctx *Ctx) {
+		a := ctx.AllocWords(8)
+		ctx.Store(a, 42)
+		if ctx.Load(a) != 42 {
+			panic("worker-local allocation lost a value")
+		}
+		ctx.Free(a)
+		b := ctx.Alloc(64)
+		if b.Owner() == 0 {
+			panic("worker allocation must come from the worker's own region")
+		}
+	}}
+	sys, err := NewSystem(smallConfig(4, pipeline.SpecDOALL()), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatHelpers(t *testing.T) {
+	var got float64
+	prog := &misuseProg{body: func(ctx *Ctx) {
+		ctx.WriteFloat(ctx.w.sys.workers[0].arena.Alloc(8), 1.5) // worker-region scratch
+		addr := prog0Addr(ctx)
+		ctx.StoreFloat(addr, 2.25)
+		got = ctx.LoadFloat(addr)
+		ctx.WriteFloatCommit(addr+8, 3.5)
+		if ctx.ReadFloat(addr+8) != 3.5 {
+			panic("ReadFloat after WriteFloatCommit")
+		}
+	}}
+	theProg = prog
+	sys, err := NewSystem(smallConfig(4, pipeline.SpecDOALL()), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.25 {
+		t.Fatalf("LoadFloat = %v", got)
+	}
+}
+
+// theProg lets the body closure reach its own program's addresses.
+var theProg *misuseProg
+
+func prog0Addr(ctx *Ctx) uva.Addr { return theProg.addr }
+
+func TestSeqCtxOperations(t *testing.T) {
+	cfg := smallConfig(4, pipeline.SpecDOALL())
+	ran := false
+	prog := &seqOpsProg{check: func(ctx *SeqCtx) {
+		ran = true
+		a := ctx.AllocWords(4)
+		ctx.Store(a, 9)
+		if ctx.Load(a) != 9 {
+			t.Error("SeqCtx word round trip")
+		}
+		ctx.StoreFloat(a+8, 1.25)
+		if ctx.LoadFloat(a+8) != 1.25 {
+			t.Error("SeqCtx float round trip")
+		}
+		ctx.StoreBytes(a+16, []byte{1, 2, 3})
+		if b := ctx.LoadBytes(a+16, 3); b[2] != 3 {
+			t.Error("SeqCtx bulk round trip")
+		}
+		ctx.Free(a)
+		ctx.Compute(100)
+	}}
+	if _, _, err := RunSequential(cfg, prog, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("Setup did not run")
+	}
+}
+
+type seqOpsProg struct{ check func(ctx *SeqCtx) }
+
+func (p *seqOpsProg) Setup(ctx *SeqCtx)             { p.check(ctx) }
+func (p *seqOpsProg) SeqIter(ctx *SeqCtx, _ uint64) {}
+func (p *seqOpsProg) Stage(ctx *Ctx, _ int, _ uint64) bool {
+	return false
+}

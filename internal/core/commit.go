@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/mem"
+	"dsmtx/internal/mpi"
+	"dsmtx/internal/pipeline"
+	"dsmtx/internal/queue"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/uva"
+)
+
+// cuNode is the commit unit: the only process holding authoritative memory.
+// It executes the sequential portions of the program, commits each validated
+// MTX atomically by applying its forwarded stores in subTX order (group
+// transaction commit), and orchestrates misspeculation recovery.
+type cuNode struct {
+	sys   *System
+	rank  int
+	proc  *sim.Proc
+	comm  *mpi.Comm
+	img   *mem.Image
+	arena *uva.Arena
+
+	in       []*queue.RecvPort[Entry] // per worker tid
+	verdicts []*queue.RecvPort[Entry] // per try-commit shard
+
+	routes   map[uint64]int
+	epoch    uint64
+	pollTime sim.Time
+	iter     uint64
+	result   Result
+	resumed  sim.Time // time of last recovery resume, 0 if none pending RFP
+}
+
+func newCUNode(s *System) *cuNode {
+	return &cuNode{sys: s, rank: s.cfg.commitRank(), routes: make(map[uint64]int)}
+}
+
+func (c *cuNode) run(p *sim.Proc) {
+	c.proc = p
+	c.comm = c.sys.world.Attach(c.rank, p)
+	c.bind()
+
+	seq := &SeqCtx{cfg: c.sys.cfg, proc: p, img: c.img, arena: c.arena}
+	c.sys.prog.Setup(seq)
+	// Publish the invocation-entry snapshot for Copy-On-Access service,
+	// then open the parallel section: workers must not touch memory before
+	// the sequential state exists.
+	c.sys.srv.setSnapshot(c.img.Snapshot())
+	for w := 0; w < c.sys.cfg.Workers(); w++ {
+		c.comm.Send(w, tagStart, nil, 8)
+	}
+	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
+		c.comm.Send(c.sys.cfg.tryCommitRank(j), tagStart, nil, 8)
+	}
+
+	c.commitLoop(seq)
+
+	if f, ok := c.sys.prog.(Finalizer); ok {
+		f.Finalize(seq)
+	}
+	// Shut the page server down so the simulation can drain.
+	c.comm.Endpoint().Send(c.rank, tagPageReq, nil, 8)
+}
+
+func (c *cuNode) bind() {
+	c.comm.RegisterBarrierMailboxes()
+	c.img = mem.NewImage(nil)
+	if c.sys.initialImage != nil {
+		c.img = c.sys.initialImage
+	}
+	c.arena = uva.NewArena(0)
+	for w := 0; w < c.sys.cfg.Workers(); w++ {
+		c.in = append(c.in, c.sys.toCUQ[w].Receiver(c.comm))
+	}
+	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
+		c.verdicts = append(c.verdicts, c.sys.verdictQ[j].Receiver(c.comm))
+	}
+}
+
+// commitLoop stages each MTX's stores from the worker streams, awaits the
+// try-commit verdict, and either commits atomically or recovers.
+func (c *cuNode) commitLoop(seq *SeqCtx) {
+	committer, hasCommitter := c.sys.prog.(Committer)
+	for {
+		iter := c.iter
+		var staged []Entry
+		misspec := false
+		terminated := false
+		for s := range c.sys.cfg.Plan.Stages {
+			tid := c.routeOf(s, iter)
+			ents, subMiss, term := c.drainSub(tid, iter)
+			if term {
+				if s != 0 {
+					panic(fmt.Sprintf("core: commit saw terminate mid-MTX %d at stage %d", iter, s))
+				}
+				terminated = true
+				break
+			}
+			staged = append(staged, ents...)
+			misspec = misspec || subMiss
+		}
+		if terminated {
+			c.drainTerminates(iter)
+			c.awaitTerminateVerdict()
+			// Release every parked worker and the try-commit unit.
+			done := ctrlMsg{epoch: c.epoch, done: true}
+			for w := 0; w < c.sys.cfg.Workers(); w++ {
+				c.comm.Send(w, tagCtrl, done, 24)
+			}
+			for j := 0; j < c.sys.cfg.tcUnits(); j++ {
+				c.comm.Send(c.sys.cfg.tryCommitRank(j), tagCtrl, done, 24)
+			}
+			return
+		}
+		// The verdict arrives after the try-commit unit has validated every
+		// subTX of this MTX.
+		if !c.nextVerdict(iter) {
+			misspec = true
+		}
+		if misspec {
+			c.result.Misspecs++
+			c.recover(seq, iter)
+			continue
+		}
+		// Group transaction commit: apply all stores in subTX order; the
+		// last write to a location wins.
+		var bulkBytes int
+		for _, e := range staged {
+			if e.Kind == entWriteBlk {
+				c.img.StoreBytes(e.Addr, e.Payload.([]byte))
+				bulkBytes += e.Bytes
+				continue
+			}
+			c.img.Store(e.Addr, e.Val)
+		}
+		c.proc.Advance(c.sys.instrTime(int64(len(staged))*c.sys.cfg.StoreInstr +
+			int64(float64(bulkBytes)*c.sys.cfg.BulkInstrPerByte)))
+		c.result.Committed++
+		if hasCommitter {
+			committer.Commit(seq, iter)
+		}
+		c.sys.trace(TraceEvent{Kind: TraceCommit, MTX: iter, Stage: -1, Tid: -1,
+			Start: c.proc.Now(), End: c.proc.Now()})
+		if c.resumed > 0 {
+			c.result.RFP += c.proc.Now() - c.resumed
+			c.resumed = 0
+		}
+		delete(c.routes, iter)
+		c.iter = iter + 1
+	}
+}
+
+// drainSub stages one subTX's stores.
+func (c *cuNode) drainSub(tid int, iter uint64) (stores []Entry, misspec, term bool) {
+	port := c.in[tid]
+	for {
+		e := c.consumeNext(port)
+		switch e.Kind {
+		case entWrite, entWriteBlk:
+			stores = append(stores, e)
+		case entRoute:
+			c.routes[e.MTX] = int(e.Val)
+		case entMisspec:
+			misspec = true
+		case entEndSub:
+			if e.MTX != iter {
+				panic(fmt.Sprintf("core: commit expected EndSub %d from worker %d, got %d", iter, tid, e.MTX))
+			}
+			return stores, misspec, false
+		case entTerminate:
+			return nil, false, true
+		default:
+			panic(fmt.Sprintf("core: commit: unexpected %v entry", e.Kind))
+		}
+	}
+}
+
+func (c *cuNode) drainTerminates(endIter uint64) {
+	for tid := range c.in {
+		if c.sys.layout.StageOf(tid) == 0 && c.sys.layout.WorkerOf(0, endIter) == tid {
+			continue
+		}
+		for {
+			e := c.consumeNext(c.in[tid])
+			if e.Kind == entTerminate {
+				break
+			}
+		}
+	}
+}
+
+// awaitTerminateVerdict waits for every try-commit shard to confirm it
+// validated everything before the loop result is final.
+func (c *cuNode) awaitTerminateVerdict() {
+	for _, port := range c.verdicts {
+		for {
+			e := c.consumeNext(port)
+			if e.Kind == entTerminate {
+				break
+			}
+		}
+	}
+}
+
+// nextVerdict returns the combined validation result for iter: every
+// try-commit shard must approve its address partition.
+func (c *cuNode) nextVerdict(iter uint64) bool {
+	ok := true
+	for _, port := range c.verdicts {
+		e := c.consumeNext(port)
+		if e.Kind != entVerdict {
+			panic(fmt.Sprintf("core: unexpected %v entry on verdict queue", e.Kind))
+		}
+		if e.MTX != iter {
+			panic(fmt.Sprintf("core: verdict for MTX %d while committing %d", e.MTX, iter))
+		}
+		ok = ok && e.Val == 1
+	}
+	return ok
+}
+
+func (c *cuNode) routeOf(s int, iter uint64) int {
+	if s == c.sys.routedStage {
+		idx, ok := c.routes[iter]
+		if !ok {
+			panic(fmt.Sprintf("core: commit has no route for MTX %d", iter))
+		}
+		return c.sys.layout.Assign[s][idx]
+	}
+	if c.sys.cfg.Plan.Stages[s].Kind == pipeline.Parallel {
+		return c.sys.layout.WorkerOf(s, iter)
+	}
+	return c.sys.layout.Assign[s][0]
+}
+
+func (c *cuNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
+	backoff := c.sys.cfg.PollMin
+	for {
+		if e, ok := port.TryConsume(); ok {
+			return e
+		}
+		c.proc.Advance(backoff)
+		c.pollTime += backoff
+		if backoff < c.sys.cfg.PollMax {
+			backoff *= 2
+		}
+	}
+}
+
+// recover orchestrates the four-phase recovery of §4.3 for a misspeculated
+// iteration: broadcast + barrier (ERM), queue flush + barrier (FLQ),
+// sequential re-execution of the aborted iteration (SEQ), final barrier;
+// the pipeline refill cost (RFP) is measured from resume to the next
+// commit.
+func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
+	start := c.proc.Now()
+	c.epoch++
+	cm := ctrlMsg{epoch: c.epoch, restart: failed + 1}
+	for w := 0; w < c.sys.cfg.Workers(); w++ {
+		c.comm.Send(w, tagCtrl, cm, 24)
+	}
+	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
+		c.comm.Send(c.sys.cfg.tryCommitRank(j), tagCtrl, cm, 24)
+	}
+
+	c.comm.Barrier(c.sys.allRanks) // B1: everyone is in recovery mode
+	ermDone := c.proc.Now()
+	c.result.ERM += ermDone - start
+
+	for _, port := range c.in {
+		port.Abort(c.epoch)
+	}
+	for _, port := range c.verdicts {
+		port.Abort(c.epoch)
+	}
+	c.routes = make(map[uint64]int)
+
+	c.comm.Barrier(c.sys.allRanks) // B2: queues flushed
+	flqDone := c.proc.Now()
+	c.result.FLQ += flqDone - ermDone
+
+	// Re-execute the aborted iteration single-threaded against committed
+	// state, then refresh the Copy-On-Access snapshot so restarted workers
+	// initialize from the new committed memory.
+	c.sys.prog.SeqIter(seq, failed)
+	c.result.Committed++
+	if committer, ok := c.sys.prog.(Committer); ok {
+		committer.Commit(seq, failed)
+	}
+	c.sys.srv.setSnapshot(c.img.Snapshot())
+	seqDone := c.proc.Now()
+	c.result.SEQ += seqDone - flqDone
+
+	c.comm.Barrier(c.sys.allRanks) // B3: resume parallel execution
+	c.resumed = c.proc.Now()
+	c.sys.trace(TraceEvent{Kind: TraceRecovery, MTX: failed, Stage: -1, Tid: -1,
+		Start: start, End: c.resumed})
+	c.iter = failed + 1
+}
+
+// pageServer serves Copy-On-Access page requests from the invocation-entry
+// snapshot of the commit unit's memory. It shares the commit unit's rank
+// (and NIC) but runs as its own process so page service continues while the
+// commit unit is busy committing.
+type pageServer struct {
+	sys  *System
+	proc *sim.Proc
+	comm *mpi.Comm
+	snap *mem.Image
+
+	// Served-request accounting (diagnostic).
+	Requests    uint64
+	PagesServed uint64
+}
+
+func newPageServer(s *System) *pageServer { return &pageServer{sys: s} }
+
+// setSnapshot swaps the snapshot served to workers; called by the commit
+// unit at invocation start and after each recovery. The two processes share
+// the commit rank, and the cooperative scheduler makes the swap atomic.
+func (ps *pageServer) setSnapshot(snap *mem.Image) { ps.snap = snap }
+
+func (ps *pageServer) run(p *sim.Proc) {
+	ps.proc = p
+	ps.comm = ps.sys.world.Attach(ps.sys.cfg.commitRank(), p)
+	ps.comm.Endpoint().Mailbox(cluster.AnySource, tagPageReq)
+	for {
+		msg := ps.comm.Endpoint().Recv(p, cluster.AnySource, tagPageReq)
+		if msg.Payload == nil {
+			return // shutdown sentinel from the commit unit
+		}
+		req := msg.Payload.(pageReq)
+		ps.Requests++
+		ps.PagesServed += uint64(req.Count)
+		ps.proc.Advance(ps.sys.instrTime(ps.sys.cfg.PageServInstr + 60*int64(req.Count)))
+		pages := make([]*mem.Page, req.Count)
+		for i := range pages {
+			pages[i] = ps.snap.CopyPage(req.Start + uva.PageID(i))
+		}
+		wire := req.Count*(uva.PageSize+8) + 56
+		if req.Grain > 0 {
+			wire = req.Grain + 56 // sub-page chunk (word-granularity ablation)
+		}
+		// RDMA put: wire time only, no per-byte CPU marshalling.
+		ps.comm.Endpoint().Send(msg.From, tagPageReply, pages, wire)
+	}
+}

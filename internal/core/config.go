@@ -1,0 +1,165 @@
+package core
+
+import (
+	"dsmtx/internal/uva"
+
+	"fmt"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/mpi"
+	"dsmtx/internal/pipeline"
+	"dsmtx/internal/queue"
+	"dsmtx/internal/sim"
+)
+
+// Config assembles a DSMTX system.
+type Config struct {
+	// TotalCores is the number of cores devoted to the parallelization,
+	// including the try-commit unit(s) and the commit unit (the x-axis of
+	// Fig. 4); the rest are workers.
+	TotalCores int
+
+	// Plan is the parallelization scheme laid out over the workers.
+	Plan pipeline.Plan
+
+	// Cluster, MPICost and Queue configure the substrate.
+	Cluster cluster.Config
+	MPICost mpi.Cost
+	Queue   queue.Config
+
+	// Per-operation CPU costs, in instructions.
+	LoadInstr        int64   // private-memory load (beyond any forwarding)
+	StoreInstr       int64   // private-memory store
+	BulkInstrPerByte float64 // bulk (block) memory traffic, instructions/byte
+
+	// MarkerFlushIters is how many iterations of validation/commit stream
+	// (subTX markers, forwarded stores) a worker may batch before flushing
+	// to the try-commit and commit units; the verdict stream batches the
+	// same way. Larger values amortize per-message overheads at the
+	// decoupled units but delay misspeculation detection — the batching /
+	// refill-cost tradeoff of §5.4. Misspeculation markers always flush
+	// immediately.
+	MarkerFlushIters int
+
+	// TryCommitUnits shards the try-commit stage across several cores by
+	// address region — the parallelization the paper's §3.2 points at for
+	// when validation serializes ("the algorithms of the try-commit unit
+	// ... are parallelizable"). 0 or 1 means the paper's single unit.
+	TryCommitUnits int
+
+	// OccWindow bounds outstanding iterations per worker under
+	// occupancy-based routing; the router blocks for a completion ack when
+	// every worker is saturated (bounded-queue backpressure).
+	OccWindow int
+
+	// COAGrainBytes models Copy-On-Access at sub-page granularity for the
+	// §4.2 ablation ("the round-trip latency induced by COA can be
+	// prohibitive if COA is done at a word granularity"): a fault then
+	// takes PageSize/COAGrainBytes round trips to populate its page.
+	// 0 (the default) is the paper's page granularity.
+	COAGrainBytes int
+
+	// COAPrefetch is how many contiguous non-resident pages one
+	// Copy-On-Access fault pulls (read-ahead extending the paper's
+	// "constructive prefetching" within a page to runs of pages).
+	COAPrefetch    int
+	PageServInstr  int64 // page-server CPU per served request
+	PageFaultInstr int64 // worker-side fault handling per COA miss
+	ProtectInstr   int64 // re-arming protection per resident page in recovery
+
+	// PollMin/PollMax bound the adaptive backoff used at blocking points
+	// (the runtime polls so that control messages interrupt waits).
+	PollMin sim.Duration
+	PollMax sim.Duration
+
+	// Trace records per-MTX activity of every unit (System.Trace) for
+	// execution-model timelines (Fig. 3c).
+	Trace bool
+
+	// Horizon aborts the simulation if virtual time exceeds it (a safety
+	// net for runtime bugs); 0 means none.
+	Horizon sim.Duration
+}
+
+// DefaultConfig returns a configuration matching the paper's platform with
+// the given core count and plan.
+func DefaultConfig(totalCores int, plan pipeline.Plan) Config {
+	return Config{
+		TotalCores:       totalCores,
+		Plan:             plan,
+		Cluster:          cluster.DefaultConfig(),
+		MPICost:          mpi.DefaultCost(),
+		Queue:            queue.DefaultConfig(),
+		LoadInstr:        4,
+		StoreInstr:       4,
+		BulkInstrPerByte: 0.15,
+		MarkerFlushIters: 8,
+		TryCommitUnits:   1,
+		OccWindow:        1,
+		COAPrefetch:      8,
+		PageServInstr:    300,
+		PageFaultInstr:   400,
+		ProtectInstr:     30,
+		PollMin:          100 * sim.Nanosecond,
+		PollMax:          1600 * sim.Nanosecond,
+	}
+}
+
+// tcUnits reports the number of try-commit shards (>= 1).
+func (c Config) tcUnits() int {
+	if c.TryCommitUnits < 1 {
+		return 1
+	}
+	return c.TryCommitUnits
+}
+
+// Workers reports the number of worker threads (cores minus the try-commit
+// unit(s) and the commit unit).
+func (c Config) Workers() int { return c.TotalCores - 1 - c.tcUnits() }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if err := c.Plan.Validate(); err != nil {
+		return err
+	}
+	if c.Workers() < c.Plan.MinWorkers() {
+		return fmt.Errorf("core: %d cores leave %d workers; plan %q needs %d",
+			c.TotalCores, c.Workers(), c.Plan.Name, c.Plan.MinWorkers())
+	}
+	if c.TotalCores > c.Cluster.Ranks() {
+		return fmt.Errorf("core: %d cores exceed the machine's %d", c.TotalCores, c.Cluster.Ranks())
+	}
+	if c.PollMin <= 0 || c.PollMax < c.PollMin {
+		return fmt.Errorf("core: bad poll bounds [%v, %v]", c.PollMin, c.PollMax)
+	}
+	return nil
+}
+
+// Rank layout: workers occupy ranks 0..W-1, then the try-commit unit(s),
+// then the commit unit (whose rank also hosts the page-server process).
+
+func (c Config) tryCommitRank(shard int) int { return c.Workers() + shard }
+func (c Config) commitRank() int             { return c.Workers() + c.tcUnits() }
+
+// tcShardBits aligns the shard key: addresses are sharded across try-commit
+// units in 1 MiB regions, so bulk operations almost never straddle shards
+// (and are split when they do).
+const tcShardShift = 20
+
+// tcShardOf maps an address to its owning try-commit shard.
+func (c Config) tcShardOf(addr uva.Addr) int {
+	return int((uint64(addr) >> tcShardShift) % uint64(c.tcUnits()))
+}
+
+// Control-plane message tags (queue tags are allocated from tagQueueBase).
+const (
+	tagCtrl      = 1 // commit unit -> workers/try-commit: recovery broadcast
+	tagPageReq   = 2 // any -> page server
+	tagPageReply = 3 // page server -> requester
+	tagOccAck    = 4 // parallel worker -> routing worker: iteration done
+	tagStart     = 5 // commit unit -> all: Setup done, parallel section open
+	tagQueueBase = 100
+)

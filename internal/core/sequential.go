@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmtx/internal/mem"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/uva"
+)
+
+// RunSequential executes a program single-threaded on one simulated core:
+// Setup, then SeqIter for each of n iterations in order, then Finalize.
+// This is the baseline all speedups are measured against — the original
+// sequential program, with the same per-operation cost model and no runtime
+// overheads.
+//
+// initial, if non-nil, seeds memory (for chaining invocations); the final
+// image is returned alongside the elapsed virtual time.
+func RunSequential(cfg Config, prog Program, n uint64, initial *mem.Image) (sim.Time, *mem.Image, error) {
+	kernel := sim.NewKernel()
+	img := initial
+	if img == nil {
+		img = mem.NewImage(nil)
+	}
+	kernel.Spawn("sequential", func(p *sim.Proc) {
+		ctx := &SeqCtx{cfg: cfg, proc: p, img: img, arena: uva.NewArena(0)}
+		prog.Setup(ctx)
+		committer, hasCommitter := prog.(Committer)
+		for k := uint64(0); k < n; k++ {
+			prog.SeqIter(ctx, k)
+			if hasCommitter {
+				committer.Commit(ctx, k)
+			}
+		}
+		if f, ok := prog.(Finalizer); ok {
+			f.Finalize(ctx)
+		}
+	})
+	if err := kernel.Run(cfg.Horizon); err != nil {
+		return 0, nil, fmt.Errorf("core: sequential run: %w", err)
+	}
+	return kernel.Now(), img, nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsmtx/internal/pipeline"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/uva"
+)
+
+// Sharded try-commit (§3.2 "the algorithms of the try-commit unit ... are
+// parallelizable"): everything that holds for one unit must hold for many.
+
+func shardConfig(cores, shards int, plan pipeline.Plan) Config {
+	cfg := smallConfig(cores, plan)
+	cfg.TryCommitUnits = shards
+	cfg.Horizon = sim.Second
+	return cfg
+}
+
+func TestShardedRankLayout(t *testing.T) {
+	cfg := shardConfig(10, 3, pipeline.SpecDOALL())
+	if cfg.Workers() != 6 {
+		t.Fatalf("Workers = %d, want 6 (10 cores - 3 TC - 1 CU)", cfg.Workers())
+	}
+	if cfg.tryCommitRank(0) != 6 || cfg.tryCommitRank(2) != 8 || cfg.commitRank() != 9 {
+		t.Fatalf("ranks: tc0=%d tc2=%d cu=%d", cfg.tryCommitRank(0), cfg.tryCommitRank(2), cfg.commitRank())
+	}
+}
+
+func TestShardedPipelineCorrect(t *testing.T) {
+	for _, shards := range []int{2, 3} {
+		prog := &pipeProg{n: 30}
+		sys, err := NewSystem(shardConfig(8, shards, pipeline.SpecDSWP("S", "DOALL", "S")), prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != 30 {
+			t.Fatalf("shards=%d: committed %d", shards, res.Committed)
+		}
+		verifyPipeOut(t, sys, prog)
+	}
+}
+
+func TestShardedConflictDetection(t *testing.T) {
+	// The scale word and the out array land in the same 1 MiB shard region
+	// here, but the mechanism must hold regardless: conflicts are detected
+	// by whichever shard owns the address.
+	prog := &doallProg{n: 40, flip: 9}
+	sys, err := NewSystem(shardConfig(10, 2, pipeline.SpecDOALL()), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misspecs == 0 || tcConflicts(sys) == 0 {
+		t.Fatalf("no conflicts detected: %+v", res)
+	}
+	img := sys.CommitImage()
+	for k := uint64(0); k < prog.n; k++ {
+		if got := img.Load(prog.out + uva.Addr(k*8)); got != prog.expect(k) {
+			t.Fatalf("out[%d] = %d, want %d", k, got, prog.expect(k))
+		}
+	}
+}
+
+// crossShardProg writes and validates a block spanning a shard boundary:
+// the bulk entries must split so each shard checks its own partition.
+type crossShardProg struct {
+	n    uint64
+	base uva.Addr // straddles a 1 MiB shard boundary
+}
+
+func (p *crossShardProg) Setup(ctx *SeqCtx) {
+	// Burn address space up to just below the boundary, then allocate the
+	// block across it.
+	span := uva.Addr(1) << tcShardShift
+	raw := ctx.Alloc(int64(span) - uva.PageSize - 512)
+	_ = raw
+	p.base = ctx.Alloc(64 << 10)
+	if uint64(p.base)>>tcShardShift == (uint64(p.base)+64<<10)>>tcShardShift {
+		panic("test setup: block does not straddle a shard boundary")
+	}
+}
+
+func (p *crossShardProg) Stage(ctx *Ctx, _ int, iter uint64) bool {
+	if iter >= p.n {
+		return false
+	}
+	// Read the whole straddling block (validated), then write a slice of it.
+	ctx.ReadBytes(p.base, 64<<10)
+	chunk := make([]byte, 1024)
+	for i := range chunk {
+		chunk[i] = byte(iter)
+	}
+	ctx.WriteBytes(p.base+uva.Addr(iter*1024), chunk)
+	ctx.Compute(20000)
+	return true
+}
+
+func (p *crossShardProg) SeqIter(ctx *SeqCtx, iter uint64) {
+	ctx.LoadBytes(p.base, 64<<10)
+	chunk := make([]byte, 1024)
+	for i := range chunk {
+		chunk[i] = byte(iter)
+	}
+	ctx.StoreBytes(p.base+uva.Addr(iter*1024), chunk)
+	ctx.Compute(20000)
+}
+
+func TestCrossShardBulkValidation(t *testing.T) {
+	// Iterations read a straddling block that earlier iterations write: a
+	// genuine cross-iteration dependence that misspeculates and recovers;
+	// the split bulk validation must behave identically to one shard.
+	run := func(shards int) (uint64, uint64) {
+		prog := &crossShardProg{n: 12}
+		sys, err := NewSystem(shardConfig(7, shards, pipeline.SpecDOALL()), prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != prog.n {
+			t.Fatalf("shards=%d: committed %d", shards, res.Committed)
+		}
+		return sys.CommitImage().ChecksumRange(prog.base, 64<<10), res.Misspecs
+	}
+	c1, m1 := run(1)
+	c2, m2 := run(2)
+	if c1 != c2 {
+		t.Fatalf("sharded checksum %#x != single-unit %#x", c2, c1)
+	}
+	if m1 == 0 || m2 == 0 {
+		t.Fatalf("expected misspeculations (m1=%d m2=%d)", m1, m2)
+	}
+}
+
+func TestShardedTLSRecovery(t *testing.T) {
+	plan := pipeline.SpecDOALL()
+	plan.Sync = true
+	prog := &tlsMisspecProg{n: 24, misspecs: misspecsOf(1, 4)}
+	sys, err := NewSystem(shardConfig(8, 2, plan), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 24 || res.Misspecs != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := sys.CommitImage().Load(prog.acc); got != prog.expect() {
+		t.Fatalf("acc = %d, want %d", got, prog.expect())
+	}
+}
+
+// Property: shard-range splitting covers [addr, addr+n) exactly once, in
+// order, never crossing a boundary.
+func TestShardRangeSplitProperty(t *testing.T) {
+	w := &workerNode{}
+	f := func(startOff uint32, n uint32) bool {
+		addr := uva.Base(0) + uva.Addr(startOff&0x3FFFF8) // aligned, below 4 MiB
+		ln := int(n % (3 << 20))
+		covered := 0
+		prevEnd := addr
+		ok := true
+		w.forEachShardRange(addr, ln, func(a uva.Addr, off, l int) {
+			if a != prevEnd || off != covered || l <= 0 {
+				ok = false
+			}
+			if uint64(a)>>tcShardShift != uint64(a+uva.Addr(l-1))>>tcShardShift {
+				ok = false // segment crosses a shard boundary
+			}
+			covered += l
+			prevEnd = a + uva.Addr(l)
+		})
+		return ok && covered == ln
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedRecoveryProperty(t *testing.T) {
+	f := func(raw []uint8, shardSel uint8) bool {
+		const n = 15
+		m := make(map[uint64]bool)
+		for _, r := range raw {
+			m[uint64(r)%n] = true
+		}
+		shards := 1 + int(shardSel)%3
+		prog := &pipeProg{n: n, misspecs: m}
+		sys, err := NewSystem(shardConfig(9, shards, pipeline.SpecDSWP("S", "DOALL", "S")), prog, nil)
+		if err != nil {
+			return false
+		}
+		res, err := sys.Run()
+		if err != nil || res.Committed != n {
+			return false
+		}
+		img := sys.CommitImage()
+		for k := uint64(0); k < n; k++ {
+			if img.Load(prog.out+uva.Addr(k*8)) != prog.expect(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/mem"
+	"dsmtx/internal/mpi"
+	"dsmtx/internal/pipeline"
+	"dsmtx/internal/queue"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/uva"
+)
+
+// Program is a loop parallelized for DSMTX. Stage functions run on worker
+// processes against the Ctx API; Setup, SeqIter and the optional hooks run
+// on the commit unit against its authoritative image.
+type Program interface {
+	// Setup runs sequentially on the commit unit before the parallel
+	// section, generating the initial non-speculative memory state.
+	Setup(ctx *SeqCtx)
+
+	// Stage executes pipeline stage `stage` of iteration `iter`. For the
+	// first stage, returning false means iteration iter does not exist and
+	// the loop terminates; other stages' return values are ignored.
+	//
+	// The runtime may unwind a Stage call (via panic it recovers itself)
+	// when misspeculation recovery begins or when Ctx.Misspec is called;
+	// stage code must not swallow panics.
+	Stage(ctx *Ctx, stage int, iter uint64) bool
+
+	// SeqIter re-executes iteration iter non-speculatively on the commit
+	// unit during misspeculation recovery. It must reproduce the
+	// iteration's committed effects exactly (including its rare paths).
+	SeqIter(ctx *SeqCtx, iter uint64)
+}
+
+// Committer is an optional Program extension: Commit runs on the commit
+// unit after each MTX commits (the commit_fun of Table 1).
+type Committer interface {
+	Commit(ctx *SeqCtx, iter uint64)
+}
+
+// Finalizer is an optional Program extension: Finalize runs on the commit
+// unit after the loop terminates (e.g. final reductions).
+type Finalizer interface {
+	Finalize(ctx *SeqCtx)
+}
+
+// ctrlMsg is a commit-unit broadcast: either "enter recovery at epoch,
+// restarting from iteration restart" or — with done set — "the whole run has
+// committed; exit".
+type ctrlMsg struct {
+	epoch   uint64
+	restart uint64
+	done    bool
+}
+
+// recoverySignal unwinds worker/try-commit stacks to their main loops.
+type recoverySignal struct{}
+
+// Result summarizes one parallel execution.
+type Result struct {
+	Elapsed   sim.Time
+	Committed uint64 // MTXs committed (including recovery re-executions)
+	Misspecs  uint64
+	// Recovery phase totals across all misspeculations (Fig. 6).
+	ERM sim.Time // enter recovery mode: detection to first barrier
+	FLQ sim.Time // flush queues + re-protect
+	SEQ sim.Time // sequential re-execution of the aborted iteration
+	RFP sim.Time // refill pipeline: resume to first post-recovery commit
+	// Traffic is the machine-wide wire traffic of the run.
+	Traffic cluster.TrafficStats
+	Events  uint64 // simulation events (diagnostic)
+	// Busy-time accounting (diagnostic): virtual time each unit spent
+	// computing vs polling empty queues.
+	CUBusy, CUPoll, TCBusy, TCPoll, PageSrvBusy sim.Time
+	WorkerBusyMax                               sim.Time
+	WorkerBusyAvg                               sim.Time
+	PageRequests, PagesServed                   uint64
+}
+
+// Bandwidth reports the application's modelled communication bandwidth in
+// bytes per second — total data transferred divided by execution time
+// (Fig. 5a).
+func (r Result) Bandwidth() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Traffic.Bytes) / r.Elapsed.Seconds()
+}
+
+// System is one configured DSMTX execution: a worker pool, a try-commit
+// unit, a commit unit and a page server wired together by batched queues on
+// a simulated cluster.
+type System struct {
+	cfg    Config
+	prog   Program
+	kernel *sim.Kernel
+	mach   *cluster.Machine
+	world  *mpi.World
+	layout pipeline.Layout
+
+	workers []*workerNode
+	tcs     []*tcNode
+	cu      *cuNode
+	srv     *pageServer
+
+	// Queue registry, keyed by endpoint tids.
+	edgeQ    map[[2]int]*queue.Queue[Entry]
+	toTCQ    [][]*queue.Queue[Entry] // [worker][shard]
+	toCUQ    []*queue.Queue[Entry]
+	verdictQ []*queue.Queue[Entry]       // per shard
+	syncQ    map[int]*queue.Queue[Entry] // sender tid -> ring queue
+	nextTag  int
+
+	// routedStage is the parallel stage fed by a sequential predecessor,
+	// or -1; routeSink is the sequential stage after it needing route
+	// records, or -1.
+	routedStage int
+	routeSink   int
+
+	allRanks []int
+
+	initialImage *mem.Image
+
+	// events collects the execution trace when cfg.Trace is set.
+	events []TraceEvent
+}
+
+// NewSystem validates the configuration and builds the (unstarted) system.
+// initialImage, if non-nil, seeds the commit unit's memory before Setup —
+// used to chain parallel invocations (e.g. training epochs).
+func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout, err := pipeline.NewLayout(cfg.Plan, cfg.Workers())
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:          cfg,
+		prog:         prog,
+		layout:       layout,
+		edgeQ:        make(map[[2]int]*queue.Queue[Entry]),
+		syncQ:        make(map[int]*queue.Queue[Entry]),
+		nextTag:      tagQueueBase,
+		routedStage:  -1,
+		routeSink:    -1,
+		initialImage: initialImage,
+	}
+	if err := s.analyzePlan(); err != nil {
+		return nil, err
+	}
+	s.kernel = sim.NewKernel()
+	// The commit unit's node doubles as page server; it gets the head
+	// node's fat pipe (see cluster.Config.HeadNode).
+	if s.cfg.Cluster.HeadNode < 0 {
+		s.cfg.Cluster.HeadNode = s.cfg.Cluster.NodeOf(s.cfg.commitRank())
+	}
+	s.mach = cluster.New(s.kernel, s.cfg.Cluster)
+	s.world = mpi.NewWorld(s.mach, cfg.MPICost)
+	s.buildQueues()
+	for r := 0; r < cfg.TotalCores; r++ {
+		s.allRanks = append(s.allRanks, r)
+	}
+	return s, nil
+}
+
+// analyzePlan finds the routed parallel stage and its downstream route sink,
+// and rejects shapes the runtime does not support.
+func (s *System) analyzePlan() error {
+	p := s.cfg.Plan
+	nPar := 0
+	for st, stage := range p.Stages {
+		if stage.Kind != pipeline.Parallel {
+			continue
+		}
+		nPar++
+		if st > 0 {
+			if p.Stages[st-1].Kind != pipeline.Sequential {
+				return fmt.Errorf("core: plan %q: parallel stage %d fed by a parallel stage", p.Name, st)
+			}
+			s.routedStage = st
+			for nxt := st + 1; nxt < len(p.Stages); nxt++ {
+				if p.Stages[nxt].Kind == pipeline.Sequential {
+					s.routeSink = nxt
+					break
+				}
+			}
+		}
+	}
+	if nPar > 1 {
+		return fmt.Errorf("core: plan %q has %d parallel stages; the runtime supports one", p.Name, nPar)
+	}
+	if p.Sync && (len(p.Stages) != 1 || p.Stages[0].Kind != pipeline.Parallel) {
+		return fmt.Errorf("core: plan %q: sync rings require a single parallel stage", p.Name)
+	}
+	return nil
+}
+
+func (s *System) allocTag() int {
+	t := s.nextTag
+	s.nextTag += 2
+	return t
+}
+
+// wiringEdges reports every stage edge the system must create queues for:
+// the plan's edges plus the implicit route-record edge feeder→sink.
+func (s *System) wiringEdges() [][2]int {
+	edges := s.cfg.Plan.Edges()
+	if s.routedStage >= 0 && s.routeSink >= 0 {
+		feeder := s.routedStage - 1
+		found := false
+		for _, e := range edges {
+			if e == [2]int{feeder, s.routeSink} {
+				found = true
+			}
+		}
+		if !found {
+			edges = append(edges, [2]int{feeder, s.routeSink})
+		}
+	}
+	return edges
+}
+
+func (s *System) buildQueues() {
+	qc := s.cfg.Queue
+	for _, e := range s.wiringEdges() {
+		for _, src := range s.layout.Assign[e[0]] {
+			for _, dst := range s.layout.Assign[e[1]] {
+				name := fmt.Sprintf("fwd%d-%d", src, dst)
+				s.edgeQ[[2]int{src, dst}] = queue.New(s.world, name, src, dst, s.allocTag(), qc, wireSize)
+			}
+		}
+	}
+	cuRank := s.cfg.commitRank()
+	for w := 0; w < s.cfg.Workers(); w++ {
+		var shards []*queue.Queue[Entry]
+		for j := 0; j < s.cfg.tcUnits(); j++ {
+			shards = append(shards,
+				queue.New(s.world, fmt.Sprintf("tc%d.%d", w, j), w, s.cfg.tryCommitRank(j), s.allocTag(), qc, wireSize))
+		}
+		s.toTCQ = append(s.toTCQ, shards)
+		s.toCUQ = append(s.toCUQ,
+			queue.New(s.world, fmt.Sprintf("cu%d", w), w, cuRank, s.allocTag(), qc, wireSize))
+	}
+	for j := 0; j < s.cfg.tcUnits(); j++ {
+		s.verdictQ = append(s.verdictQ,
+			queue.New(s.world, fmt.Sprintf("verdict%d", j), s.cfg.tryCommitRank(j), cuRank, s.allocTag(), qc, wireSize))
+	}
+	if s.cfg.Plan.Sync {
+		pool := s.layout.Assign[0]
+		for i, w := range pool {
+			next := pool[(i+1)%len(pool)]
+			s.syncQ[w] = queue.New(s.world, fmt.Sprintf("sync%d", w), w, next, s.allocTag(), qc, wireSize)
+		}
+	}
+}
+
+// prevPool reports the pool predecessor of tid within its stage (the sync
+// ring sender whose queue tid receives from).
+func (s *System) prevPool(tid int) int {
+	pool := s.layout.Assign[s.layout.StageOf(tid)]
+	for i, w := range pool {
+		if w == tid {
+			return pool[(i+len(pool)-1)%len(pool)]
+		}
+	}
+	panic("core: tid not in pool")
+}
+
+// Run executes the parallel invocation to completion and reports the
+// result. The commit unit's final memory is available via CommitImage.
+func (s *System) Run() (Result, error) {
+	s.cu = newCUNode(s)
+	for j := 0; j < s.cfg.tcUnits(); j++ {
+		s.tcs = append(s.tcs, newTCNode(s, j))
+	}
+	s.srv = newPageServer(s)
+	for w := 0; w < s.cfg.Workers(); w++ {
+		s.workers = append(s.workers, newWorkerNode(s, w))
+	}
+	// Spawn order: receivers of early traffic must bind mailboxes in their
+	// spawn bodies before any delivery event fires; all spawns are enqueued
+	// ahead of any send, so order here is just cosmetic.
+	s.kernel.Spawn("commit", s.cu.run)
+	for j, tc := range s.tcs {
+		s.kernel.Spawn(fmt.Sprintf("trycommit%d", j), tc.run)
+	}
+	s.kernel.Spawn("pagesrv", s.srv.run)
+	for _, w := range s.workers {
+		w := w
+		s.kernel.Spawn(fmt.Sprintf("worker%d", w.tid), w.run)
+	}
+	if err := s.kernel.Run(s.cfg.Horizon); err != nil {
+		return Result{}, fmt.Errorf("core: %s on %d cores: %w", s.cfg.Plan.Name, s.cfg.TotalCores, err)
+	}
+	res := s.cu.result
+	res.Elapsed = s.kernel.Now()
+	res.Traffic = s.mach.Stats()
+	res.Events = s.kernel.Events()
+	res.CUBusy = s.cu.proc.Advanced() - s.cu.pollTime
+	res.CUPoll = s.cu.pollTime
+	for _, tc := range s.tcs {
+		res.TCBusy += tc.proc.Advanced() - tc.pollTime
+		res.TCPoll += tc.pollTime
+	}
+	res.PageSrvBusy = s.srv.proc.Advanced()
+	res.PageRequests = s.srv.Requests
+	res.PagesServed = s.srv.PagesServed
+	var sum sim.Time
+	for _, w := range s.workers {
+		busy := w.proc.Advanced() - w.pollTime
+		sum += busy
+		if busy > res.WorkerBusyMax {
+			res.WorkerBusyMax = busy
+		}
+	}
+	res.WorkerBusyAvg = sum / sim.Time(len(s.workers))
+	return res, nil
+}
+
+// CommitImage exposes the commit unit's memory after Run, for checksum
+// comparison against the sequential reference and for chaining invocations.
+func (s *System) CommitImage() *mem.Image {
+	if s.cu == nil {
+		return nil
+	}
+	return s.cu.img
+}
+
+// WorkerBusy reports each worker's non-poll busy time after Run, indexed
+// by tid (diagnostic).
+func (s *System) WorkerBusy() []sim.Time {
+	out := make([]sim.Time, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.proc.Advanced() - w.pollTime
+	}
+	return out
+}
+
+// Layout exposes the worker layout (examples and tests use it).
+func (s *System) Layout() pipeline.Layout { return s.layout }
+
+// instrTime converts instructions to time under the cluster clock.
+func (s *System) instrTime(n int64) sim.Duration { return s.cfg.Cluster.InstrTime(n) }
+
+// SeqCtx is the execution context for sequential code on the commit unit:
+// Setup, SeqIter, Commit and Finalize — and for the pure sequential
+// reference execution (RunSequential). It operates directly on the
+// authoritative image.
+type SeqCtx struct {
+	cfg   Config
+	proc  *sim.Proc
+	img   *mem.Image
+	arena *uva.Arena
+}
+
+// Load reads a word from committed memory.
+func (c *SeqCtx) Load(addr uva.Addr) uint64 {
+	c.proc.Advance(c.cfg.Cluster.InstrTime(c.cfg.LoadInstr))
+	return c.img.Load(addr)
+}
+
+// Store writes a word to committed memory.
+func (c *SeqCtx) Store(addr uva.Addr, v uint64) {
+	c.proc.Advance(c.cfg.Cluster.InstrTime(c.cfg.StoreInstr))
+	c.img.Store(addr, v)
+}
+
+// LoadFloat reads a float64 from committed memory.
+func (c *SeqCtx) LoadFloat(addr uva.Addr) float64 { return floatOf(c.Load(addr)) }
+
+// StoreFloat writes a float64 to committed memory.
+func (c *SeqCtx) StoreFloat(addr uva.Addr, v float64) { c.Store(addr, bitsOf(v)) }
+
+// Alloc allocates n bytes from the sequential region (owner 0).
+func (c *SeqCtx) Alloc(n int64) uva.Addr { return c.arena.Alloc(n) }
+
+// AllocWords allocates n words from the sequential region.
+func (c *SeqCtx) AllocWords(n int) uva.Addr { return c.arena.AllocWords(n) }
+
+// Free releases an allocation made via this context.
+func (c *SeqCtx) Free(addr uva.Addr) { c.arena.Free(addr) }
+
+// Compute charges n instructions of work to the commit unit.
+func (c *SeqCtx) Compute(n int64) { c.proc.Advance(c.cfg.Cluster.InstrTime(n)) }
+
+// LoadBytes reads a block from committed memory, charging bulk cost.
+func (c *SeqCtx) LoadBytes(addr uva.Addr, n int) []byte {
+	c.Compute(int64(float64(n) * c.cfg.BulkInstrPerByte))
+	return c.img.LoadBytes(addr, n)
+}
+
+// StoreBytes writes a block to committed memory, charging bulk cost.
+func (c *SeqCtx) StoreBytes(addr uva.Addr, b []byte) {
+	c.Compute(int64(float64(len(b)) * c.cfg.BulkInstrPerByte))
+	c.img.StoreBytes(addr, b)
+}
+
+// Image exposes the underlying image for bulk, cost-free initialization in
+// Setup (e.g. loading input files); prefer Load/Store in modelled code.
+func (c *SeqCtx) Image() *mem.Image { return c.img }

@@ -1,0 +1,53 @@
+package core
+
+import "dsmtx/internal/sim"
+
+// Execution tracing (Fig. 3(c)): when Config.Trace is set, the runtime
+// records every unit's per-MTX activity — worker subTX executions,
+// try-commit validations, commits, recoveries — so the harness can render
+// the paper's execution-model timeline and tools can inspect pipeline
+// behaviour.
+
+// TraceKind labels a trace event.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceSubTX    TraceKind = iota // a worker executed one subTX
+	TraceValidate                  // the try-commit unit validated one MTX
+	TraceCommit                    // the commit unit committed one MTX
+	TraceRecovery                  // a recovery window (MTX = failed iteration)
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSubTX:
+		return "subTX"
+	case TraceValidate:
+		return "validate"
+	case TraceCommit:
+		return "commit"
+	case TraceRecovery:
+		return "recovery"
+	}
+	return "invalid"
+}
+
+// TraceEvent is one recorded activity interval.
+type TraceEvent struct {
+	Kind       TraceKind
+	MTX        uint64
+	Stage      int // pipeline stage for TraceSubTX; -1 otherwise
+	Tid        int // worker tid for TraceSubTX; -1 otherwise
+	Start, End sim.Time
+}
+
+// trace appends an event if tracing is on.
+func (s *System) trace(e TraceEvent) {
+	if s.cfg.Trace {
+		s.events = append(s.events, e)
+	}
+}
+
+// Trace returns the recorded events after Run (empty unless Config.Trace).
+func (s *System) Trace() []TraceEvent { return s.events }

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmtx/internal/mem"
+	"dsmtx/internal/mpi"
+	"dsmtx/internal/pipeline"
+	"dsmtx/internal/queue"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/uva"
+)
+
+// tcNode is the try-commit unit (§3.1, §3.2): it runs in its own pipeline
+// stage, consuming every worker's speculative access stream in MTX/subTX
+// order and validating each MTX with value-based conflict detection. It
+// keeps its own private view of memory — initialized by Copy-On-Access like
+// any worker and updated with each validated store — so a speculative load
+// conflicts exactly when its observed value differs from the value the
+// committed order produces.
+type tcNode struct {
+	sys   *System
+	shard int
+	rank  int
+	proc  *sim.Proc
+	comm  *mpi.Comm
+	view  *mem.Image
+
+	in      []*queue.RecvPort[Entry] // per worker tid
+	verdict *queue.SendPort[Entry]
+
+	coa        coaClient
+	sinceFlush int
+
+	routes      map[uint64]int // iter -> pool index of routed stage
+	epoch       uint64
+	pollTime    sim.Time
+	nextIter    uint64
+	pendingCtrl *ctrlMsg
+
+	// Validated counts, for tests.
+	Checked   uint64
+	Conflicts uint64
+}
+
+func newTCNode(s *System, shard int) *tcNode {
+	return &tcNode{sys: s, shard: shard, rank: s.cfg.tryCommitRank(shard), routes: make(map[uint64]int)}
+}
+
+func (t *tcNode) run(p *sim.Proc) {
+	t.proc = p
+	t.comm = t.sys.world.Attach(t.rank, p)
+	t.bind()
+	t.comm.Recv(t.sys.cfg.commitRank(), tagStart) // Setup must finish first
+	for {
+		if t.epochLoop() {
+			if t.awaitDoneOrRecovery() {
+				return
+			}
+		}
+		t.doRecovery()
+	}
+}
+
+// awaitDoneOrRecovery parks a finished try-commit unit until the commit
+// unit confirms completion (true) or orders a recovery (false).
+func (t *tcNode) awaitDoneOrRecovery() bool {
+	for {
+		msg := t.comm.Recv(t.sys.cfg.commitRank(), tagCtrl)
+		cm := msg.Payload.(ctrlMsg)
+		if cm.done {
+			return true
+		}
+		if cm.epoch > t.epoch {
+			t.pendingCtrl = &cm
+			return false
+		}
+	}
+}
+
+func (t *tcNode) bind() {
+	ep := t.comm.Endpoint()
+	ep.Mailbox(t.sys.cfg.commitRank(), tagCtrl)
+	ep.Mailbox(t.sys.cfg.commitRank(), tagPageReply)
+	t.comm.RegisterBarrierMailboxes()
+	t.view = mem.NewImage(t.coaFault)
+	for w := 0; w < t.sys.cfg.Workers(); w++ {
+		t.in = append(t.in, t.sys.toTCQ[w][t.shard].Receiver(t.comm))
+	}
+	t.verdict = t.sys.verdictQ[t.shard].Sender(t.comm)
+}
+
+// coaFault initializes the try-commit view by Copy-On-Access, like a worker.
+func (t *tcNode) coaFault(id uva.PageID) *mem.Page {
+	return t.coa.fetch(t.sys, t.comm, t.view, id)
+}
+
+func (t *tcNode) epochLoop() (terminated bool) {
+	recovered := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(recoverySignal); ok {
+					recovered = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		terminated = t.validateLoop()
+	}()
+	return !recovered && terminated
+}
+
+// validateLoop processes MTXs in order; for each MTX it walks the subTX
+// streams in stage order, applying stores to the view and checking loads
+// against it.
+func (t *tcNode) validateLoop() bool {
+	for {
+		iter := t.nextIter
+		ok := true
+		for s := range t.sys.cfg.Plan.Stages {
+			tid := t.routeOf(s, iter)
+			subOK, term := t.drainSub(tid, iter)
+			if term {
+				if s != 0 {
+					panic(fmt.Sprintf("core: try-commit saw terminate mid-MTX %d at stage %d", iter, s))
+				}
+				t.drainTerminates(iter)
+				t.verdict.Produce(Entry{Kind: entTerminate, MTX: iter})
+				t.verdict.Flush()
+				return true
+			}
+			ok = ok && subOK
+		}
+		verdictVal := uint64(1)
+		if !ok {
+			verdictVal = 0
+			t.Conflicts++
+		}
+		t.verdict.Produce(Entry{Kind: entVerdict, MTX: iter, Val: verdictVal})
+		t.sys.trace(TraceEvent{Kind: TraceValidate, MTX: iter, Stage: -1, Tid: -1,
+			Start: t.proc.Now(), End: t.proc.Now()})
+		t.sinceFlush++
+		if !ok || t.sinceFlush >= t.sys.cfg.MarkerFlushIters {
+			t.verdict.Flush() // conflicts flush immediately; the rest batch
+			t.sinceFlush = 0
+		}
+		delete(t.routes, iter)
+		t.nextIter = iter + 1
+	}
+}
+
+// drainSub validates one subTX of one MTX from a worker's stream.
+func (t *tcNode) drainSub(tid int, iter uint64) (ok, term bool) {
+	ok = true
+	port := t.in[tid]
+	for {
+		e := t.consumeNext(port)
+		switch e.Kind {
+		case entWrite:
+			t.view.Store(e.Addr, e.Val)
+		case entWriteBlk:
+			t.view.StoreBytes(e.Addr, e.Payload.([]byte))
+		case entRead:
+			t.Checked++
+			if t.view.Load(e.Addr) != e.Val {
+				ok = false
+			}
+		case entReadBlk:
+			t.Checked++
+			t.proc.Advance(t.sys.instrTime(int64(float64(e.Bytes) * t.sys.cfg.BulkInstrPerByte)))
+			if t.view.ChecksumRange(e.Addr, e.Bytes) != e.Val {
+				ok = false
+			}
+		case entRoute:
+			t.routes[e.MTX] = int(e.Val)
+		case entMisspec:
+			ok = false
+		case entEndSub:
+			if e.MTX != iter {
+				panic(fmt.Sprintf("core: try-commit expected EndSub %d from worker %d, got %d", iter, tid, e.MTX))
+			}
+			return ok, false
+		case entTerminate:
+			return ok, true
+		default:
+			panic(fmt.Sprintf("core: try-commit: unexpected %v entry", e.Kind))
+		}
+	}
+}
+
+// drainTerminates consumes the final terminate marker from every worker
+// stream that has not already delivered one.
+func (t *tcNode) drainTerminates(endIter uint64) {
+	for tid := range t.in {
+		if t.sys.layout.StageOf(tid) == 0 && t.sys.layout.WorkerOf(0, endIter) == tid {
+			continue // this stream's terminate was just consumed
+		}
+		for {
+			e := t.consumeNext(t.in[tid])
+			if e.Kind == entTerminate {
+				break
+			}
+			// Entries from squashed run-ahead subTXs may precede the
+			// marker; they are dead.
+		}
+	}
+}
+
+// routeOf resolves which worker ran stage s of iteration iter.
+func (t *tcNode) routeOf(s int, iter uint64) int {
+	if s == t.sys.routedStage {
+		idx, ok := t.routes[iter]
+		if !ok {
+			panic(fmt.Sprintf("core: try-commit has no route for MTX %d", iter))
+		}
+		return t.sys.layout.Assign[s][idx]
+	}
+	if t.sys.cfg.Plan.Stages[s].Kind == pipeline.Parallel {
+		return t.sys.layout.WorkerOf(s, iter)
+	}
+	return t.sys.layout.Assign[s][0]
+}
+
+func (t *tcNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
+	backoff := t.sys.cfg.PollMin
+	for {
+		if e, ok := port.TryConsume(); ok {
+			return e
+		}
+		t.checkCtrl()
+		t.proc.Advance(backoff)
+		t.pollTime += backoff
+		if backoff < t.sys.cfg.PollMax {
+			backoff *= 2
+		}
+	}
+}
+
+func (t *tcNode) checkCtrl() {
+	msg, ok := t.comm.TryRecv(t.sys.cfg.commitRank(), tagCtrl)
+	if !ok {
+		return
+	}
+	cm := msg.Payload.(ctrlMsg)
+	if cm.epoch <= t.epoch {
+		return
+	}
+	t.pendingCtrl = &cm
+	panic(recoverySignal{})
+}
+
+func (t *tcNode) doRecovery() {
+	cm := *t.pendingCtrl
+	t.pendingCtrl = nil
+	t.comm.Barrier(t.sys.allRanks) // B1: entered recovery mode
+	for _, port := range t.in {
+		port.Abort(cm.epoch)
+	}
+	t.verdict.Abort(cm.epoch)
+	t.routes = make(map[uint64]int)
+	t.comm.Barrier(t.sys.allRanks) // B2: queues flushed
+	t.proc.Advance(t.sys.instrTime(t.sys.cfg.ProtectInstr * int64(t.view.Resident())))
+	t.view.Reset()
+	t.epoch = cm.epoch
+	t.nextIter = cm.restart
+	t.comm.Barrier(t.sys.allRanks) // B3: resume
+}

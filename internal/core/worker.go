@@ -1,0 +1,648 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/mem"
+	"dsmtx/internal/mpi"
+	"dsmtx/internal/pipeline"
+	"dsmtx/internal/queue"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/uva"
+)
+
+// workerNode is one worker process: it executes its pipeline stage's subTXs
+// iteration after iteration in its own private memory, forwarding
+// speculative state over queues.
+type workerNode struct {
+	sys     *System
+	tid     int
+	rank    int
+	stage   int
+	poolIdx int
+	proc    *sim.Proc
+	comm    *mpi.Comm
+	img     *mem.Image
+	arena   *uva.Arena
+
+	outStages []int                                  // sorted destination stages
+	edgeOut   map[int]map[int]*queue.SendPort[Entry] // dstStage -> dstTid -> port
+	inStages  []int                                  // sorted source stages
+	edgeIn    map[int]map[int]*queue.RecvPort[Entry] // fromStage -> srcTid -> port
+	toTC      []*queue.SendPort[Entry]               // per try-commit shard
+	toCU      *queue.SendPort[Entry]
+	syncOut   *queue.SendPort[Entry]
+	syncIn    *queue.RecvPort[Entry]
+
+	inbox map[int][]Entry // fromStage -> data entries buffered for current iter
+
+	// Feeder-side dynamic routing (this worker feeds the routed stage).
+	feedsRouted bool
+	routedPool  []int
+	outstanding []int
+	rrNext      int
+	curRoute    int
+
+	// Consumer-side routes for the routed stage (route-sink workers).
+	routesIn map[uint64]int // iter -> srcTid
+
+	coa        coaClient
+	pollTime   sim.Time
+	sinceFlush int
+
+	epoch       uint64
+	epochBase   uint64 // first iteration of the current epoch
+	nextIter    uint64
+	curIter     uint64
+	poisoned    bool
+	selfMisspec bool
+	pendingCtrl *ctrlMsg
+}
+
+func newWorkerNode(s *System, tid int) *workerNode {
+	return &workerNode{
+		sys:      s,
+		tid:      tid,
+		rank:     tid,
+		stage:    s.layout.StageOf(tid),
+		poolIdx:  s.layout.PoolIndex(tid),
+		edgeOut:  make(map[int]map[int]*queue.SendPort[Entry]),
+		edgeIn:   make(map[int]map[int]*queue.RecvPort[Entry]),
+		inbox:    make(map[int][]Entry),
+		routesIn: make(map[uint64]int),
+	}
+}
+
+func (w *workerNode) run(p *sim.Proc) {
+	w.proc = p
+	w.comm = w.sys.world.Attach(w.rank, p)
+	w.bind()
+	w.comm.Recv(w.sys.cfg.commitRank(), tagStart) // Setup must finish first
+	for {
+		if w.epochLoop() {
+			// Loop exit emitted — but the commit unit may still detect a
+			// misspeculation in an earlier, uncommitted iteration and
+			// rewind us. Park until its final verdict.
+			if w.awaitDoneOrRecovery() {
+				return
+			}
+		}
+		w.doRecovery()
+	}
+}
+
+// awaitDoneOrRecovery blocks a terminated worker until the commit unit
+// either confirms completion (true) or orders a recovery (false, with
+// pendingCtrl set).
+func (w *workerNode) awaitDoneOrRecovery() bool {
+	for {
+		msg := w.comm.Recv(w.sys.cfg.commitRank(), tagCtrl)
+		cm := msg.Payload.(ctrlMsg)
+		if cm.done {
+			return true
+		}
+		if cm.epoch > w.epoch {
+			w.pendingCtrl = &cm
+			return false
+		}
+	}
+}
+
+// bind registers mailboxes and attaches queue ports; it runs before any
+// traffic flows (all processes bind at virtual time zero).
+func (w *workerNode) bind() {
+	cuRank := w.sys.cfg.commitRank()
+	ep := w.comm.Endpoint()
+	ep.Mailbox(cuRank, tagCtrl)
+	ep.Mailbox(cuRank, tagPageReply)
+	w.comm.RegisterBarrierMailboxes()
+
+	w.img = mem.NewImage(w.coaFault)
+	w.arena = uva.NewArena(w.tid + 1)
+
+	for key, q := range w.sys.edgeQ {
+		src, dst := key[0], key[1]
+		switch {
+		case src == w.tid:
+			dstStage := w.sys.layout.StageOf(dst)
+			if w.edgeOut[dstStage] == nil {
+				w.edgeOut[dstStage] = make(map[int]*queue.SendPort[Entry])
+				w.outStages = append(w.outStages, dstStage)
+			}
+			w.edgeOut[dstStage][dst] = q.Sender(w.comm)
+		case dst == w.tid:
+			fromStage := w.sys.layout.StageOf(src)
+			if w.edgeIn[fromStage] == nil {
+				w.edgeIn[fromStage] = make(map[int]*queue.RecvPort[Entry])
+				w.inStages = append(w.inStages, fromStage)
+			}
+			w.edgeIn[fromStage][src] = q.Receiver(w.comm)
+		}
+	}
+	sort.Ints(w.outStages)
+	sort.Ints(w.inStages)
+
+	for j := 0; j < w.sys.cfg.tcUnits(); j++ {
+		w.toTC = append(w.toTC, w.sys.toTCQ[w.tid][j].Sender(w.comm))
+	}
+	w.toCU = w.sys.toCUQ[w.tid].Sender(w.comm)
+
+	if w.sys.cfg.Plan.Sync {
+		w.syncOut = w.sys.syncQ[w.tid].Sender(w.comm)
+		w.syncIn = w.sys.syncQ[w.sys.prevPool(w.tid)].Receiver(w.comm)
+	}
+	if w.sys.routedStage >= 0 && w.stage == w.sys.routedStage-1 {
+		w.feedsRouted = true
+		w.routedPool = w.sys.layout.Assign[w.sys.routedStage]
+		w.outstanding = make([]int, len(w.routedPool))
+		if w.sys.cfg.Plan.Occupancy {
+			ep.Mailbox(cluster.AnySource, tagOccAck)
+		}
+	}
+}
+
+// coaFault implements Copy-On-Access: the first touch of a protected page
+// requests a run of pages from the page server — the paper's constructive
+// prefetching (a word request returns its whole page), extended with a
+// read-ahead ramp over sequential fault streams.
+func (w *workerNode) coaFault(id uva.PageID) *mem.Page {
+	return w.coa.fetch(w.sys, w.comm, w.img, id)
+}
+
+// coaClient ramps read-ahead like an OS page cache: a fault adjacent to the
+// previous fetched run doubles the window (up to COAPrefetch); a random
+// fault resets to a single page, so scattered access wastes no bandwidth.
+type coaClient struct {
+	nextSeq uva.PageID
+	window  int
+}
+
+func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.PageID) *mem.Page {
+	cfg := sys.cfg
+	comm.Proc().Advance(sys.instrTime(cfg.PageFaultInstr))
+	if g := cfg.COAGrainBytes; g > 0 && g < uva.PageSize {
+		// Sub-page COA: populate the faulted page one chunk at a time,
+		// paying a full round trip per chunk — the cost §4.2 avoids by
+		// transferring whole pages.
+		ep := comm.Endpoint()
+		var pg *mem.Page
+		for off := 0; off < uva.PageSize; off += g {
+			ep.Send(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: 1, Grain: g}, 24)
+			msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
+			pg = msg.Payload.([]*mem.Page)[0]
+		}
+		return pg
+	}
+	if id == c.nextSeq && c.window > 0 {
+		c.window *= 2
+		if c.window > cfg.COAPrefetch {
+			c.window = cfg.COAPrefetch
+		}
+	} else {
+		c.window = 1
+	}
+	// A bulk access declares exactly how far it reaches; fetch that run in
+	// one round trip instead of ramping up to it.
+	want := c.window
+	if hint := img.AccessHint(); hint > id {
+		if need := int(hint - id); need > want {
+			want = need
+		}
+		if want > cfg.COAPrefetch {
+			want = cfg.COAPrefetch
+		}
+	}
+	count := 1
+	owner := uva.PageAddr(id).Owner()
+	for count < want {
+		next := id + uva.PageID(count)
+		if uva.PageAddr(next).Owner() != owner || img.Has(next) {
+			break
+		}
+		count++
+	}
+	c.nextSeq = id + uva.PageID(count)
+	// Page transfers use RDMA-style zero-copy (the paper's platform is
+	// InfiniBand): a fixed per-operation CPU cost, wire time on the NIC,
+	// and no per-byte marshalling.
+	ep := comm.Endpoint()
+	ep.Send(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: count}, 24)
+	msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
+	pages := msg.Payload.([]*mem.Page)
+	for i := 1; i < len(pages); i++ {
+		img.InstallPage(id+uva.PageID(i), pages[i])
+	}
+	return pages[0]
+}
+
+// epochLoop runs iterations until loop termination (true) or until a
+// recovery broadcast unwinds it (false).
+func (w *workerNode) epochLoop() (terminated bool) {
+	recovered := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(recoverySignal); ok {
+					recovered = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		terminated = w.stageLoop()
+	}()
+	if recovered {
+		return false
+	}
+	return terminated
+}
+
+func (w *workerNode) stageLoop() bool {
+	first := len(w.inStages) == 0
+	kind := w.sys.cfg.Plan.Stages[w.stage].Kind
+	for {
+		w.checkCtrl()
+		var iter uint64
+		switch {
+		case first && kind == pipeline.Sequential:
+			iter = w.nextIter
+		case first: // self-scheduled parallel first stage (Spec-DOALL, TLS)
+			iter = w.nextAssigned()
+		default:
+			it, term := w.refresh()
+			if term {
+				w.emitTerminate()
+				return true
+			}
+			iter = it
+		}
+		w.curIter = iter
+		if w.feedsRouted {
+			w.chooseRoute(iter)
+		}
+		subTXStart := w.proc.Now()
+		ok := true
+		if !w.poisoned {
+			ok = w.runStage(iter)
+		}
+		if first && !ok {
+			w.emitTerminate()
+			return true
+		}
+		w.endIter(iter)
+		w.sys.trace(TraceEvent{Kind: TraceSubTX, MTX: iter, Stage: w.stage,
+			Tid: w.tid, Start: subTXStart, End: w.proc.Now()})
+		w.nextIter = iter + 1
+		w.poisoned = false
+		w.selfMisspec = false
+	}
+}
+
+// nextAssigned reports the smallest iteration >= nextIter this worker owns
+// under round-robin self-scheduling.
+func (w *workerNode) nextAssigned() uint64 {
+	pool := uint64(len(w.sys.layout.Assign[w.stage]))
+	k := w.nextIter
+	want := uint64(w.poolIdx)
+	if rem := k % pool; rem != want {
+		k += (want - rem + pool) % pool
+	}
+	return k
+}
+
+// runStage executes the program's stage body, converting Ctx.Misspec
+// unwinding into the poisoned state.
+func (w *workerNode) runStage(iter uint64) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isMiss := r.(misspecSignal); isMiss {
+				w.poisoned = true
+				w.selfMisspec = true
+				ok = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return w.sys.prog.Stage(&Ctx{w: w, iter: iter}, w.stage, iter)
+}
+
+// refresh consumes the predecessor subTX(s) of the next iteration: it
+// applies forwarded uncommitted stores to private memory, buffers pipeline
+// data for Consume, and learns the iteration number (mtx_begin's "updating
+// memory with stores in this MTX by earlier subTXs").
+func (w *workerNode) refresh() (iter uint64, term bool) {
+	for k := range w.inbox {
+		delete(w.inbox, k)
+	}
+	if w.sys.cfg.Plan.Stages[w.stage].Kind == pipeline.Parallel {
+		// A fed parallel stage has exactly one inbound edge; the next
+		// EndSub marker names the iteration routed to this worker.
+		fromStage := w.inStages[0]
+		var port *queue.RecvPort[Entry]
+		for _, p := range w.edgeIn[fromStage] {
+			port = p
+		}
+		return w.drainSub(port, fromStage, nil)
+	}
+	// Sequential stage: iteration nextIter, one subTX per inbound edge in
+	// stage order (route records on earlier edges resolve later ones).
+	iter = w.nextIter
+	for _, fromStage := range w.inStages {
+		srcTid := w.inboundRoute(fromStage, iter)
+		port := w.edgeIn[fromStage][srcTid]
+		if _, t := w.drainSub(port, fromStage, &iter); t {
+			return 0, true
+		}
+	}
+	return iter, false
+}
+
+// drainSub consumes one subTX worth of entries from port. If expect is
+// non-nil the EndSub must match *expect; otherwise the EndSub's iteration is
+// returned.
+func (w *workerNode) drainSub(port *queue.RecvPort[Entry], fromStage int, expect *uint64) (iter uint64, term bool) {
+	for {
+		e := w.consumeNext(port)
+		switch e.Kind {
+		case entWrite:
+			w.img.Store(e.Addr, e.Val)
+		case entWriteBlk:
+			w.img.StoreBytes(e.Addr, e.Payload.([]byte))
+		case entData:
+			w.inbox[fromStage] = append(w.inbox[fromStage], e)
+		case entRoute:
+			w.routesIn[e.MTX] = w.sys.layout.Assign[w.sys.routedStage][e.Val]
+		case entMisspec:
+			w.poisoned = true
+		case entEndSub:
+			if expect != nil && e.MTX != *expect {
+				panic(fmt.Sprintf("core: worker %d expected EndSub %d from stage %d, got %d",
+					w.tid, *expect, fromStage, e.MTX))
+			}
+			return e.MTX, false
+		case entTerminate:
+			return 0, true
+		default:
+			panic(fmt.Sprintf("core: worker %d: unexpected %v entry in forward stream", w.tid, e.Kind))
+		}
+	}
+}
+
+// inboundRoute resolves which worker executed stage fromStage of iteration
+// iter.
+func (w *workerNode) inboundRoute(fromStage int, iter uint64) int {
+	if fromStage == w.sys.routedStage {
+		tid, ok := w.routesIn[iter]
+		if !ok {
+			panic(fmt.Sprintf("core: worker %d has no route record for MTX %d", w.tid, iter))
+		}
+		delete(w.routesIn, iter)
+		return tid
+	}
+	return w.sys.layout.WorkerOf(fromStage, iter)
+}
+
+// routeFor resolves the destination worker for an outbound edge of the
+// current iteration.
+func (w *workerNode) routeFor(dstStage int, iter uint64) int {
+	if dstStage == w.sys.routedStage {
+		if !w.feedsRouted {
+			panic("core: only the feeder stage may target the routed stage")
+		}
+		return w.routedPool[w.curRoute]
+	}
+	return w.sys.layout.WorkerOf(dstStage, iter)
+}
+
+// chooseRoute picks the routed-stage worker for an iteration — round-robin,
+// or least-outstanding-work when occupancy routing is on (179.art) — and
+// publishes the decision to the try-commit unit, the commit unit, and the
+// downstream sequential stage.
+func (w *workerNode) chooseRoute(iter uint64) {
+	if w.sys.cfg.Plan.Occupancy {
+		// Dispatch to the least-loaded worker, bounded: when every pool
+		// member already holds OccWindow outstanding iterations, wait for
+		// a completion ack — the backpressure a bounded queue gives the
+		// paper's occupancy-based distributor.
+		backoff := w.sys.cfg.PollMin
+		for {
+			for {
+				msg, ok := w.comm.TryRecv(cluster.AnySource, tagOccAck)
+				if !ok {
+					break
+				}
+				for i, tid := range w.routedPool {
+					if tid == msg.From {
+						w.outstanding[i]--
+					}
+				}
+			}
+			best := w.rrNext % len(w.routedPool)
+			for off := 0; off < len(w.routedPool); off++ {
+				i := (w.rrNext + off) % len(w.routedPool)
+				if w.outstanding[i] < w.outstanding[best] {
+					best = i
+				}
+			}
+			if w.outstanding[best] < w.sys.cfg.OccWindow {
+				w.curRoute = best
+				break
+			}
+			w.flushMarkers()
+			w.checkCtrl()
+			w.proc.Advance(backoff)
+			w.pollTime += backoff
+			if backoff < w.sys.cfg.PollMax {
+				backoff *= 2
+			}
+		}
+	} else {
+		w.curRoute = w.rrNext % len(w.routedPool)
+	}
+	w.rrNext = (w.curRoute + 1) % len(w.routedPool)
+	w.outstanding[w.curRoute]++
+
+	e := Entry{Kind: entRoute, MTX: iter, Val: uint64(w.curRoute)}
+	w.tcBroadcast(e)
+	w.toCU.Produce(e)
+	if w.sys.routeSink >= 0 {
+		w.edgeOut[w.sys.routeSink][w.sys.layout.Assign[w.sys.routeSink][0]].Produce(e)
+	}
+}
+
+// endIter closes this worker's subTX: misspeculation markers (if any), the
+// EndSub marker on every outbound stream, and an explicit flush so
+// uncommitted values reach later subTXs promptly (mtx_end).
+func (w *workerNode) endIter(iter uint64) {
+	if w.poisoned || w.selfMisspec {
+		miss := Entry{Kind: entMisspec, MTX: iter}
+		for _, dstStage := range w.outStages {
+			w.edgeOut[dstStage][w.routeFor(dstStage, iter)].Produce(miss)
+		}
+		w.tcBroadcast(miss)
+		w.toCU.Produce(miss)
+	}
+	end := Entry{Kind: entEndSub, MTX: iter}
+	for _, dstStage := range w.outStages {
+		port := w.edgeOut[dstStage][w.routeFor(dstStage, iter)]
+		port.Produce(end)
+		port.Flush() // pipeline edges flush every subTX: consumers block on them
+	}
+	w.tcBroadcast(end)
+	w.toCU.Produce(end)
+	// Validation/commit streams batch across iterations; misspeculation
+	// flushes immediately so recovery is not delayed by batching.
+	w.sinceFlush++
+	if w.sinceFlush >= w.sys.cfg.MarkerFlushIters || w.poisoned || w.selfMisspec {
+		w.flushMarkers()
+	}
+	if w.sys.cfg.Plan.Occupancy && w.stage == w.sys.routedStage {
+		feeder := w.sys.layout.Assign[w.stage-1][0]
+		w.comm.Send(feeder, tagOccAck, iter, 16)
+	}
+}
+
+// emitTerminate broadcasts loop termination on every outbound stream.
+func (w *workerNode) emitTerminate() {
+	t := Entry{Kind: entTerminate, MTX: w.curIter}
+	for _, dstStage := range w.outStages {
+		for _, port := range w.edgeOut[dstStage] {
+			port.Produce(t)
+			port.Flush()
+		}
+	}
+	w.tcBroadcast(t)
+	w.toCU.Produce(t)
+	w.flushMarkers()
+}
+
+// flushMarkers forces any batched validation/commit stream out. It MUST be
+// called before a worker blocks mid-iteration (SyncRecv, occupancy waits):
+// otherwise its completed subTX markers sit in the batch, the commit unit
+// cannot advance past them, and a misspeculation that would unblock the
+// ring is never detected — a deadlock.
+func (w *workerNode) flushMarkers() {
+	for _, port := range w.toTC {
+		port.Flush()
+	}
+	w.toCU.Flush()
+	w.sinceFlush = 0
+}
+
+// tcPort routes a speculative access to the try-commit shard owning its
+// address.
+func (w *workerNode) tcPort(addr uva.Addr) *queue.SendPort[Entry] {
+	return w.toTC[w.sys.cfg.tcShardOf(addr)]
+}
+
+// tcBroadcast sends a marker entry to every try-commit shard (each shard
+// frames MTXs independently).
+func (w *workerNode) tcBroadcast(e Entry) {
+	for _, port := range w.toTC {
+		port.Produce(e)
+	}
+}
+
+// forEachShardRange splits [addr, addr+n) at try-commit shard boundaries
+// and invokes fn(segmentAddr, offset, length) per segment. With a single
+// shard this is one call covering the whole range.
+func (w *workerNode) forEachShardRange(addr uva.Addr, n int, fn func(a uva.Addr, off, ln int)) {
+	const shardSpan = 1 << tcShardShift
+	for off := 0; off < n; {
+		a := addr + uva.Addr(off)
+		ln := n - off
+		if rem := shardSpan - int(uint64(a)&(shardSpan-1)); ln > rem {
+			ln = rem
+		}
+		fn(a, off, ln)
+		off += ln
+	}
+}
+
+// consumeNext polls a queue with adaptive backoff, watching for the commit
+// unit's recovery broadcast so blocked workers always unwind.
+func (w *workerNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
+	backoff := w.sys.cfg.PollMin
+	for {
+		if e, ok := port.TryConsume(); ok {
+			return e
+		}
+		w.checkCtrl()
+		w.proc.Advance(backoff)
+		w.pollTime += backoff
+		if backoff < w.sys.cfg.PollMax {
+			backoff *= 2
+		}
+	}
+}
+
+// checkCtrl unwinds to the recovery handler if the commit unit has
+// broadcast a new epoch.
+func (w *workerNode) checkCtrl() {
+	msg, ok := w.comm.TryRecv(w.sys.cfg.commitRank(), tagCtrl)
+	if !ok {
+		return
+	}
+	cm := msg.Payload.(ctrlMsg)
+	if cm.epoch <= w.epoch {
+		return
+	}
+	w.pendingCtrl = &cm
+	panic(recoverySignal{})
+}
+
+// doRecovery is the worker side of §4.3: barrier, flush speculative queues,
+// barrier, discard speculative memory (re-arming page protection), final
+// barrier, then resume at the restart iteration.
+func (w *workerNode) doRecovery() {
+	cm := *w.pendingCtrl
+	w.pendingCtrl = nil
+
+	w.comm.Barrier(w.sys.allRanks) // all threads have entered recovery mode
+
+	for _, m := range w.edgeOut {
+		for _, port := range m {
+			port.Abort(cm.epoch)
+		}
+	}
+	for _, m := range w.edgeIn {
+		for _, port := range m {
+			port.Abort(cm.epoch)
+		}
+	}
+	for _, port := range w.toTC {
+		port.Abort(cm.epoch)
+	}
+	w.toCU.Abort(cm.epoch)
+	if w.syncOut != nil {
+		w.syncOut.Abort(cm.epoch)
+		w.syncIn.Abort(cm.epoch)
+	}
+	for k := range w.inbox {
+		delete(w.inbox, k)
+	}
+	w.routesIn = make(map[uint64]int)
+	for i := range w.outstanding {
+		w.outstanding[i] = 0
+	}
+	w.rrNext = 0
+
+	w.comm.Barrier(w.sys.allRanks) // queues flushed everywhere
+
+	// Reinstate access protection over the heap, discarding speculative
+	// state; the cost scales with the pages this worker had touched.
+	w.proc.Advance(w.sys.instrTime(w.sys.cfg.ProtectInstr * int64(w.img.Resident())))
+	w.img.Reset()
+	w.arena = uva.NewArena(w.tid + 1)
+
+	w.epoch = cm.epoch
+	w.epochBase = cm.restart
+	w.nextIter = cm.restart
+	w.poisoned = false
+	w.selfMisspec = false
+
+	w.comm.Barrier(w.sys.allRanks) // commit unit has re-executed; resume
+}

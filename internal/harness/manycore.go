@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/core"
+	"dsmtx/internal/stats"
+	"dsmtx/internal/workloads"
+)
+
+// §7 extension: "DSMTX may also be useful for emerging manycore
+// architectures that discard chip-wide cache coherence [the 48-core Intel
+// part]. These architectures offer challenges similar to those found in
+// clusters." Same runtime, same programs, a different machine model — the
+// on-die mesh's 10x lower latency mainly helps the latency-exposed TLS
+// parallelizations, while Spec-DSWP (latency-tolerant by construction)
+// gains less: the paper's Fig. 1 argument, inverted.
+
+// ManycoreRow compares one benchmark at 48 cores on the cluster vs. the
+// coherence-free manycore.
+type ManycoreRow struct {
+	Bench                      string
+	ClusterDSMTX, ClusterTLS   float64
+	ManycoreDSMTX, ManycoreTLS float64
+}
+
+// RunManycore measures one benchmark on both machines at 48 cores.
+func RunManycore(b *workloads.Benchmark, in workloads.Input) (ManycoreRow, error) {
+	row := ManycoreRow{Bench: b.Name}
+	manycore := func(cfg *core.Config) {
+		cfg.Cluster = cluster.ManycoreConfig() // head placement resolves at NewSystem
+	}
+	run := func(p workloads.Paradigm, tune func(*core.Config)) (float64, error) {
+		// The manycore's cores are slower; speedup is measured against a
+		// sequential run on the same machine.
+		seqCfgTune := tune
+		prog := b.NewDSMTX(in, 0)
+		seqCfg := core.DefaultConfig(prog.Plan().MinWorkers()+2, prog.Plan())
+		if seqCfgTune != nil {
+			seqCfgTune(&seqCfg)
+		}
+		seqTime, _, err := core.RunSequential(seqCfg, prog, prog.Iterations(), nil)
+		if err != nil {
+			return 0, err
+		}
+		res, err := workloads.RunParallel(b, in, p, 48, tune)
+		if err != nil {
+			return 0, err
+		}
+		return seqTime.Seconds() / res.Elapsed.Seconds(), nil
+	}
+	var err error
+	if row.ClusterDSMTX, err = run(workloads.DSMTX, nil); err != nil {
+		return row, err
+	}
+	if row.ClusterTLS, err = run(workloads.TLS, nil); err != nil {
+		return row, err
+	}
+	if row.ManycoreDSMTX, err = run(workloads.DSMTX, manycore); err != nil {
+		return row, err
+	}
+	if row.ManycoreTLS, err = run(workloads.TLS, manycore); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// RenderManycore prints the comparison.
+func RenderManycore(rows []ManycoreRow) string {
+	tb := stats.Table{Header: []string{
+		"benchmark", "cluster DSMTX", "cluster TLS", "manycore DSMTX", "manycore TLS"}}
+	for _, r := range rows {
+		tb.AddRow(r.Bench,
+			stats.FormatSpeedup(r.ClusterDSMTX), stats.FormatSpeedup(r.ClusterTLS),
+			stats.FormatSpeedup(r.ManycoreDSMTX), stats.FormatSpeedup(r.ManycoreTLS))
+	}
+	return fmt.Sprintf("§7 extension: 48 cores, InfiniBand cluster vs coherence-free manycore\n%s", tb.String())
+}

@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"fmt"
+
+	"dsmtx/internal/uva"
+)
+
+// Bulk byte access. Workload kernels move blocks (input files, compression
+// buffers, frames) through memory; doing that word-by-word would drown the
+// simulation in events, so these helpers move whole ranges while still
+// faulting pages through the normal Copy-On-Access path. Start addresses
+// must be word-aligned; lengths are arbitrary.
+
+// LoadBytes copies n bytes starting at addr out of the image.
+func (im *Image) LoadBytes(addr uva.Addr, n int) []byte {
+	checkAligned(addr)
+	if n < 0 {
+		panic(fmt.Sprintf("mem: LoadBytes(%v, %d)", addr, n))
+	}
+	out := make([]byte, n)
+	im.LoadOps += uint64((n + 7) / 8)
+	if n > 0 {
+		im.hintEnd = (addr + uva.Addr(n-1)).Page() + 1
+		defer func() { im.hintEnd = 0 }()
+	}
+	for done := 0; done < n; {
+		a := addr + uva.Addr(done)
+		pg := im.page(a.Page())
+		off := a.PageOffset()
+		chunk := min(uva.PageSize-off, n-done)
+		copyOut(out[done:done+chunk], pg, off)
+		done += chunk
+	}
+	return out
+}
+
+// StoreBytes copies b into the image starting at addr, copying shared
+// (snapshot-aliased) pages first. A store covering an entire page installs
+// a fresh page without faulting: fetching a page only to overwrite every
+// byte would waste a Copy-On-Access round trip (write-allocate bypass).
+func (im *Image) StoreBytes(addr uva.Addr, b []byte) {
+	checkAligned(addr)
+	im.StoreOps += uint64((len(b) + 7) / 8)
+	if len(b) > 0 {
+		im.hintEnd = (addr + uva.Addr(len(b)-1)).Page() + 1
+		defer func() { im.hintEnd = 0 }()
+	}
+	for done := 0; done < len(b); {
+		a := addr + uva.Addr(done)
+		id := a.Page()
+		off := a.PageOffset()
+		chunk := min(uva.PageSize-off, len(b)-done)
+		var pg *Page
+		if off == 0 && chunk == uva.PageSize {
+			pg = new(Page)
+			im.pages[id] = pg
+			delete(im.shared, id)
+		} else {
+			pg = im.page(id)
+			if im.shared[id] {
+				pg = pg.Clone()
+				im.pages[id] = pg
+				delete(im.shared, id)
+			}
+		}
+		copyIn(pg, off, b[done:done+chunk])
+		done += chunk
+	}
+}
+
+// ChecksumRange returns the FNV-1a checksum of n bytes at addr, faulting
+// pages as needed — how the try-commit unit validates bulk speculative
+// reads.
+func (im *Image) ChecksumRange(addr uva.Addr, n int) uint64 {
+	return ChecksumBytes(im.LoadBytes(addr, n))
+}
+
+// ChecksumBytes is FNV-1a over b.
+func ChecksumBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// copyOut extracts bytes [off, off+len(dst)) of a page (little-endian word
+// layout).
+func copyOut(dst []byte, pg *Page, off int) {
+	for i := range dst {
+		b := off + i
+		dst[i] = byte(pg.Words[b>>3] >> ((b & 7) * 8))
+	}
+}
+
+// copyIn writes src into a page at byte offset off.
+func copyIn(pg *Page, off int, src []byte) {
+	for i, c := range src {
+		b := off + i
+		shift := uint((b & 7) * 8)
+		pg.Words[b>>3] = pg.Words[b>>3]&^(0xff<<shift) | uint64(c)<<shift
+	}
+}

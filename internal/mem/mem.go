@@ -1,0 +1,170 @@
+// Package mem implements the versioned page memory under DSMTX.
+//
+// Each process in the system — every worker, the try-commit unit, the commit
+// unit — holds a private Image: a software page table over the unified
+// virtual address space. Pages a process has never touched are "protected";
+// the first access faults and invokes the image's fault handler, which in
+// DSMTX performs Copy-On-Access — fetching the whole 4 KiB page from the
+// commit unit's memory (§3.1, §4.2). Reset drops every resident page,
+// re-arming protection: that is how speculative state is discarded wholesale
+// during misspeculation recovery (§4.3).
+//
+// Go has no user-level memory protection, so the page-table state machine
+// is explicit; the protocol it triggers (fault → page request → page reply →
+// install) matches the paper's, and the transfer costs are charged by the
+// runtime's fault handler.
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"dsmtx/internal/uva"
+)
+
+// Page is 4 KiB of memory stored as 512 words; DSMTX operates on memory at
+// word granularity (§4.2), so word arrays lose nothing.
+type Page struct {
+	Words [uva.PageWords]uint64
+}
+
+// Clone returns a copy of the page.
+func (pg *Page) Clone() *Page {
+	c := *pg
+	return &c
+}
+
+// FaultFunc resolves a page miss, returning the page contents to install
+// (Copy-On-Access from the commit unit), or nil to install a zero page
+// (fresh thread-local allocation). It may block the calling process and
+// charge virtual time.
+type FaultFunc func(id uva.PageID) *Page
+
+// Image is one process's view of the unified address space.
+type Image struct {
+	pages   map[uva.PageID]*Page
+	shared  map[uva.PageID]bool // page is aliased by a snapshot: copy on write
+	fault   FaultFunc
+	hintEnd uva.PageID // one past the last page of an in-flight bulk access
+
+	// Counters for tests and instrumentation.
+	Faults   uint64
+	LoadOps  uint64
+	StoreOps uint64
+}
+
+// NewImage returns an empty image whose misses are resolved by fault
+// (nil means "install zero pages" — the commit unit's own image works this
+// way, since it holds the authoritative state).
+func NewImage(fault FaultFunc) *Image {
+	return &Image{
+		pages:  make(map[uva.PageID]*Page),
+		shared: make(map[uva.PageID]bool),
+		fault:  fault,
+	}
+}
+
+// AccessHint reports the page just past the current bulk access — fault
+// handlers use it to size read-ahead exactly; 0 when no bulk access is in
+// flight.
+func (im *Image) AccessHint() uva.PageID { return im.hintEnd }
+
+// SetFault replaces the fault handler (used when wiring a worker's image to
+// its communication channels after construction).
+func (im *Image) SetFault(fault FaultFunc) { im.fault = fault }
+
+// Resident reports how many pages the image currently holds.
+func (im *Image) Resident() int { return len(im.pages) }
+
+// Has reports whether a page is resident (unprotected).
+func (im *Image) Has(id uva.PageID) bool {
+	_, ok := im.pages[id]
+	return ok
+}
+
+func (im *Image) page(id uva.PageID) *Page {
+	if pg, ok := im.pages[id]; ok {
+		return pg
+	}
+	im.Faults++
+	var pg *Page
+	if im.fault != nil {
+		pg = im.fault(id)
+	}
+	if pg == nil {
+		pg = new(Page)
+	}
+	im.pages[id] = pg
+	return pg
+}
+
+func checkAligned(addr uva.Addr) {
+	if !addr.Aligned() {
+		panic(fmt.Sprintf("mem: unaligned word access at %v", addr))
+	}
+}
+
+// Load reads the word at addr, faulting the page in if protected.
+func (im *Image) Load(addr uva.Addr) uint64 {
+	checkAligned(addr)
+	im.LoadOps++
+	return im.page(addr.Page()).Words[addr.WordIndex()]
+}
+
+// Store writes the word at addr, faulting the page in if protected. A page
+// aliased by a snapshot is copied first (copy-on-write).
+func (im *Image) Store(addr uva.Addr, v uint64) {
+	checkAligned(addr)
+	im.StoreOps++
+	id := addr.Page()
+	pg := im.page(id)
+	if im.shared[id] {
+		pg = pg.Clone()
+		im.pages[id] = pg
+		delete(im.shared, id)
+	}
+	pg.Words[addr.WordIndex()] = v
+}
+
+// LoadFloat and StoreFloat give workloads float64 views of words.
+func (im *Image) LoadFloat(addr uva.Addr) float64 { return math.Float64frombits(im.Load(addr)) }
+
+// StoreFloat stores a float64 into the word at addr.
+func (im *Image) StoreFloat(addr uva.Addr, v float64) { im.Store(addr, math.Float64bits(v)) }
+
+// InstallPage places a received page into the image, unprotecting it.
+// Used by the COA client when a page reply arrives.
+func (im *Image) InstallPage(id uva.PageID, pg *Page) {
+	if pg == nil {
+		pg = new(Page)
+	}
+	im.pages[id] = pg
+}
+
+// CopyPage returns a copy of a page for transmission, faulting it in if
+// needed.
+func (im *Image) CopyPage(id uva.PageID) *Page { return im.page(id).Clone() }
+
+// Reset drops every resident page, re-arming protection over the whole
+// space: the recovery step "reinstate the access protection to the heap
+// area, discarding the remaining speculative state".
+func (im *Image) Reset() {
+	im.pages = make(map[uva.PageID]*Page)
+	im.shared = make(map[uva.PageID]bool)
+}
+
+// Snapshot returns a frozen copy-on-write view of the image as it is now.
+// The snapshot has no fault handler: it answers only for pages resident at
+// snapshot time (plus zero pages elsewhere). The commit unit takes one per
+// parallel invocation — and a fresh one after recovery — for the page server
+// to serve COA requests from, since committed state keeps advancing while
+// workers must initialize from the invocation-entry state.
+func (im *Image) Snapshot() *Image {
+	snap := NewImage(nil)
+	for id, pg := range im.pages {
+		snap.pages[id] = pg
+		snap.shared[id] = true
+		im.shared[id] = true
+	}
+	return snap
+}

@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"testing"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/sim"
+)
+
+func testWorld(k *sim.Kernel) *World {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CoresPerNode = 2
+	return NewWorld(cluster.New(k, cfg), DefaultCost())
+}
+
+func TestSendChargesOverhead(t *testing.T) {
+	k := sim.NewKernel()
+	w := testWorld(k)
+	var txDone sim.Time
+	k.Spawn("rx", func(p *sim.Proc) { w.Attach(1, p).Recv(0, 1) })
+	k.Spawn("tx", func(p *sim.Proc) {
+		c := w.Attach(0, p)
+		c.Send(1, 1, nil, 8)
+		txDone = p.Now()
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 500 instructions + 2 per-byte instructions at 3 GHz ≈ 167 ns.
+	want := w.Machine().Config().InstrTime(502)
+	if txDone != want {
+		t.Fatalf("send completed at %v, want %v", txDone, want)
+	}
+}
+
+func TestRecvChargesOverheadAfterArrival(t *testing.T) {
+	k := sim.NewKernel()
+	w := testWorld(k)
+	var rxDone sim.Time
+	k.Spawn("rx", func(p *sim.Proc) {
+		w.Attach(1, p).Recv(0, 1)
+		rxDone = p.Now()
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		w.Attach(0, p).Send(1, 1, nil, 8)
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.Machine().Config()
+	// Arrival = send cost + wire; then the receiver pays its own overhead.
+	wantMin := cfg.InstrTime(502) + cfg.InterNodeLatency + cfg.InstrTime(1290)
+	if rxDone < wantMin {
+		t.Fatalf("recv completed at %v, want >= %v", rxDone, wantMin)
+	}
+}
+
+func TestIsendWaitCompletes(t *testing.T) {
+	k := sim.NewKernel()
+	w := testWorld(k)
+	done := false
+	k.Spawn("rx", func(p *sim.Proc) { w.Attach(1, p).Recv(0, 2) })
+	k.Spawn("tx", func(p *sim.Proc) {
+		c := w.Attach(0, p)
+		req := c.Isend(1, 2, "data", 8)
+		req.Wait()
+		req.Wait() // idempotent
+		done = true
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Isend/Wait did not complete")
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	k := sim.NewKernel()
+	w := testWorld(k)
+	k.Spawn("rx", func(p *sim.Proc) {
+		c := w.Attach(1, p)
+		if _, ok := c.TryRecv(0, 5); ok {
+			t.Error("TryRecv returned message before any send")
+		}
+		p.Advance(sim.Millisecond)
+		if _, ok := c.TryRecv(0, 5); !ok {
+			t.Error("TryRecv missed delivered message")
+		}
+	})
+	k.Spawn("tx", func(p *sim.Proc) { w.Attach(0, p).Send(1, 5, nil, 8) })
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	k := sim.NewKernel()
+	w := testWorld(k)
+	ranks := []int{0, 1, 2, 3}
+	var releases [4]sim.Time
+	var maxArrival sim.Time
+	for i, r := range ranks {
+		k.Spawn("w", func(p *sim.Proc) {
+			c := w.Attach(r, p)
+			if r == 0 {
+				c.RegisterBarrierMailboxes()
+			}
+			p.Advance(sim.Duration(r) * 100 * sim.Microsecond)
+			if p.Now() > maxArrival {
+				maxArrival = p.Now()
+			}
+			c.Barrier(ranks)
+			releases[i] = p.Now()
+		})
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, rel := range releases {
+		if rel < maxArrival {
+			t.Fatalf("rank %d released at %v before last arrival %v", i, rel, maxArrival)
+		}
+	}
+}
+
+// The paper's micro-measurement: fine-grained MPI sends are overhead-bound.
+// Streaming 8-byte messages must yield single-digit-to-low-double-digit MB/s
+// with the default cost model.
+func TestFineGrainedMPIBandwidthIsLow(t *testing.T) {
+	k := sim.NewKernel()
+	w := testWorld(k)
+	const n = 2000
+	k.Spawn("rx", func(p *sim.Proc) {
+		c := w.Attach(1, p)
+		for i := 0; i < n; i++ {
+			c.Recv(0, 1)
+		}
+	})
+	k.Spawn("tx", func(p *sim.Proc) {
+		c := w.Attach(0, p)
+		for i := 0; i < n; i++ {
+			c.Send(1, 1, nil, 8)
+		}
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	mbps := float64(n*8) / k.Now().Seconds() / 1e6
+	if mbps < 4 || mbps > 40 {
+		t.Fatalf("fine-grained MPI bandwidth = %.1f MB/s, want single/low-double digits (paper: 8.1–13.1)", mbps)
+	}
+}

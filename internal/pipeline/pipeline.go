@@ -1,0 +1,213 @@
+// Package pipeline describes parallelization plans in the paper's
+// DSWP+[...] notation and lays them out onto a worker budget.
+//
+// A Plan is a sequence of pipeline stages, each sequential ("S") or parallel
+// ("DOALL"/"Spec-DOALL"). A Layout binds the plan to a concrete number of
+// worker threads: each sequential stage gets exactly one worker and the
+// parallel stages share the rest — which is how DSWP+ turns an unbalanced
+// pipeline into scalable parallelism (Huang et al., §2.1): adding cores
+// widens the parallel stage, and the pipeline balance improves naturally.
+package pipeline
+
+import "fmt"
+
+// StageKind distinguishes sequential from parallel (replicated) stages.
+type StageKind int
+
+// Stage kinds.
+const (
+	Sequential StageKind = iota // "S": one worker runs every iteration
+	Parallel                    // "DOALL"/"Spec-DOALL": iterations spread over a worker pool
+)
+
+func (k StageKind) String() string {
+	if k == Sequential {
+		return "S"
+	}
+	return "DOALL"
+}
+
+// Stage is one pipeline stage.
+type Stage struct {
+	Kind StageKind
+	Name string // optional diagnostic label, e.g. "read", "compress", "write"
+}
+
+// Plan is a parallelization scheme: the stages plus any non-adjacent
+// forwarding edges the workload needs (for example a first stage routing
+// work-distribution decisions directly to the last stage, as 179.art does).
+type Plan struct {
+	Name       string // paper notation, e.g. "Spec-DSWP+[S,DOALL,S]"
+	Stages     []Stage
+	ExtraEdges [][2]int // stage pairs (from < to) beyond adjacent ones
+
+	// Sync adds an intra-stage ring of synchronization queues over the
+	// (single) parallel stage's pool: worker i forwards to worker i+1.
+	// This is how TLS communicates non-speculated cross-iteration
+	// dependences — the cyclic, latency-exposed pattern of DOACROSS.
+	Sync bool
+
+	// Occupancy makes the sequential stage feeding a parallel stage
+	// distribute iterations by outstanding-work occupancy instead of
+	// round-robin (the 179.art load-balancing scheme).
+	Occupancy bool
+}
+
+// Validate reports structural problems with the plan.
+func (p Plan) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("pipeline: plan %q has no stages", p.Name)
+	}
+	for _, e := range p.ExtraEdges {
+		if e[0] < 0 || e[1] >= len(p.Stages) || e[0] >= e[1] {
+			return fmt.Errorf("pipeline: plan %q has bad edge %v", p.Name, e)
+		}
+	}
+	return nil
+}
+
+// MinWorkers reports the smallest worker count the plan can run on.
+func (p Plan) MinWorkers() int { return len(p.Stages) }
+
+// ParallelStages reports how many stages are parallel.
+func (p Plan) ParallelStages() int {
+	n := 0
+	for _, s := range p.Stages {
+		if s.Kind == Parallel {
+			n++
+		}
+	}
+	return n
+}
+
+// Edges lists every forwarding edge: adjacent stages plus extras,
+// deduplicated, in (from, to) order.
+func (p Plan) Edges() [][2]int {
+	seen := make(map[[2]int]bool)
+	var edges [][2]int
+	add := func(e [2]int) {
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for s := 0; s+1 < len(p.Stages); s++ {
+		add([2]int{s, s + 1})
+	}
+	for _, e := range p.ExtraEdges {
+		add(e)
+	}
+	return edges
+}
+
+// Layout binds a plan to a concrete worker budget. Worker thread IDs are
+// dense, 0..Workers-1, assigned stage by stage.
+type Layout struct {
+	Plan    Plan
+	Workers int
+	Assign  [][]int // stage -> worker tids
+	stageOf []int   // tid -> stage
+}
+
+// NewLayout distributes workers across the plan's stages: one per
+// sequential stage, the remainder split evenly over parallel stages.
+func NewLayout(p Plan, workers int) (Layout, error) {
+	if err := p.Validate(); err != nil {
+		return Layout{}, err
+	}
+	if workers < p.MinWorkers() {
+		return Layout{}, fmt.Errorf("pipeline: plan %q needs >= %d workers, have %d",
+			p.Name, p.MinWorkers(), workers)
+	}
+	l := Layout{Plan: p, Workers: workers, Assign: make([][]int, len(p.Stages)), stageOf: make([]int, workers)}
+	spare := workers - len(p.Stages) // beyond the 1-per-stage minimum
+	nPar := p.ParallelStages()
+	tid := 0
+	parSeen := 0
+	for s, st := range p.Stages {
+		n := 1
+		if st.Kind == Parallel && nPar > 0 {
+			n += spare / nPar
+			if parSeen < spare%nPar {
+				n++
+			}
+			parSeen++
+		}
+		for i := 0; i < n; i++ {
+			l.Assign[s] = append(l.Assign[s], tid)
+			l.stageOf[tid] = s
+			tid++
+		}
+	}
+	// A plan with no parallel stage cannot use spare workers.
+	if tid < workers {
+		return Layout{}, fmt.Errorf("pipeline: plan %q has no parallel stage to absorb %d spare workers",
+			p.Name, workers-tid)
+	}
+	return l, nil
+}
+
+// StageOf reports the stage a worker tid belongs to.
+func (l Layout) StageOf(tid int) int { return l.stageOf[tid] }
+
+// WorkerOf reports the worker executing iteration iter of stage s under the
+// default round-robin distribution.
+func (l Layout) WorkerOf(s int, iter uint64) int {
+	pool := l.Assign[s]
+	return pool[int(iter%uint64(len(pool)))]
+}
+
+// PoolIndex reports tid's position within its stage's pool.
+func (l Layout) PoolIndex(tid int) int {
+	for i, w := range l.Assign[l.stageOf[tid]] {
+		if w == tid {
+			return i
+		}
+	}
+	panic("pipeline: tid not in its own stage pool")
+}
+
+// Iterates reports whether worker tid executes iteration iter (always true
+// for sequential-stage workers; round-robin membership for parallel ones).
+func (l Layout) Iterates(tid int, iter uint64) bool {
+	return l.WorkerOf(l.stageOf[tid], iter) == tid
+}
+
+// Convenient plan constructors for the paradigms in Table 2.
+
+// SpecDOALL is a one-stage fully parallel plan ("Spec-DOALL").
+func SpecDOALL() Plan {
+	return Plan{Name: "Spec-DOALL", Stages: []Stage{{Kind: Parallel, Name: "body"}}}
+}
+
+// SpecDSWP builds "Spec-DSWP+[...]" from stage kinds, e.g. SpecDSWP("S",
+// "DOALL", "S").
+func SpecDSWP(kinds ...string) Plan {
+	return fromKinds("Spec-DSWP+", kinds)
+}
+
+// DSWP builds "DSWP+[...]" (speculation within a stage, not spanning the
+// pipeline) from stage kinds.
+func DSWP(kinds ...string) Plan {
+	return fromKinds("DSWP+", kinds)
+}
+
+func fromKinds(prefix string, kinds []string) Plan {
+	p := Plan{Name: prefix + "["}
+	for i, k := range kinds {
+		if i > 0 {
+			p.Name += ","
+		}
+		p.Name += k
+		switch k {
+		case "S":
+			p.Stages = append(p.Stages, Stage{Kind: Sequential})
+		case "DOALL", "Spec-DOALL":
+			p.Stages = append(p.Stages, Stage{Kind: Parallel})
+		default:
+			panic(fmt.Sprintf("pipeline: unknown stage kind %q", k))
+		}
+	}
+	p.Name += "]"
+	return p
+}

@@ -1,0 +1,300 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/mpi"
+	"dsmtx/internal/sim"
+)
+
+func newWorld(k *sim.Kernel) *mpi.World {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CoresPerNode = 2
+	return mpi.NewWorld(cluster.New(k, cfg), mpi.DefaultCost())
+}
+
+// run wires a producer proc at rank 0 and consumer proc at rank 1 around a
+// queue and executes the kernel.
+func run(t *testing.T, cfg Config, producer func(*SendPort[uint64]), consumer func(*RecvPort[uint64])) *sim.Kernel {
+	t.Helper()
+	k := sim.NewKernel()
+	w := newWorld(k)
+	q := New[uint64](w, "q", 0, 1, 100, cfg, nil)
+	k.Spawn("consumer", func(p *sim.Proc) {
+		consumer(q.Receiver(w.Attach(1, p)))
+	})
+	k.Spawn("producer", func(p *sim.Proc) {
+		producer(q.Sender(w.Attach(0, p)))
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestFIFODelivery(t *testing.T) {
+	const n = 1000
+	var got []uint64
+	run(t, DefaultConfig(),
+		func(s *SendPort[uint64]) {
+			for i := uint64(0); i < n; i++ {
+				s.Produce(i)
+			}
+			s.Flush()
+		},
+		func(r *RecvPort[uint64]) {
+			for i := 0; i < n; i++ {
+				got = append(got, r.Consume())
+			}
+		})
+	for i := uint64(0); i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("got[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestBatchingReducesMessages(t *testing.T) {
+	const n = 512
+	count := func(cfg Config) uint64 {
+		var batches uint64
+		run(t, cfg,
+			func(s *SendPort[uint64]) {
+				for i := uint64(0); i < n; i++ {
+					s.Produce(i)
+				}
+				s.Flush()
+				batches = s.Stats().Batches
+			},
+			func(r *RecvPort[uint64]) {
+				for i := 0; i < n; i++ {
+					r.Consume()
+				}
+			})
+		return batches
+	}
+	opt := count(DefaultConfig())                 // 16-byte items, 4096-byte batches
+	unopt := count(DefaultConfig().Unoptimized()) // flush every produce
+	if unopt != n {
+		t.Fatalf("unoptimized batches = %d, want %d", unopt, n)
+	}
+	if opt != n/256 {
+		t.Fatalf("optimized batches = %d, want %d", opt, n/256)
+	}
+}
+
+// The headline §5.3 measurement: the batched queue must sustain well over an
+// order of magnitude more bandwidth than per-datum sends.
+func TestQueueBandwidthVsRawMPI(t *testing.T) {
+	const n = 20000
+	bandwidth := func(cfg Config) float64 {
+		k := run(t, cfg,
+			func(s *SendPort[uint64]) {
+				for i := uint64(0); i < n; i++ {
+					s.Produce(i)
+				}
+				s.Flush()
+			},
+			func(r *RecvPort[uint64]) {
+				for i := 0; i < n; i++ {
+					r.Consume()
+				}
+			})
+		return float64(n*8) / k.Now().Seconds() / 1e6 // MB/s of payload words
+	}
+	opt := bandwidth(DefaultConfig())
+	unopt := bandwidth(DefaultConfig().Unoptimized())
+	if opt < 100 {
+		t.Errorf("optimized queue bandwidth = %.1f MB/s, want hundreds (paper: 480.7)", opt)
+	}
+	if unopt > 30 {
+		t.Errorf("unoptimized bandwidth = %.1f MB/s, want low double digits (paper: 8.1-13.1)", unopt)
+	}
+	if opt < 20*unopt {
+		t.Errorf("optimized/unoptimized = %.1f, want >= 20x (paper: ~37x)", opt/unopt)
+	}
+}
+
+func TestWindowBoundsInFlight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchBytes = 16 // one item per batch
+	cfg.Window = 2
+	var producerDone, consumerStart sim.Time
+	run(t, cfg,
+		func(s *SendPort[uint64]) {
+			for i := uint64(0); i < 10; i++ {
+				s.Produce(i)
+			}
+			s.Flush()
+			producerDone = sim.Time(0) // set below via closure? use stats instead
+			_ = producerDone
+		},
+		func(r *RecvPort[uint64]) {
+			r.comm.Proc().Advance(10 * sim.Millisecond) // consumer is slow to start
+			consumerStart = r.comm.Proc().Now()
+			for i := uint64(0); i < 10; i++ {
+				if got := r.Consume(); got != i {
+					t.Errorf("consume %d = %d", i, got)
+				}
+			}
+		})
+	if consumerStart != 10*sim.Millisecond {
+		t.Fatalf("consumer started at %v", consumerStart)
+	}
+}
+
+// With a bounded window and a stalled consumer, the producer must block
+// rather than run ahead.
+func TestWindowBlocksProducer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchBytes = 16
+	cfg.Window = 3
+	var thirdFlushAt, fifthFlushAt sim.Time
+	run(t, cfg,
+		func(s *SendPort[uint64]) {
+			for i := uint64(0); i < 5; i++ {
+				s.Produce(i) // each produce flushes (one item per batch)
+				switch i {
+				case 2:
+					thirdFlushAt = s.comm.Proc().Now()
+				case 4:
+					fifthFlushAt = s.comm.Proc().Now()
+				}
+			}
+		},
+		func(r *RecvPort[uint64]) {
+			r.comm.Proc().Advance(5 * sim.Millisecond)
+			for i := 0; i < 5; i++ {
+				r.Consume()
+			}
+		})
+	if thirdFlushAt >= sim.Millisecond {
+		t.Fatalf("first 3 batches should flow freely, third at %v", thirdFlushAt)
+	}
+	if fifthFlushAt < 5*sim.Millisecond {
+		t.Fatalf("fifth batch at %v, want blocked until consumer drains at 5ms", fifthFlushAt)
+	}
+}
+
+func TestEpochDiscardsStaleBatches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchBytes = 16
+	run(t, cfg,
+		func(s *SendPort[uint64]) {
+			s.Produce(1) // epoch 0 — will be stale by the time it is read
+			s.Flush()
+			s.comm.Proc().Advance(sim.Millisecond)
+			s.Abort(1)
+			s.Produce(2) // epoch 1
+			s.Flush()
+		},
+		func(r *RecvPort[uint64]) {
+			r.comm.Proc().Advance(500 * sim.Microsecond)
+			r.Abort(1) // recovery: advance epoch before consuming
+			if got := r.Consume(); got != 2 {
+				t.Errorf("consumed %d from stale epoch, want 2", got)
+			}
+		})
+}
+
+func TestAbortDiscardsPendingProduce(t *testing.T) {
+	run(t, DefaultConfig(),
+		func(s *SendPort[uint64]) {
+			s.Produce(11)
+			if s.PendingItems() != 1 {
+				t.Errorf("pending = %d", s.PendingItems())
+			}
+			s.Abort(1)
+			if s.PendingItems() != 0 {
+				t.Errorf("pending after abort = %d", s.PendingItems())
+			}
+			s.Produce(22)
+			s.Flush()
+		},
+		func(r *RecvPort[uint64]) {
+			r.Abort(1)
+			if got := r.Consume(); got != 22 {
+				t.Errorf("got %d, want 22", got)
+			}
+		})
+}
+
+func TestTryConsume(t *testing.T) {
+	run(t, DefaultConfig(),
+		func(s *SendPort[uint64]) {
+			s.comm.Proc().Advance(sim.Millisecond)
+			s.Produce(7)
+			s.Flush()
+		},
+		func(r *RecvPort[uint64]) {
+			if _, ok := r.TryConsume(); ok {
+				t.Error("TryConsume returned value before producer ran")
+			}
+			r.comm.Proc().Advance(2 * sim.Millisecond)
+			v, ok := r.TryConsume()
+			if !ok || v != 7 {
+				t.Errorf("TryConsume = %d, %v; want 7, true", v, ok)
+			}
+		})
+}
+
+func TestPortRankValidation(t *testing.T) {
+	k := sim.NewKernel()
+	w := newWorld(k)
+	q := New[uint64](w, "q", 0, 1, 100, DefaultConfig(), nil)
+	k.Spawn("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Sender on wrong rank did not panic")
+			}
+		}()
+		q.Sender(w.Attach(1, p))
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any payload sequence and any batch size, delivery is exact
+// and in order.
+func TestDeliveryProperty(t *testing.T) {
+	f := func(vals []uint64, batchKB uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 300 {
+			vals = vals[:300]
+		}
+		cfg := DefaultConfig()
+		cfg.BatchBytes = (int(batchKB%8) + 1) * 64
+		k := sim.NewKernel()
+		w := newWorld(k)
+		q := New[uint64](w, "q", 0, 1, 100, cfg, nil)
+		ok := true
+		k.Spawn("consumer", func(p *sim.Proc) {
+			r := q.Receiver(w.Attach(1, p))
+			for _, want := range vals {
+				if got := r.Consume(); got != want {
+					ok = false
+				}
+			}
+		})
+		k.Spawn("producer", func(p *sim.Proc) {
+			s := q.Sender(w.Attach(0, p))
+			for _, v := range vals {
+				s.Produce(v)
+			}
+			s.Flush()
+		})
+		if err := k.Run(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock and runs "processes" — ordinary Go
+// functions hosted on goroutines — in strict cooperative alternation: at any
+// instant exactly one process (or the kernel itself) is executing. Processes
+// spend virtual time with Proc.Advance, communicate over Chan values, and
+// synchronize on Barrier values. Events scheduled for the same virtual
+// instant fire in schedule order, so runs are reproducible bit-for-bit.
+//
+// The DSMTX runtime and its cluster substrate run unmodified on this kernel:
+// all of their logic executes for real; only the passage of time is
+// simulated. That is what lets a laptop measure the behaviour of a
+// 128-core cluster deterministically.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, measured in virtual nanoseconds from the
+// start of the run.
+type Time int64
+
+// Duration aliases Time for readability when a length of time is meant.
+type Duration = Time
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// String renders the time using the largest sensible unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// ErrDeadlock is returned (wrapped) by Run when live processes remain but no
+// event can ever wake them.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// event is a single entry in the kernel's calendar: either "resume process p"
+// or "call fn" at time t. Same-time events fire in seq order.
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event    { return h[0] }
+func (h *eventHeap) popMin() event { return heap.Pop(h).(event) }
+func (h *eventHeap) push(e event)  { heap.Push(h, e) }
+
+// killSentinel unwinds a process goroutine when the kernel shuts down.
+type killSentinel struct{}
+
+// Kernel owns the virtual clock and the event calendar.
+//
+// A Kernel must be driven from a single goroutine via Run; processes are
+// created with Spawn before or during the run.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   []*Proc
+	live    int
+	yield   chan struct{}
+	killing bool
+	failure error
+	stopped bool
+	// Stats
+	nEvents uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events reports how many calendar events have fired so far.
+func (k *Kernel) Events() uint64 { return k.nEvents }
+
+func (k *Kernel) schedule(t Time, p *Proc, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.events.push(event{t: t, seq: k.seq, p: p, fn: fn})
+}
+
+// At schedules fn to run at virtual time t (or now, if t is in the past).
+// fn runs on the kernel's goroutine and must not block.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
+
+// After schedules fn to run d from now. fn must not block.
+func (k *Kernel) After(d Duration, fn func()) { k.schedule(k.now+d, nil, fn) }
+
+// Spawn creates a new process executing fn and schedules it to start at the
+// current virtual time. The name appears in deadlock reports.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			r := recover()
+			if _, killed := r.(killSentinel); r != nil && !killed {
+				if k.failure == nil {
+					k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.state = procDone
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		if k.killing {
+			panic(killSentinel{})
+		}
+		fn(p)
+	}()
+	k.schedule(k.now, p, nil)
+	return p
+}
+
+// Run drives the calendar until it drains, a process panics, Stop is called,
+// or the horizon (if positive) is reached. It returns a deadlock error when
+// live processes remain blocked with an empty calendar.
+func (k *Kernel) Run(horizon Time) error {
+	for len(k.events) > 0 && !k.stopped && k.failure == nil {
+		if horizon > 0 && k.events.peek().t > horizon {
+			break
+		}
+		e := k.events.popMin()
+		k.now = e.t
+		k.nEvents++
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		if e.p.state == procDone {
+			continue
+		}
+		e.p.state = procRunning
+		e.p.resume <- struct{}{}
+		<-k.yield
+	}
+	var deadlock error
+	if k.failure == nil && k.live > 0 && !k.stopped && horizon <= 0 {
+		deadlock = fmt.Errorf("%w: %d live process(es) blocked: %s", ErrDeadlock, k.live, k.blockedNames())
+	}
+	k.kill()
+	if k.failure != nil {
+		return k.failure
+	}
+	return deadlock
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// kill unwinds every still-parked process so no goroutines leak.
+func (k *Kernel) kill() {
+	k.killing = true
+	for _, p := range k.procs {
+		if p.state == procBlocked {
+			p.state = procRunning
+			p.resume <- struct{}{}
+			<-k.yield
+		}
+	}
+	// Processes scheduled in the calendar but never started also unwind.
+	for len(k.events) > 0 {
+		e := k.events.popMin()
+		if e.p != nil && e.p.state == procReady {
+			e.p.state = procRunning
+			e.p.resume <- struct{}{}
+			<-k.yield
+		}
+	}
+}
+
+func (k *Kernel) blockedNames() string {
+	var names []string
+	for _, p := range k.procs {
+		if p.state == procBlocked {
+			names = append(names, p.name+" ("+p.blockedOn+")")
+		}
+	}
+	sort.Strings(names)
+	if len(names) > 8 {
+		names = append(names[:8], fmt.Sprintf("… %d more", len(names)-8))
+	}
+	return strings.Join(names, ", ")
+}
+
+type procState uint8
+
+const (
+	procReady procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is the handle a process uses to interact with virtual time. Every
+// blocking operation takes the Proc of the calling process.
+type Proc struct {
+	k         *Kernel
+	name      string
+	resume    chan struct{}
+	state     procState
+	blockedOn string
+	advanced  Time
+}
+
+// Advanced reports the total virtual time this process has spent in
+// Advance — its busy time, as opposed to blocking waits.
+func (p *Proc) Advanced() Time { return p.advanced }
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel hosting this process.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park suspends the process until something schedules it again. The caller
+// must already have registered the process somewhere it can be woken from.
+func (p *Proc) park(reason string) {
+	p.state = procBlocked
+	p.blockedOn = reason
+	p.k.yield <- struct{}{}
+	<-p.resume
+	if p.k.killing {
+		panic(killSentinel{})
+	}
+	p.blockedOn = ""
+}
+
+// wake schedules a blocked process to resume at the current virtual time.
+// Callers must ensure the process is woken at most once per park.
+func (p *Proc) wake() { p.k.schedule(p.k.now, p, nil) }
+
+// Advance spends d of virtual time — the simulation analogue of computing
+// for d. Negative and zero durations yield the processor without advancing
+// the clock (same-time events scheduled earlier still run first).
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.advanced += d
+	p.k.schedule(p.k.now+d, p, nil)
+	p.park("advance")
+}
+
+// Yield lets every other event at the current instant run before resuming.
+func (p *Proc) Yield() { p.Advance(0) }

@@ -1,0 +1,52 @@
+// Package tlsrt captures the TLS-only comparison runtime: thread-level
+// speculation in the DOACROSS discipline, built on the same DSMTX substrate.
+//
+// In TLS each loop iteration is a single-threaded transaction executed
+// entirely by one worker, with iterations assigned round-robin across the
+// pool (per the STAMPede [27] / Zhai [34] algorithms the paper's baseline
+// follows). Loop-carried dependences that cannot be speculated are
+// *synchronized*: their values are forwarded from the worker running
+// iteration k to the worker running iteration k+1 over a ring of queues —
+// a cyclic communication pattern, so the forwarding latency sits on the
+// critical path of execution. That cyclic pattern is exactly what limits
+// DOACROSS/TLS scalability as inter-core latency grows (Fig. 1), and what
+// Spec-DSWP's acyclic pipelines avoid.
+//
+// An MTX with one subTX degenerates to a single-threaded transaction, so
+// the DSMTX runtime supports TLS directly: this package provides the TLS
+// plan shape and documents the conventions TLS programs follow.
+package tlsrt
+
+import "dsmtx/internal/pipeline"
+
+// Plan returns the TLS execution plan: one fully parallel stage whose pool
+// carries the synchronization ring.
+func Plan() pipeline.Plan {
+	p := pipeline.SpecDOALL()
+	p.Name = "TLS"
+	p.Sync = true
+	return p
+}
+
+// PlanNoSync returns the TLS plan for loops with no synchronized
+// dependences (pure Spec-DOALL under TLS — e.g. 052.alvinn and swaptions,
+// where the paper notes the TLS and DSMTX parallelizations coincide).
+func PlanNoSync() pipeline.Plan {
+	p := pipeline.SpecDOALL()
+	p.Name = "TLS"
+	return p
+}
+
+// Conventions TLS programs on this runtime follow:
+//
+//  1. The stage body receives each synchronized dependence with
+//     Ctx.SyncRecv immediately before its first use and forwards it with
+//     Ctx.SyncSend immediately after its last def — the optimal placement
+//     of Zhai's value-communication optimization. Everything before the
+//     recv overlaps with the predecessor iteration; everything between
+//     recv and send is the serial section.
+//  2. The first iteration after a loop entry or a recovery has no running
+//     predecessor; Ctx.EpochFirst selects loading the committed value
+//     instead of receiving it.
+//  3. Speculated accesses use Ctx.Read / Ctx.Write exactly as under
+//     Spec-DSWP; validation and commit are unchanged (single-subTX MTXs).

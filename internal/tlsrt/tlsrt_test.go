@@ -1,0 +1,42 @@
+package tlsrt
+
+import (
+	"testing"
+
+	"dsmtx/internal/pipeline"
+)
+
+func TestPlanShape(t *testing.T) {
+	p := Plan()
+	if p.Name != "TLS" {
+		t.Fatalf("Name = %q", p.Name)
+	}
+	if !p.Sync {
+		t.Fatal("TLS plan must carry the sync ring")
+	}
+	if len(p.Stages) != 1 || p.Stages[0].Kind != pipeline.Parallel {
+		t.Fatalf("stages = %+v, want one parallel stage", p.Stages)
+	}
+}
+
+func TestPlanNoSyncShape(t *testing.T) {
+	p := PlanNoSync()
+	if p.Sync {
+		t.Fatal("PlanNoSync must not carry a ring")
+	}
+	if len(p.Stages) != 1 || p.Stages[0].Kind != pipeline.Parallel {
+		t.Fatalf("stages = %+v", p.Stages)
+	}
+}
+
+func TestPlanLaysOutOnAnyPool(t *testing.T) {
+	for _, workers := range []int{1, 2, 30, 126} {
+		l, err := pipeline.NewLayout(Plan(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(l.Assign[0]) != workers {
+			t.Fatalf("workers=%d: pool size %d", workers, len(l.Assign[0]))
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package workloads
+
+// Canonical Huffman coding — the entropy-coding half of 164.gzip's deflate
+// (the LZ77 token stream gets bit-packed with an order-0 canonical code).
+// The header stores the 256 code lengths plus the payload length; decoding
+// rebuilds the canonical code from lengths alone, as deflate does.
+
+import "sort"
+
+// huffEncode compresses b; work counts the operations performed (for cost
+// charging). The output is self-describing and decoded by huffDecode.
+func huffEncode(b []byte) (out []byte, work int64) {
+	var freq [256]int
+	for _, c := range b {
+		freq[c]++
+	}
+	work += int64(len(b))
+	lengths := huffLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	out = make([]byte, 0, len(b)/2+264)
+	// Header: payload length (4 bytes) + 256 code lengths.
+	out = append(out, byte(len(b)), byte(len(b)>>8), byte(len(b)>>16), byte(len(b)>>24))
+	out = append(out, lengths[:]...)
+
+	var acc uint64 // bit accumulator, LSB-first
+	var nbits uint
+	for _, c := range b {
+		// Codes go out MSB-first (prefix decodability), so reverse them
+		// into the LSB-first accumulator — exactly deflate's convention.
+		acc |= uint64(reverseBits(codes[c], lengths[c])) << nbits
+		nbits += uint(lengths[c])
+		for nbits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+		work += int64(lengths[c])
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc))
+	}
+	return out, work
+}
+
+// huffDecode inverts huffEncode.
+func huffDecode(comp []byte) []byte {
+	n := int(comp[0]) | int(comp[1])<<8 | int(comp[2])<<16 | int(comp[3])<<24
+	var lengths [256]byte
+	copy(lengths[:], comp[4:260])
+	codes := canonicalCodes(lengths)
+
+	// Build a (length, code) -> symbol lookup.
+	type key struct {
+		length byte
+		code   uint32
+	}
+	decode := make(map[key]byte)
+	maxLen := byte(0)
+	for s := 0; s < 256; s++ {
+		if lengths[s] == 0 {
+			continue
+		}
+		decode[key{lengths[s], codes[s]}] = byte(s)
+		if lengths[s] > maxLen {
+			maxLen = lengths[s]
+		}
+	}
+
+	out := make([]byte, 0, n)
+	bits := comp[260:]
+	var code uint32
+	var length byte
+	bitAt := func(i int) uint32 { return uint32(bits[i>>3]>>(i&7)) & 1 }
+	for i := 0; len(out) < n; i++ {
+		code = code<<1 | bitAt(i) // MSB-first accumulation
+		length++
+		if sym, ok := decode[key{length, code}]; ok {
+			out = append(out, sym)
+			code, length = 0, 0
+		} else if length > maxLen {
+			panic("workloads: corrupt Huffman stream")
+		}
+	}
+	return out
+}
+
+// reverseBits reverses the low n bits of v.
+func reverseBits(v uint32, n byte) uint32 {
+	var r uint32
+	for i := byte(0); i < n; i++ {
+		r = r<<1 | (v>>i)&1
+	}
+	return r
+}
+
+// huffLengths computes code lengths with the classic two-queue Huffman
+// construction over the 256-symbol alphabet.
+func huffLengths(freq [256]int) [256]byte {
+	type node struct {
+		weight      int
+		sym         int // >= 0 for leaves
+		left, right int // indices into nodes, -1 for leaves
+	}
+	var nodes []node
+	var live []int
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, node{weight: f, sym: s, left: -1, right: -1})
+			live = append(live, len(nodes)-1)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return [256]byte{}
+	case 1:
+		var lengths [256]byte
+		lengths[nodes[live[0]].sym] = 1
+		return lengths
+	}
+	for len(live) > 1 {
+		// Pick the two lightest (selection over <= 511 entries; cheap).
+		sort.Slice(live, func(i, j int) bool {
+			a, b := nodes[live[i]], nodes[live[j]]
+			if a.weight != b.weight {
+				return a.weight < b.weight
+			}
+			return a.sym < b.sym // deterministic ties
+		})
+		l, r := live[0], live[1]
+		nodes = append(nodes, node{weight: nodes[l].weight + nodes[r].weight, sym: -1, left: l, right: r})
+		live = append([]int{len(nodes) - 1}, live[2:]...)
+	}
+	var lengths [256]byte
+	var walk func(i int, depth byte)
+	walk = func(i int, depth byte) {
+		if nodes[i].sym >= 0 {
+			lengths[nodes[i].sym] = depth
+			return
+		}
+		walk(nodes[i].left, depth+1)
+		walk(nodes[i].right, depth+1)
+	}
+	walk(live[0], 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes (shorter codes first, then by
+// symbol) from lengths, as RFC 1951 does.
+func canonicalCodes(lengths [256]byte) [256]uint32 {
+	type sl struct {
+		sym    int
+		length byte
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].length != syms[j].length {
+			return syms[i].length < syms[j].length
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	var codes [256]uint32
+	code := uint32(0)
+	prevLen := byte(0)
+	for _, e := range syms {
+		code <<= (e.length - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.length
+	}
+	return codes
+}

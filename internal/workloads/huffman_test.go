@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{7, 7, 7, 7},
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte("ab"), 5000),
+		newRNG(5).bytes(30000),
+	}
+	for i, src := range cases {
+		comp, work := huffEncode(src)
+		if len(src) > 0 && work == 0 {
+			t.Errorf("case %d: no work counted", i)
+		}
+		got := huffDecode(comp)
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: round trip failed (%d -> %d -> %d bytes)", i, len(src), len(comp), len(got))
+		}
+	}
+}
+
+func TestHuffmanCompressesSkewedInput(t *testing.T) {
+	// 90% one symbol: entropy << 8 bits/symbol, so the stream must shrink
+	// well below raw size despite the 260-byte header.
+	src := make([]byte, 20000)
+	r := newRNG(9)
+	for i := range src {
+		if r.intn(10) != 0 {
+			src[i] = 'e'
+		} else {
+			src[i] = byte('a' + r.intn(20))
+		}
+	}
+	comp, _ := huffEncode(src)
+	if len(comp) > len(src)/2 {
+		t.Fatalf("skewed input compressed to %d/%d", len(comp), len(src))
+	}
+}
+
+func TestHuffmanCanonicalProperty(t *testing.T) {
+	// Kraft equality for the constructed lengths, and decodability for any
+	// payload.
+	f := func(data []byte) bool {
+		comp, _ := huffEncode(data)
+		return bytes.Equal(huffDecode(comp), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanKraftInequality(t *testing.T) {
+	var freq [256]int
+	r := newRNG(3)
+	for i := 0; i < 150; i++ {
+		freq[r.intn(256)] += 1 + r.intn(1000)
+	}
+	lengths := huffLengths(freq)
+	sum := 0.0
+	used := 0
+	for s, l := range lengths {
+		if freq[s] > 0 && l == 0 {
+			t.Fatalf("symbol %d has frequency but no code", s)
+		}
+		if l > 0 {
+			sum += 1 / float64(uint64(1)<<l)
+			used++
+		}
+	}
+	if used > 1 && sum > 1.0000001 {
+		t.Fatalf("Kraft sum %v > 1: not a prefix code", sum)
+	}
+}

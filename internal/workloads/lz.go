@@ -1,0 +1,169 @@
+package workloads
+
+// lzCompress is the real compression kernel behind the 164.gzip workload: a
+// greedy LZ77 with a 3-byte hash match finder, emitting a byte-oriented
+// token stream (flag 0: literal run; flag 1: back-reference). lzDecompress
+// inverts it exactly; tests round-trip every block.
+
+const (
+	lzHashBits = 12
+	lzMinMatch = 4
+	lzMaxMatch = 255
+	lzMaxDist  = 1 << 15
+)
+
+func lzHash(b []byte) uint32 {
+	return (uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])) * 2654435761 >> (32 - lzHashBits)
+}
+
+// lzCompress returns the compressed form of src and the number of match
+// probes performed (a faithful work measure for cost charging).
+func lzCompress(src []byte) (out []byte, probes int) {
+	var table [1 << lzHashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	out = make([]byte, 0, len(src)/2+16)
+	litStart := 0
+	flushLits := func(end int) {
+		for litStart < end {
+			n := end - litStart
+			if n > 255 {
+				n = 255
+			}
+			out = append(out, 0, byte(n))
+			out = append(out, src[litStart:litStart+n]...)
+			litStart += n
+		}
+	}
+	i := 0
+	for i+lzMinMatch <= len(src) {
+		h := lzHash(src[i:])
+		cand := table[h]
+		table[h] = int32(i)
+		probes++
+		if cand >= 0 && i-int(cand) < lzMaxDist && src[cand] == src[i] {
+			// Extend the match.
+			length := 0
+			for i+length < len(src) && length < lzMaxMatch &&
+				src[int(cand)+length] == src[i+length] {
+				length++
+				probes++
+			}
+			if length >= lzMinMatch {
+				flushLits(i)
+				dist := i - int(cand)
+				out = append(out, 1, byte(length), byte(dist), byte(dist>>8))
+				i += length
+				litStart = i
+				continue
+			}
+		}
+		i++
+	}
+	flushLits(len(src))
+	return out, probes
+}
+
+// lzDecompress inverts lzCompress.
+func lzDecompress(comp []byte) []byte {
+	var out []byte
+	for i := 0; i < len(comp); {
+		switch comp[i] {
+		case 0:
+			n := int(comp[i+1])
+			out = append(out, comp[i+2:i+2+n]...)
+			i += 2 + n
+		case 1:
+			length := int(comp[i+1])
+			dist := int(comp[i+2]) | int(comp[i+3])<<8
+			start := len(out) - dist
+			for k := 0; k < length; k++ {
+				out = append(out, out[start+k])
+			}
+			i += 4
+		default:
+			panic("workloads: corrupt LZ stream")
+		}
+	}
+	return out
+}
+
+// mtfRLE is the 256.bzip2 kernel: a move-to-front transform followed by
+// run-length encoding and an order-0 frequency table, the core stages of
+// bzip2's pipeline after the block sort. mtfRLEInverse inverts it.
+func mtfRLE(src []byte) (out []byte, work int) {
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	mtf := make([]byte, len(src))
+	for i, c := range src {
+		// Find c's rank and move it to front.
+		var r int
+		for alphabet[r] != c {
+			r++
+		}
+		work += r + 1
+		copy(alphabet[1:r+1], alphabet[:r])
+		alphabet[0] = c
+		mtf[i] = byte(r)
+	}
+	// Encode the MTF ranks: zero runs (dominant for compressible data) as
+	// 0x00+count, small ranks as single bytes, large ranks escaped — the
+	// same zero-run coding bzip2 applies before its entropy coder.
+	out = make([]byte, 0, len(src)/2+260)
+	for i := 0; i < len(mtf); {
+		r := mtf[i]
+		if r == 0 {
+			j := i
+			for j < len(mtf) && mtf[j] == 0 && j-i < 255 {
+				j++
+			}
+			out = append(out, 0x00, byte(j-i))
+			i = j
+			work += 2
+			continue
+		}
+		if r < 0xF0 {
+			out = append(out, r+1) // ranks 1..239 shift up one
+		} else {
+			out = append(out, 0xFF, r)
+		}
+		i++
+		work++
+	}
+	return out, work
+}
+
+// mtfRLEInverse recovers the original block.
+func mtfRLEInverse(comp []byte) []byte {
+	var mtf []byte
+	for i := 0; i < len(comp); {
+		switch {
+		case comp[i] == 0x00:
+			for k := 0; k < int(comp[i+1]); k++ {
+				mtf = append(mtf, 0)
+			}
+			i += 2
+		case comp[i] == 0xFF:
+			mtf = append(mtf, comp[i+1])
+			i += 2
+		default:
+			mtf = append(mtf, comp[i]-1)
+			i++
+		}
+	}
+	var alphabet [256]byte
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	out := make([]byte, len(mtf))
+	for i, r := range mtf {
+		c := alphabet[r]
+		copy(alphabet[1:int(r)+1], alphabet[:int(r)])
+		alphabet[0] = c
+		out[i] = c
+	}
+	return out
+}

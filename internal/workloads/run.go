@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/mem"
+	"dsmtx/internal/sim"
+)
+
+// Paradigm selects which parallelization of a benchmark to run.
+type Paradigm int
+
+// The two parallelization families the paper compares.
+const (
+	DSMTX Paradigm = iota
+	TLS
+)
+
+func (p Paradigm) String() string {
+	if p == TLS {
+		return "TLS"
+	}
+	return "DSMTX"
+}
+
+// Result aggregates a benchmark execution across its invocations.
+type Result struct {
+	Elapsed   sim.Time
+	Checksum  uint64
+	Committed uint64
+	Misspecs  uint64
+	ERM, FLQ  sim.Time
+	SEQ, RFP  sim.Time
+	Bytes     uint64 // total wire traffic
+	Events    uint64
+	// Trace holds the MTX lifecycle events of every invocation when the
+	// run was tuned with core.Config.Trace.
+	Trace []core.TraceEvent
+}
+
+// Bandwidth reports wire bytes per second of execution.
+func (r Result) Bandwidth() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds()
+}
+
+// RunParallel executes the benchmark under DSMTX with the chosen paradigm
+// on the given core count, chaining invocations through committed memory.
+// tune, if non-nil, may adjust each invocation's runtime configuration
+// (e.g. queue batch sizes for the Fig. 5b comparison).
+func RunParallel(b *Benchmark, in Input, paradigm Paradigm, cores int, tune func(*core.Config)) (Result, error) {
+	var agg Result
+	var img *mem.Image
+	invocations := b.Invocations
+	if invocations < 1 {
+		invocations = 1
+	}
+	for inv := 0; inv < invocations; inv++ {
+		var prog Program
+		if paradigm == TLS {
+			prog = b.NewTLS(in, inv)
+		} else {
+			prog = b.NewDSMTX(in, inv)
+		}
+		cfg := core.DefaultConfig(cores, prog.Plan())
+		if tune != nil {
+			tune(&cfg)
+		}
+		sys, err := core.NewSystem(cfg, prog, img)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s/%s: %w", b.Name, paradigm, err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return Result{}, fmt.Errorf("%s/%s inv %d: %w", b.Name, paradigm, inv, err)
+		}
+		img = sys.CommitImage()
+		agg.Elapsed += res.Elapsed
+		agg.Committed += res.Committed
+		agg.Misspecs += res.Misspecs
+		agg.ERM += res.ERM
+		agg.FLQ += res.FLQ
+		agg.SEQ += res.SEQ
+		agg.RFP += res.RFP
+		agg.Bytes += res.Traffic.Bytes
+		agg.Events += res.Events
+		agg.Trace = append(agg.Trace, sys.Trace()...)
+		if inv == invocations-1 {
+			agg.Checksum = prog.Checksum(img)
+		}
+	}
+	return agg, nil
+}
+
+// RunSequentialRef executes the benchmark's sequential reference (the
+// original single-threaded program with the same cost model) and reports
+// its elapsed virtual time and output checksum.
+func RunSequentialRef(b *Benchmark, in Input) (sim.Time, uint64, error) {
+	var total sim.Time
+	var img *mem.Image
+	var check uint64
+	invocations := b.Invocations
+	if invocations < 1 {
+		invocations = 1
+	}
+	for inv := 0; inv < invocations; inv++ {
+		prog := b.NewDSMTX(in, inv)
+		cfg := core.DefaultConfig(cores1(prog), prog.Plan())
+		elapsed, out, err := core.RunSequential(cfg, prog, prog.Iterations(), img)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s sequential inv %d: %w", b.Name, inv, err)
+		}
+		total += elapsed
+		img = out
+		if inv == invocations-1 {
+			check = prog.Checksum(img)
+		}
+	}
+	return total, check, nil
+}
+
+// cores1 picks a valid (unused) core count for sequential cost accounting.
+func cores1(prog Program) int { return prog.Plan().MinWorkers() + 2 }

@@ -1,0 +1,184 @@
+// Package workloads implements the paper's 11 benchmarks (Table 2) as real
+// computational kernels parallelized for DSMTX.
+//
+// Each benchmark provides a DSMTX program (its best Spec-DSWP / Spec-DOALL
+// parallelization) and a TLS program (the comparison runtime's DOACROSS-
+// style parallelization), both runnable sequentially for the speedup
+// baseline. The kernels reproduce the original benchmarks' loop structure,
+// dependence pattern, speculation types and communication behaviour; their
+// computation is real (compressors compress, the interpreter interprets,
+// CRCs check out), with virtual-time cost charged in proportion to the work
+// actually performed.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/mem"
+	"dsmtx/internal/pipeline"
+)
+
+// Input configures a benchmark run.
+type Input struct {
+	// Scale multiplies the default problem size (1 = the evaluation size).
+	Scale int
+	// MisspecRate is the fraction of iterations the generated input causes
+	// to misspeculate (the paper's Fig. 6 uses 0.001). Benchmarks without
+	// input-dependent misspeculation ignore it.
+	MisspecRate float64
+	// Seed makes input generation deterministic.
+	Seed uint64
+}
+
+// DefaultInput is the evaluation-sized input.
+func DefaultInput() Input { return Input{Scale: 1, Seed: 42} }
+
+func (in Input) scale() int {
+	if in.Scale <= 0 {
+		return 1
+	}
+	return in.Scale
+}
+
+// Program is a runnable benchmark variant: a core.Program plus the sizing
+// and verification hooks the harness needs.
+type Program interface {
+	core.Program
+	// Plan is the parallelization scheme this program is written for.
+	Plan() pipeline.Plan
+	// Iterations is the loop trip count (for the sequential reference).
+	Iterations() uint64
+	// Checksum summarizes the program's output from committed memory; the
+	// parallel and sequential executions must agree.
+	Checksum(img *mem.Image) uint64
+}
+
+// Benchmark is one Table 2 row.
+type Benchmark struct {
+	Name        string
+	Suite       string
+	Description string
+	Paradigm    string // DSMTX parallelization, in the paper's notation
+	SpecTypes   string // CFS / MVS / MV
+	// Invocations is the number of parallel invocations chained through
+	// committed memory (e.g. training epochs); 1 for single-loop programs.
+	Invocations int
+	// NewDSMTX and NewTLS build the two parallelizations for invocation
+	// inv of [0, Invocations).
+	NewDSMTX func(in Input, inv int) Program
+	NewTLS   func(in Input, inv int) Program
+}
+
+// All returns the Table 2 benchmarks in the paper's order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		Alvinn(),
+		Lisp(),
+		Gzip(),
+		Art(),
+		Parser(),
+		Bzip2(),
+		Hmmer(),
+		H264(),
+		CRC32(),
+		Blackscholes(),
+		Swaptions(),
+	}
+}
+
+// ByName finds a benchmark; it returns an error naming the options
+// otherwise.
+func ByName(name string) (*Benchmark, error) {
+	var names []string
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+		names = append(names, b.Name)
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, names)
+}
+
+// rng is xorshift64*, deterministic across runs and platforms.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// bytes fills a deterministic pseudo-random buffer with text-like byte
+// statistics: literal letters interleaved with repeated phrases, so
+// compressors find real matches (roughly 2x compressible).
+func (r *rng) bytes(n int) []byte {
+	b := make([]byte, n)
+	i := 0
+	for i < n {
+		if i > 64 && r.intn(2) == 0 {
+			length := 6 + r.intn(18)
+			off := 1 + r.intn(60)
+			for k := 0; k < length && i < n; k++ {
+				b[i] = b[i-off]
+				i++
+			}
+			continue
+		}
+		b[i] = byte('a' + r.intn(26))
+		i++
+	}
+	return b
+}
+
+// misspecList returns the corrupted iterations in ascending order (for
+// deterministic role assignment).
+func misspecList(n uint64, rate float64, seed uint64) []uint64 {
+	set := misspecSet(n, rate, seed)
+	out := make([]uint64, 0, len(set))
+	for iter := range set {
+		out = append(out, iter)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// misspecSet picks the iterations a given misspeculation rate corrupts.
+func misspecSet(n uint64, rate float64, seed uint64) map[uint64]bool {
+	set := make(map[uint64]bool)
+	if rate <= 0 {
+		return set
+	}
+	r := newRNG(seed ^ 0xabcdef)
+	count := int(float64(n) * rate)
+	if count == 0 && rate > 0 {
+		count = 1
+	}
+	for len(set) < count && uint64(len(set)) < n {
+		set[uint64(r.intn(int(n)))] = true
+	}
+	return set
+}
+
+// mix folds a value into a running checksum (used to build output
+// checksums that are order-sensitive).
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
