@@ -1,0 +1,15 @@
+# Development entry points. `make verify` is the tier-1 gate; `make
+# bench-host` records the host-side perf trajectory in BENCH_host.json.
+
+.PHONY: verify test bench-host bench-host-baseline
+
+verify:
+	./verify.sh
+
+test:
+	go test ./...
+
+# Record the host benchmarks under a label (override: make bench-host LABEL=pr2).
+LABEL ?= current
+bench-host:
+	go run ./tools/benchhost -label $(LABEL)

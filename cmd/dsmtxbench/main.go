@@ -10,6 +10,13 @@
 //	dsmtxbench -micro                    # §5.3 queue-vs-MPI bandwidth
 //	dsmtxbench -all
 //	dsmtxbench -quick                    # coarser core counts
+//
+// Host-performance introspection (the simulator's own cost, not the
+// simulated machine's):
+//
+//	dsmtxbench -benchhost                      # wall-clock/allocs per run
+//	dsmtxbench -figure 4 -cpuprofile cpu.out   # profile any mode
+//	dsmtxbench -benchhost -memprofile mem.out
 package main
 
 import (
@@ -17,8 +24,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"dsmtx/internal/harness"
 	"dsmtx/internal/workloads"
@@ -39,8 +49,37 @@ func main() {
 		rate     = flag.Float64("rate", 0.001, "misspeculation rate for figure 6")
 		scale    = flag.Int("scale", 1, "problem-size multiplier")
 		seed     = flag.Uint64("seed", 42, "input generation seed")
+
+		benchhost  = flag.Bool("benchhost", false, "measure host wall-clock and allocations per simulated run (honors -bench, -cores, -benchn)")
+		benchN     = flag.Int("benchn", 3, "repetitions for -benchhost")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	in := workloads.Input{Scale: *scale, Seed: *seed}
 	cores := harness.DefaultCores()
@@ -59,6 +98,14 @@ func main() {
 	}
 
 	ran := false
+	if *benchhost {
+		c := 32
+		if *coreArg != "" {
+			c = cores[0]
+		}
+		runBenchHost(in, *bench, c, *benchN)
+		ran = true
+	}
 	if *all || *figure == "1" {
 		runFigure1()
 		ran = true
@@ -103,6 +150,42 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runBenchHost times complete simulated-cluster runs on the host — the
+// same measurement as the BenchmarkHost* functions, without the testing
+// harness, so it composes with -cpuprofile/-memprofile.
+func runBenchHost(in workloads.Input, bench string, cores, n int) {
+	name := bench
+	if name == "" || name == "geomean" {
+		name = "164.gzip"
+	}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n < 1 {
+		n = 1
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		res, err := workloads.RunParallel(b, in, workloads.DSMTX, cores, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Committed == 0 {
+			log.Fatalf("%s: no commits", name)
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	un := uint64(n)
+	fmt.Printf("benchhost %s DSMTX %d cores: %d ns/op  %d B/op  %d allocs/op  (%d runs)\n",
+		name, cores, wall.Nanoseconds()/int64(n),
+		(after.TotalAlloc-before.TotalAlloc)/un, (after.Mallocs-before.Mallocs)/un, n)
 }
 
 func selected(name string) []*workloads.Benchmark {

@@ -1,0 +1,62 @@
+// Host-side performance benchmarks. Unlike the Benchmark* functions in
+// bench_test.go — whose interesting output is virtual-time speedup — these
+// measure the simulator's own wall-clock and allocation behaviour: the
+// metrics the perf trajectory in BENCH_host.json tracks across PRs (run
+// `make bench-host`). Bigger simulated machines and inputs are only
+// reachable by driving these numbers down.
+//
+// Run: go test -run '^$' -bench BenchmarkHost -benchmem
+package dsmtx_test
+
+import (
+	"testing"
+
+	"dsmtx/internal/workloads"
+)
+
+// hostPoint runs one Figure-4-style point (one full simulated-cluster
+// execution) per benchmark iteration, so ns/op and allocs/op describe the
+// host cost of a complete run.
+func hostPoint(b *testing.B, name string, paradigm workloads.Paradigm, cores int) {
+	b.Helper()
+	bench, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := workloads.DefaultInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := workloads.RunParallel(bench, in, paradigm, cores, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Committed == 0 {
+			b.Fatalf("%s: no commits", name)
+		}
+	}
+}
+
+// BenchmarkHostGzipFigure4Point is the headline host benchmark: 164.gzip
+// under Spec-DSWP at 32 cores — the bulk-data pipeline whose word and
+// queue traffic dominates Figure 4 sweeps.
+func BenchmarkHostGzipFigure4Point(b *testing.B) {
+	hostPoint(b, "164.gzip", workloads.DSMTX, 32)
+}
+
+// BenchmarkHostGzip128 is the same run at the paper's full 128 cores:
+// more processes, more queues, more polling.
+func BenchmarkHostGzip128(b *testing.B) {
+	hostPoint(b, "164.gzip", workloads.DSMTX, 128)
+}
+
+// BenchmarkHostCrc32Figure4Point exercises the DSWP+[Spec-DOALL,S] shape:
+// block reads with a sequential reduction stage.
+func BenchmarkHostCrc32Figure4Point(b *testing.B) {
+	hostPoint(b, "crc32", workloads.DSMTX, 32)
+}
+
+// BenchmarkHostSwaptionsTLS exercises the TLS runtime's host path.
+func BenchmarkHostSwaptionsTLS(b *testing.B) {
+	hostPoint(b, "swaptions", workloads.TLS, 32)
+}

@@ -7,7 +7,6 @@ import (
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
-	"dsmtx/internal/queue"
 	"dsmtx/internal/sim"
 	"dsmtx/internal/uva"
 )
@@ -24,8 +23,10 @@ type cuNode struct {
 	img   *mem.Image
 	arena *uva.Arena
 
-	in       []*queue.RecvPort[Entry] // per worker tid
-	verdicts []*queue.RecvPort[Entry] // per try-commit shard
+	in       []*entryCursor // per worker tid
+	verdicts []*entryCursor // per try-commit shard
+
+	staged []Entry // group-commit staging buffer, reused across MTXs
 
 	routes   map[uint64]int
 	epoch    uint64
@@ -74,10 +75,10 @@ func (c *cuNode) bind() {
 	}
 	c.arena = uva.NewArena(0)
 	for w := 0; w < c.sys.cfg.Workers(); w++ {
-		c.in = append(c.in, c.sys.toCUQ[w].Receiver(c.comm))
+		c.in = append(c.in, newEntryCursor(c.sys.toCUQ[w].Receiver(c.comm)))
 	}
 	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
-		c.verdicts = append(c.verdicts, c.sys.verdictQ[j].Receiver(c.comm))
+		c.verdicts = append(c.verdicts, newEntryCursor(c.sys.verdictQ[j].Receiver(c.comm)))
 	}
 }
 
@@ -87,12 +88,12 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 	committer, hasCommitter := c.sys.prog.(Committer)
 	for {
 		iter := c.iter
-		var staged []Entry
+		c.staged = c.staged[:0]
 		misspec := false
 		terminated := false
 		for s := range c.sys.cfg.Plan.Stages {
 			tid := c.routeOf(s, iter)
-			ents, subMiss, term := c.drainSub(tid, iter)
+			subMiss, term := c.drainSub(tid, iter)
 			if term {
 				if s != 0 {
 					panic(fmt.Sprintf("core: commit saw terminate mid-MTX %d at stage %d", iter, s))
@@ -100,7 +101,6 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 				terminated = true
 				break
 			}
-			staged = append(staged, ents...)
 			misspec = misspec || subMiss
 		}
 		if terminated {
@@ -129,7 +129,7 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 		// Group transaction commit: apply all stores in subTX order; the
 		// last write to a location wins.
 		var bulkBytes int
-		for _, e := range staged {
+		for _, e := range c.staged {
 			if e.Kind == entWriteBlk {
 				c.img.StoreBytes(e.Addr, e.Payload.([]byte))
 				bulkBytes += e.Bytes
@@ -137,7 +137,7 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 			}
 			c.img.Store(e.Addr, e.Val)
 		}
-		c.proc.Advance(c.sys.instrTime(int64(len(staged))*c.sys.cfg.StoreInstr +
+		c.proc.Advance(c.sys.instrTime(int64(len(c.staged))*c.sys.cfg.StoreInstr +
 			int64(float64(bulkBytes)*c.sys.cfg.BulkInstrPerByte)))
 		c.result.Committed++
 		if hasCommitter {
@@ -154,14 +154,14 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 	}
 }
 
-// drainSub stages one subTX's stores.
-func (c *cuNode) drainSub(tid int, iter uint64) (stores []Entry, misspec, term bool) {
+// drainSub stages one subTX's stores into the reused staging buffer.
+func (c *cuNode) drainSub(tid int, iter uint64) (misspec, term bool) {
 	port := c.in[tid]
 	for {
 		e := c.consumeNext(port)
 		switch e.Kind {
 		case entWrite, entWriteBlk:
-			stores = append(stores, e)
+			c.staged = append(c.staged, e)
 		case entRoute:
 			c.routes[e.MTX] = int(e.Val)
 		case entMisspec:
@@ -170,9 +170,9 @@ func (c *cuNode) drainSub(tid int, iter uint64) (stores []Entry, misspec, term b
 			if e.MTX != iter {
 				panic(fmt.Sprintf("core: commit expected EndSub %d from worker %d, got %d", iter, tid, e.MTX))
 			}
-			return stores, misspec, false
+			return misspec, false
 		case entTerminate:
-			return nil, false, true
+			return false, true
 		default:
 			panic(fmt.Sprintf("core: commit: unexpected %v entry", e.Kind))
 		}
@@ -237,10 +237,10 @@ func (c *cuNode) routeOf(s int, iter uint64) int {
 	return c.sys.layout.Assign[s][0]
 }
 
-func (c *cuNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
+func (c *cuNode) consumeNext(port *entryCursor) Entry {
 	backoff := c.sys.cfg.PollMin
 	for {
-		if e, ok := port.TryConsume(); ok {
+		if e, ok := port.tryNext(); ok {
 			return e
 		}
 		c.proc.Advance(backoff)
@@ -272,10 +272,10 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	c.result.ERM += ermDone - start
 
 	for _, port := range c.in {
-		port.Abort(c.epoch)
+		port.abort(c.epoch)
 	}
 	for _, port := range c.verdicts {
-		port.Abort(c.epoch)
+		port.abort(c.epoch)
 	}
 	c.routes = make(map[uint64]int)
 

@@ -319,6 +319,15 @@ func (s *System) Run() (Result, error) {
 		}
 	}
 	res.WorkerBusyAvg = sum / sim.Time(len(s.workers))
+	// Recycle worker and try-commit page frames: their speculative images
+	// are dead once the run ends (only the commit unit's memory is exposed
+	// via CommitImage). Counters survive Reset for post-run diagnostics.
+	for _, w := range s.workers {
+		w.img.Reset()
+	}
+	for _, tc := range s.tcs {
+		tc.view.Reset()
+	}
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dsmtx/internal/cluster"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
@@ -19,14 +20,15 @@ import (
 // conflicts exactly when its observed value differs from the value the
 // committed order produces.
 type tcNode struct {
-	sys   *System
-	shard int
-	rank  int
-	proc  *sim.Proc
-	comm  *mpi.Comm
-	view  *mem.Image
+	sys     *System
+	shard   int
+	rank    int
+	proc    *sim.Proc
+	comm    *mpi.Comm
+	ctrlBox *sim.Chan[cluster.Message] // cached (commit rank, tagCtrl) mailbox
+	view    *mem.Image
 
-	in      []*queue.RecvPort[Entry] // per worker tid
+	in      []*entryCursor // per worker tid
 	verdict *queue.SendPort[Entry]
 
 	coa        coaClient
@@ -80,12 +82,15 @@ func (t *tcNode) awaitDoneOrRecovery() bool {
 
 func (t *tcNode) bind() {
 	ep := t.comm.Endpoint()
-	ep.Mailbox(t.sys.cfg.commitRank(), tagCtrl)
+	t.ctrlBox = ep.Mailbox(t.sys.cfg.commitRank(), tagCtrl)
 	ep.Mailbox(t.sys.cfg.commitRank(), tagPageReply)
 	t.comm.RegisterBarrierMailboxes()
 	t.view = mem.NewImage(t.coaFault)
+	// The view's pages are private Copy-On-Access clones; recovery's
+	// wholesale discard can recycle the frames.
+	t.view.ReleaseOnReset(true)
 	for w := 0; w < t.sys.cfg.Workers(); w++ {
-		t.in = append(t.in, t.sys.toTCQ[w][t.shard].Receiver(t.comm))
+		t.in = append(t.in, newEntryCursor(t.sys.toTCQ[w][t.shard].Receiver(t.comm)))
 	}
 	t.verdict = t.sys.verdictQ[t.shard].Sender(t.comm)
 }
@@ -223,10 +228,10 @@ func (t *tcNode) routeOf(s int, iter uint64) int {
 	return t.sys.layout.Assign[s][0]
 }
 
-func (t *tcNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
+func (t *tcNode) consumeNext(port *entryCursor) Entry {
 	backoff := t.sys.cfg.PollMin
 	for {
-		if e, ok := port.TryConsume(); ok {
+		if e, ok := port.tryNext(); ok {
 			return e
 		}
 		t.checkCtrl()
@@ -239,7 +244,7 @@ func (t *tcNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
 }
 
 func (t *tcNode) checkCtrl() {
-	msg, ok := t.comm.TryRecv(t.sys.cfg.commitRank(), tagCtrl)
+	msg, ok := t.comm.TryRecvBox(t.ctrlBox)
 	if !ok {
 		return
 	}
@@ -256,7 +261,7 @@ func (t *tcNode) doRecovery() {
 	t.pendingCtrl = nil
 	t.comm.Barrier(t.sys.allRanks) // B1: entered recovery mode
 	for _, port := range t.in {
-		port.Abort(cm.epoch)
+		port.abort(cm.epoch)
 	}
 	t.verdict.Abort(cm.epoch)
 	t.routes = make(map[uint64]int)

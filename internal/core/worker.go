@@ -24,17 +24,18 @@ type workerNode struct {
 	poolIdx int
 	proc    *sim.Proc
 	comm    *mpi.Comm
+	ctrlBox *sim.Chan[cluster.Message] // cached (commit rank, tagCtrl) mailbox
 	img     *mem.Image
 	arena   *uva.Arena
 
 	outStages []int                                  // sorted destination stages
 	edgeOut   map[int]map[int]*queue.SendPort[Entry] // dstStage -> dstTid -> port
 	inStages  []int                                  // sorted source stages
-	edgeIn    map[int]map[int]*queue.RecvPort[Entry] // fromStage -> srcTid -> port
+	edgeIn    map[int]map[int]*entryCursor           // fromStage -> srcTid -> cursor
 	toTC      []*queue.SendPort[Entry]               // per try-commit shard
 	toCU      *queue.SendPort[Entry]
 	syncOut   *queue.SendPort[Entry]
-	syncIn    *queue.RecvPort[Entry]
+	syncIn    *entryCursor
 
 	inbox map[int][]Entry // fromStage -> data entries buffered for current iter
 
@@ -69,7 +70,7 @@ func newWorkerNode(s *System, tid int) *workerNode {
 		stage:    s.layout.StageOf(tid),
 		poolIdx:  s.layout.PoolIndex(tid),
 		edgeOut:  make(map[int]map[int]*queue.SendPort[Entry]),
-		edgeIn:   make(map[int]map[int]*queue.RecvPort[Entry]),
+		edgeIn:   make(map[int]map[int]*entryCursor),
 		inbox:    make(map[int][]Entry),
 		routesIn: make(map[uint64]int),
 	}
@@ -115,11 +116,14 @@ func (w *workerNode) awaitDoneOrRecovery() bool {
 func (w *workerNode) bind() {
 	cuRank := w.sys.cfg.commitRank()
 	ep := w.comm.Endpoint()
-	ep.Mailbox(cuRank, tagCtrl)
+	w.ctrlBox = ep.Mailbox(cuRank, tagCtrl)
 	ep.Mailbox(cuRank, tagPageReply)
 	w.comm.RegisterBarrierMailboxes()
 
 	w.img = mem.NewImage(w.coaFault)
+	// Worker pages are private Copy-On-Access clones; recovery's wholesale
+	// discard can recycle the frames.
+	w.img.ReleaseOnReset(true)
 	w.arena = uva.NewArena(w.tid + 1)
 
 	for key, q := range w.sys.edgeQ {
@@ -135,10 +139,10 @@ func (w *workerNode) bind() {
 		case dst == w.tid:
 			fromStage := w.sys.layout.StageOf(src)
 			if w.edgeIn[fromStage] == nil {
-				w.edgeIn[fromStage] = make(map[int]*queue.RecvPort[Entry])
+				w.edgeIn[fromStage] = make(map[int]*entryCursor)
 				w.inStages = append(w.inStages, fromStage)
 			}
-			w.edgeIn[fromStage][src] = q.Receiver(w.comm)
+			w.edgeIn[fromStage][src] = newEntryCursor(q.Receiver(w.comm))
 		}
 	}
 	sort.Ints(w.outStages)
@@ -151,7 +155,7 @@ func (w *workerNode) bind() {
 
 	if w.sys.cfg.Plan.Sync {
 		w.syncOut = w.sys.syncQ[w.tid].Sender(w.comm)
-		w.syncIn = w.sys.syncQ[w.sys.prevPool(w.tid)].Receiver(w.comm)
+		w.syncIn = newEntryCursor(w.sys.syncQ[w.sys.prevPool(w.tid)].Receiver(w.comm))
 	}
 	if w.sys.routedStage >= 0 && w.stage == w.sys.routedStage-1 {
 		w.feedsRouted = true
@@ -341,7 +345,7 @@ func (w *workerNode) refresh() (iter uint64, term bool) {
 		// A fed parallel stage has exactly one inbound edge; the next
 		// EndSub marker names the iteration routed to this worker.
 		fromStage := w.inStages[0]
-		var port *queue.RecvPort[Entry]
+		var port *entryCursor
 		for _, p := range w.edgeIn[fromStage] {
 			port = p
 		}
@@ -363,7 +367,7 @@ func (w *workerNode) refresh() (iter uint64, term bool) {
 // drainSub consumes one subTX worth of entries from port. If expect is
 // non-nil the EndSub must match *expect; otherwise the EndSub's iteration is
 // returned.
-func (w *workerNode) drainSub(port *queue.RecvPort[Entry], fromStage int, expect *uint64) (iter uint64, term bool) {
+func (w *workerNode) drainSub(port *entryCursor, fromStage int, expect *uint64) (iter uint64, term bool) {
 	for {
 		e := w.consumeNext(port)
 		switch e.Kind {
@@ -564,10 +568,10 @@ func (w *workerNode) forEachShardRange(addr uva.Addr, n int, fn func(a uva.Addr,
 
 // consumeNext polls a queue with adaptive backoff, watching for the commit
 // unit's recovery broadcast so blocked workers always unwind.
-func (w *workerNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
+func (w *workerNode) consumeNext(port *entryCursor) Entry {
 	backoff := w.sys.cfg.PollMin
 	for {
-		if e, ok := port.TryConsume(); ok {
+		if e, ok := port.tryNext(); ok {
 			return e
 		}
 		w.checkCtrl()
@@ -582,7 +586,7 @@ func (w *workerNode) consumeNext(port *queue.RecvPort[Entry]) Entry {
 // checkCtrl unwinds to the recovery handler if the commit unit has
 // broadcast a new epoch.
 func (w *workerNode) checkCtrl() {
-	msg, ok := w.comm.TryRecv(w.sys.cfg.commitRank(), tagCtrl)
+	msg, ok := w.comm.TryRecvBox(w.ctrlBox)
 	if !ok {
 		return
 	}
@@ -610,7 +614,7 @@ func (w *workerNode) doRecovery() {
 	}
 	for _, m := range w.edgeIn {
 		for _, port := range m {
-			port.Abort(cm.epoch)
+			port.abort(cm.epoch)
 		}
 	}
 	for _, port := range w.toTC {
@@ -619,7 +623,7 @@ func (w *workerNode) doRecovery() {
 	w.toCU.Abort(cm.epoch)
 	if w.syncOut != nil {
 		w.syncOut.Abort(cm.epoch)
-		w.syncIn.Abort(cm.epoch)
+		w.syncIn.abort(cm.epoch)
 	}
 	for k := range w.inbox {
 		delete(w.inbox, k)

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"dsmtx/internal/uva"
@@ -26,10 +27,14 @@ func (im *Image) LoadBytes(addr uva.Addr, n int) []byte {
 	}
 	for done := 0; done < n; {
 		a := addr + uva.Addr(done)
-		pg := im.page(a.Page())
+		id := a.Page()
+		s := im.slot(id)
+		if s.pg == nil {
+			im.fill(id, s)
+		}
 		off := a.PageOffset()
 		chunk := min(uva.PageSize-off, n-done)
-		copyOut(out[done:done+chunk], pg, off)
+		copyOut(out[done:done+chunk], s.pg, off)
 		done += chunk
 	}
 	return out
@@ -51,20 +56,27 @@ func (im *Image) StoreBytes(addr uva.Addr, b []byte) {
 		id := a.Page()
 		off := a.PageOffset()
 		chunk := min(uva.PageSize-off, len(b)-done)
-		var pg *Page
+		s := im.slot(id)
 		if off == 0 && chunk == uva.PageSize {
-			pg = new(Page)
-			im.pages[id] = pg
-			delete(im.shared, id)
+			// Full-page overwrite: skip the fault; reuse the resident frame
+			// in place when this image owns it exclusively, else install a
+			// raw pool frame (every byte is written below).
+			if s.pg == nil {
+				s.pg = getPageRaw()
+				im.resident++
+			} else if s.shared {
+				s.pg = getPageRaw()
+			}
+			s.shared = false
 		} else {
-			pg = im.page(id)
-			if im.shared[id] {
-				pg = pg.Clone()
-				im.pages[id] = pg
-				delete(im.shared, id)
+			if s.pg == nil {
+				im.fill(id, s)
+			}
+			if s.shared {
+				s.pg, s.shared = clonePage(s.pg), false
 			}
 		}
-		copyIn(pg, off, b[done:done+chunk])
+		copyIn(s.pg, off, b[done:done+chunk])
 		done += chunk
 	}
 }
@@ -91,19 +103,38 @@ func ChecksumBytes(b []byte) uint64 {
 }
 
 // copyOut extracts bytes [off, off+len(dst)) of a page (little-endian word
-// layout).
+// layout): byte k of a word is Words[k>>3] >> ((k&7)*8), so whole words
+// move with a single little-endian store.
 func copyOut(dst []byte, pg *Page, off int) {
-	for i := range dst {
+	i := 0
+	for ; i < len(dst) && (off+i)&7 != 0; i++ {
+		b := off + i
+		dst[i] = byte(pg.Words[b>>3] >> ((b & 7) * 8))
+	}
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], pg.Words[(off+i)>>3])
+	}
+	for ; i < len(dst); i++ {
 		b := off + i
 		dst[i] = byte(pg.Words[b>>3] >> ((b & 7) * 8))
 	}
 }
 
-// copyIn writes src into a page at byte offset off.
+// copyIn writes src into a page at byte offset off, whole words at a time
+// where alignment allows.
 func copyIn(pg *Page, off int, src []byte) {
-	for i, c := range src {
+	i := 0
+	for ; i < len(src) && (off+i)&7 != 0; i++ {
 		b := off + i
 		shift := uint((b & 7) * 8)
-		pg.Words[b>>3] = pg.Words[b>>3]&^(0xff<<shift) | uint64(c)<<shift
+		pg.Words[b>>3] = pg.Words[b>>3]&^(0xff<<shift) | uint64(src[i])<<shift
+	}
+	for ; i+8 <= len(src); i += 8 {
+		pg.Words[(off+i)>>3] = binary.LittleEndian.Uint64(src[i:])
+	}
+	for ; i < len(src); i++ {
+		b := off + i
+		shift := uint((b & 7) * 8)
+		pg.Words[b>>3] = pg.Words[b>>3]&^(0xff<<shift) | uint64(src[i])<<shift
 	}
 }

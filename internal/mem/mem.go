@@ -13,11 +13,19 @@
 // is explicit; the protocol it triggers (fault → page request → page reply →
 // install) matches the paper's, and the transfer costs are charged by the
 // runtime's fault handler.
+//
+// Host-side layout: the page table is two-level — a map of 512-page chunks
+// (2 MiB of address space each) holding dense slot arrays — plus a
+// per-image last-slot cache, so the common case of touching the same page
+// (or the same 2 MiB region) repeatedly does no map lookup at all. Pages
+// are recycled through a free list (sync.Pool) on images that opt in with
+// ReleaseOnReset; none of this is visible in simulated time.
 package mem
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dsmtx/internal/uva"
 )
@@ -34,18 +42,85 @@ func (pg *Page) Clone() *Page {
 	return &c
 }
 
+// pagePool recycles Page frames across images and runs. Pages enter the
+// pool only from images that opted in via ReleaseOnReset (worker and
+// try-commit images, whose pages are exclusively owned clones), so a pooled
+// frame is never still referenced.
+var pagePool sync.Pool
+
+// getPageRaw returns a page frame with undefined contents; callers must
+// overwrite every word (full-page install, whole-page clone).
+func getPageRaw() *Page {
+	if v := pagePool.Get(); v != nil {
+		return v.(*Page)
+	}
+	return new(Page)
+}
+
+// getPageZero returns a zeroed page frame.
+func getPageZero() *Page {
+	if v := pagePool.Get(); v != nil {
+		pg := v.(*Page)
+		*pg = Page{}
+		return pg
+	}
+	return new(Page)
+}
+
+// clonePage returns a pooled copy of src.
+func clonePage(src *Page) *Page {
+	dst := getPageRaw()
+	*dst = *src
+	return dst
+}
+
 // FaultFunc resolves a page miss, returning the page contents to install
 // (Copy-On-Access from the commit unit), or nil to install a zero page
 // (fresh thread-local allocation). It may block the calling process and
 // charge virtual time.
 type FaultFunc func(id uva.PageID) *Page
 
+// Page-table geometry: pageID's low chunkShift bits index a dense slot
+// array; the rest select the chunk. 512 slots of 16 bytes keep a chunk at
+// 8 KiB — one chunk typically covers a workload's whole working set for one
+// owner region.
+const (
+	chunkShift = 9
+	chunkPages = 1 << chunkShift
+	chunkMask  = chunkPages - 1
+)
+
+// pageSlot is one page-table entry: the resident page (nil = protected) and
+// whether a snapshot still aliases it (copy on write).
+type pageSlot struct {
+	pg     *Page
+	shared bool
+}
+
+type pageChunk struct {
+	slots [chunkPages]pageSlot
+}
+
+// noPage is the last-slot cache's "empty" sentinel (no valid page ID — it
+// would imply an address with all bits set).
+const noPage = ^uva.PageID(0)
+
 // Image is one process's view of the unified address space.
 type Image struct {
-	pages   map[uva.PageID]*Page
-	shared  map[uva.PageID]bool // page is aliased by a snapshot: copy on write
+	chunks  map[uint64]*pageChunk
 	fault   FaultFunc
 	hintEnd uva.PageID // one past the last page of an in-flight bulk access
+
+	// Hot-path caches: the last slot touched (same-page accesses skip all
+	// lookup) and the last chunk touched (same-region accesses skip the
+	// chunk map).
+	lastID    uva.PageID
+	lastSlot  *pageSlot
+	lastKey   uint64
+	lastChunk *pageChunk
+
+	resident int
+	release  bool // return exclusively-owned pages to the pool on Reset
 
 	// Counters for tests and instrumentation.
 	Faults   uint64
@@ -58,11 +133,19 @@ type Image struct {
 // way, since it holds the authoritative state).
 func NewImage(fault FaultFunc) *Image {
 	return &Image{
-		pages:  make(map[uva.PageID]*Page),
-		shared: make(map[uva.PageID]bool),
+		chunks: make(map[uint64]*pageChunk),
 		fault:  fault,
+		lastID: noPage,
 	}
 }
+
+// ReleaseOnReset opts this image into page recycling: Reset (and nothing
+// else) returns its exclusively-owned pages to the shared frame pool. Only
+// safe when no pointer to a resident page outlives the image's speculative
+// state — true for worker and try-commit images, whose pages are private
+// Copy-On-Access clones; never enabled for the commit unit's authoritative
+// image or for user-built images.
+func (im *Image) ReleaseOnReset(on bool) { im.release = on }
 
 // AccessHint reports the page just past the current bulk access — fault
 // handlers use it to size read-ahead exactly; 0 when no bulk access is in
@@ -74,28 +157,60 @@ func (im *Image) AccessHint() uva.PageID { return im.hintEnd }
 func (im *Image) SetFault(fault FaultFunc) { im.fault = fault }
 
 // Resident reports how many pages the image currently holds.
-func (im *Image) Resident() int { return len(im.pages) }
+func (im *Image) Resident() int { return im.resident }
 
 // Has reports whether a page is resident (unprotected).
 func (im *Image) Has(id uva.PageID) bool {
-	_, ok := im.pages[id]
-	return ok
+	if ch, ok := im.chunks[uint64(id)>>chunkShift]; ok {
+		return ch.slots[uint64(id)&chunkMask].pg != nil
+	}
+	return false
 }
 
-func (im *Image) page(id uva.PageID) *Page {
-	if pg, ok := im.pages[id]; ok {
-		return pg
+// slot returns the page-table entry for id, allocating its chunk if needed,
+// and primes the last-slot cache.
+func (im *Image) slot(id uva.PageID) *pageSlot {
+	key := uint64(id) >> chunkShift
+	ch := im.lastChunk
+	if ch == nil || key != im.lastKey {
+		var ok bool
+		ch, ok = im.chunks[key]
+		if !ok {
+			ch = new(pageChunk)
+			im.chunks[key] = ch
+		}
+		im.lastKey, im.lastChunk = key, ch
 	}
+	s := &ch.slots[uint64(id)&chunkMask]
+	im.lastID, im.lastSlot = id, s
+	return s
+}
+
+// fill resolves a protected slot through the fault handler. The handler may
+// block and recursively install read-ahead pages into this image; s stays
+// valid (slots never move) and the slot's final contents match the
+// handler's answer for id.
+func (im *Image) fill(id uva.PageID, s *pageSlot) {
 	im.Faults++
 	var pg *Page
 	if im.fault != nil {
 		pg = im.fault(id)
 	}
 	if pg == nil {
-		pg = new(Page)
+		pg = getPageZero()
 	}
-	im.pages[id] = pg
-	return pg
+	if s.pg == nil {
+		im.resident++
+	}
+	s.pg, s.shared = pg, false
+}
+
+func (im *Image) page(id uva.PageID) *Page {
+	s := im.slot(id)
+	if s.pg == nil {
+		im.fill(id, s)
+	}
+	return s.pg
 }
 
 func checkAligned(addr uva.Addr) {
@@ -108,7 +223,15 @@ func checkAligned(addr uva.Addr) {
 func (im *Image) Load(addr uva.Addr) uint64 {
 	checkAligned(addr)
 	im.LoadOps++
-	return im.page(addr.Page()).Words[addr.WordIndex()]
+	id := addr.Page()
+	s := im.lastSlot
+	if s == nil || id != im.lastID {
+		s = im.slot(id)
+	}
+	if s.pg == nil {
+		im.fill(id, s)
+	}
+	return s.pg.Words[addr.WordIndex()]
 }
 
 // Store writes the word at addr, faulting the page in if protected. A page
@@ -117,13 +240,17 @@ func (im *Image) Store(addr uva.Addr, v uint64) {
 	checkAligned(addr)
 	im.StoreOps++
 	id := addr.Page()
-	pg := im.page(id)
-	if im.shared[id] {
-		pg = pg.Clone()
-		im.pages[id] = pg
-		delete(im.shared, id)
+	s := im.lastSlot
+	if s == nil || id != im.lastID {
+		s = im.slot(id)
 	}
-	pg.Words[addr.WordIndex()] = v
+	if s.pg == nil {
+		im.fill(id, s)
+	}
+	if s.shared {
+		s.pg, s.shared = clonePage(s.pg), false
+	}
+	s.pg.Words[addr.WordIndex()] = v
 }
 
 // LoadFloat and StoreFloat give workloads float64 views of words.
@@ -136,21 +263,40 @@ func (im *Image) StoreFloat(addr uva.Addr, v float64) { im.Store(addr, math.Floa
 // Used by the COA client when a page reply arrives.
 func (im *Image) InstallPage(id uva.PageID, pg *Page) {
 	if pg == nil {
-		pg = new(Page)
+		pg = getPageZero()
 	}
-	im.pages[id] = pg
+	s := im.slot(id)
+	if s.pg == nil {
+		im.resident++
+	}
+	s.pg, s.shared = pg, false
 }
 
 // CopyPage returns a copy of a page for transmission, faulting it in if
-// needed.
-func (im *Image) CopyPage(id uva.PageID) *Page { return im.page(id).Clone() }
+// needed. The copy comes from the shared frame pool: the Copy-On-Access
+// serve path clones a page per request, and receivers (worker and
+// try-commit images) recycle the frames on Reset.
+func (im *Image) CopyPage(id uva.PageID) *Page { return clonePage(im.page(id)) }
 
 // Reset drops every resident page, re-arming protection over the whole
 // space: the recovery step "reinstate the access protection to the heap
 // area, discarding the remaining speculative state".
 func (im *Image) Reset() {
-	im.pages = make(map[uva.PageID]*Page)
-	im.shared = make(map[uva.PageID]bool)
+	if im.release {
+		for _, ch := range im.chunks {
+			for i := range ch.slots {
+				if s := &ch.slots[i]; s.pg != nil && !s.shared {
+					pagePool.Put(s.pg)
+				}
+			}
+		}
+	}
+	im.chunks = make(map[uint64]*pageChunk)
+	im.lastID = noPage
+	im.lastSlot = nil
+	im.lastKey = 0
+	im.lastChunk = nil
+	im.resident = 0
 }
 
 // Snapshot returns a frozen copy-on-write view of the image as it is now.
@@ -161,10 +307,15 @@ func (im *Image) Reset() {
 // workers must initialize from the invocation-entry state.
 func (im *Image) Snapshot() *Image {
 	snap := NewImage(nil)
-	for id, pg := range im.pages {
-		snap.pages[id] = pg
-		snap.shared[id] = true
-		im.shared[id] = true
+	snap.resident = im.resident
+	for key, ch := range im.chunks {
+		for i := range ch.slots {
+			if ch.slots[i].pg != nil {
+				ch.slots[i].shared = true
+			}
+		}
+		dup := *ch
+		snap.chunks[key] = &dup
 	}
 	return snap
 }

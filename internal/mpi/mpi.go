@@ -140,6 +140,17 @@ func (c *Comm) TryRecv(from, tag int) (cluster.Message, bool) {
 	return msg, ok
 }
 
+// TryRecvBox is TryRecv against a mailbox handle obtained from
+// Endpoint().Mailbox — poll-heavy paths cache the handle to skip the
+// per-call (source, tag) map lookup.
+func (c *Comm) TryRecvBox(box *sim.Chan[cluster.Message]) (cluster.Message, bool) {
+	msg, ok := box.TryRecv()
+	if ok {
+		c.charge(c.w.cost.Recv, msg.Bytes)
+	}
+	return msg, ok
+}
+
 // Barrier tags must not collide with application tags; reserve a high range.
 const (
 	tagBarrierArrive  = 1 << 30

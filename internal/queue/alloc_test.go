@@ -1,0 +1,48 @@
+package queue
+
+import (
+	"testing"
+
+	"dsmtx/internal/sim"
+)
+
+// TestProduceConsumeAllocBounded is an allocation-regression test for the
+// queue hot path: steady-state Produce plus batch-drain Consume must
+// amortize to well under one heap allocation per item. The ceiling covers
+// world/queue setup and one allocation set per wire batch (slice, message,
+// calendar event) with generous slack — reintroducing a per-item
+// allocation blows through it.
+func TestProduceConsumeAllocBounded(t *testing.T) {
+	const n = 4096
+	runOnce := func() {
+		k := sim.NewKernel()
+		w := newWorld(k)
+		q := New[uint64](w, "q", 0, 1, 100, DefaultConfig(), nil)
+		k.Spawn("consumer", func(p *sim.Proc) {
+			r := q.Receiver(w.Attach(1, p))
+			got := 0
+			for got < n {
+				if batch, ok := r.TryConsumeBatch(); ok {
+					got += len(batch)
+					continue
+				}
+				p.Advance(100)
+			}
+		})
+		k.Spawn("producer", func(p *sim.Proc) {
+			s := q.Sender(w.Attach(0, p))
+			for i := uint64(0); i < n; i++ {
+				s.Produce(i)
+			}
+			s.Flush()
+		})
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := testing.AllocsPerRun(5, runOnce)
+	if perItem := per / n; perItem > 0.25 {
+		t.Fatalf("produce/consume allocated %.3f times per item (%.0f per %d-item run), want <= 0.25",
+			perItem, per, n)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"dsmtx/internal/cluster"
 	"dsmtx/internal/mpi"
+	"dsmtx/internal/sim"
 )
 
 // Config tunes a queue.
@@ -106,12 +107,13 @@ type SendStats struct {
 // SendPort is the producer's end. All methods must be called from the
 // process owning comm.
 type SendPort[T any] struct {
-	q       *Queue[T]
-	comm    *mpi.Comm
-	epoch   uint64
-	pending batch[T]
-	credits int
-	stats   SendStats
+	q         *Queue[T]
+	comm      *mpi.Comm
+	creditBox *sim.Chan[cluster.Message] // cached credit mailbox (Window > 0)
+	epoch     uint64
+	pending   batch[T]
+	credits   int
+	stats     SendStats
 }
 
 // Sender binds the producing process to the queue.
@@ -119,11 +121,12 @@ func (q *Queue[T]) Sender(comm *mpi.Comm) *SendPort[T] {
 	if comm.Rank() != q.src {
 		panic(fmt.Sprintf("queue %s: Sender rank %d, want %d", q.name, comm.Rank(), q.src))
 	}
+	s := &SendPort[T]{q: q, comm: comm, credits: q.cfg.Window}
 	if q.cfg.Window > 0 {
 		// Credits come back on tag+1; register the mailbox up front.
-		comm.Endpoint().Mailbox(q.dst, q.tag+1)
+		s.creditBox = comm.Endpoint().Mailbox(q.dst, q.tag+1)
 	}
-	return &SendPort[T]{q: q, comm: comm, credits: q.cfg.Window}
+	return s
 }
 
 // Produce appends v to the pending batch, flushing if the batch is full.
@@ -158,7 +161,7 @@ func (s *SendPort[T]) Flush() {
 func (s *SendPort[T]) acquireCredit() {
 	// Harvest any credits that already arrived.
 	for {
-		msg, ok := s.comm.TryRecv(s.q.dst, s.q.tag+1)
+		msg, ok := s.comm.TryRecvBox(s.creditBox)
 		if !ok {
 			break
 		}
@@ -197,6 +200,7 @@ func (s *SendPort[T]) PendingItems() int { return len(s.pending.items) }
 type RecvPort[T any] struct {
 	q     *Queue[T]
 	comm  *mpi.Comm
+	box   *sim.Chan[cluster.Message] // cached mailbox handle for the poll path
 	epoch uint64
 	cur   []T
 	items uint64
@@ -207,8 +211,7 @@ func (q *Queue[T]) Receiver(comm *mpi.Comm) *RecvPort[T] {
 	if comm.Rank() != q.dst {
 		panic(fmt.Sprintf("queue %s: Receiver rank %d, want %d", q.name, comm.Rank(), q.dst))
 	}
-	comm.Endpoint().Mailbox(q.src, q.tag)
-	return &RecvPort[T]{q: q, comm: comm}
+	return &RecvPort[T]{q: q, comm: comm, box: comm.Endpoint().Mailbox(q.src, q.tag)}
 }
 
 // Consume blocks until a value of the current epoch is available and
@@ -229,7 +232,7 @@ func (r *RecvPort[T]) Consume() T {
 // TryConsume returns a value if one is available now, without blocking.
 func (r *RecvPort[T]) TryConsume() (T, bool) {
 	for len(r.cur) == 0 {
-		msg, ok := r.comm.TryRecv(r.q.src, r.q.tag)
+		msg, ok := r.comm.TryRecvBox(r.box)
 		if !ok {
 			var zero T
 			return zero, false
@@ -242,6 +245,29 @@ func (r *RecvPort[T]) TryConsume() (T, bool) {
 	r.cur = r.cur[1:]
 	r.items++
 	return v, true
+}
+
+// TryConsumeBatch returns every value currently buffered on the port — the
+// remainder of the in-progress batch, or a newly arrived one — without
+// blocking. It charges the same per-value consume cost as the equivalent
+// sequence of TryConsume calls, but in a single Advance, so draining a
+// batch costs one scheduler interaction instead of one per value. The
+// returned slice is the port's internal buffer: it is valid until the next
+// operation on the port and must not be retained.
+func (r *RecvPort[T]) TryConsumeBatch() ([]T, bool) {
+	for len(r.cur) == 0 {
+		msg, ok := r.comm.TryRecvBox(r.box)
+		if !ok {
+			return nil, false
+		}
+		r.admit(msg)
+	}
+	cfg := r.q.cfg
+	r.comm.Proc().Advance(r.q.world.Machine().Config().InstrTime(cfg.ConsumeInstr * int64(len(r.cur))))
+	out := r.cur
+	r.cur = nil
+	r.items += uint64(len(out))
+	return out, true
 }
 
 func (r *RecvPort[T]) admit(msg cluster.Message) {
@@ -260,7 +286,7 @@ func (r *RecvPort[T]) admit(msg cluster.Message) {
 func (r *RecvPort[T]) Abort(epoch uint64) {
 	r.cur = nil
 	for {
-		if _, ok := r.comm.Endpoint().TryRecv(r.q.src, r.q.tag); !ok {
+		if _, ok := r.box.TryRecv(); !ok {
 			break
 		}
 	}

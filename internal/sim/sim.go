@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -66,21 +65,61 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap over event values. Avoiding
+// container/heap keeps push/pop free of interface boxing — they were the
+// simulator's top allocation site. (t, seq) is a total order, so the pop
+// sequence is independent of heap internals.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)    { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event    { return h[0] }
-func (h *eventHeap) popMin() event { return heap.Pop(h).(event) }
-func (h *eventHeap) push(e event)  { heap.Push(h, e) }
+
+func (h eventHeap) peek() event { return h[0] }
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) popMin() event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = event{} // drop the p/fn references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
 
 // killSentinel unwinds a process goroutine when the kernel shuts down.
 type killSentinel struct{}
@@ -99,6 +138,7 @@ type Kernel struct {
 	killing bool
 	failure error
 	stopped bool
+	horizon Time // active Run's horizon (0 = unbounded); guards the Advance fast path
 	// Stats
 	nEvents uint64
 }
@@ -161,6 +201,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 // or the horizon (if positive) is reached. It returns a deadlock error when
 // live processes remain blocked with an empty calendar.
 func (k *Kernel) Run(horizon Time) error {
+	k.horizon = horizon
 	for len(k.events) > 0 && !k.stopped && k.failure == nil {
 		if horizon > 0 && k.events.peek().t > horizon {
 			break
@@ -286,7 +327,21 @@ func (p *Proc) Advance(d Duration) {
 		d = 0
 	}
 	p.advanced += d
-	p.k.schedule(p.k.now+d, p, nil)
+	k := p.k
+	// Fast path: when no calendar entry fires at or before now+d, the
+	// kernel's next action after a park would be popping this process's own
+	// resume event — so bump the clock in place and keep running. Event
+	// order is bit-for-bit unchanged; only the park/resume goroutine
+	// handshake (the dominant host cost per Advance) is skipped. Strict
+	// alternation makes the direct clock/heap access safe: the kernel is
+	// parked in <-yield for as long as this process runs.
+	if !k.stopped && !k.killing &&
+		(len(k.events) == 0 || k.events[0].t > k.now+d) &&
+		(k.horizon <= 0 || k.now+d <= k.horizon) {
+		k.now += d
+		return
+	}
+	k.schedule(k.now+d, p, nil)
 	p.park("advance")
 }
 

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"sync"
+
 	"dsmtx/internal/core"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/pipeline"
@@ -75,25 +77,64 @@ func (p *gzProg) Setup(ctx *core.SeqCtx) {
 	p.cursor = ctx.AllocWords(1)
 	p.outCur = ctx.AllocWords(1)
 	img := ctx.Image()
-	r := newRNG(p.seed)
+	data := gzInput(p.seed, total)
+	const chunk = 1 << 16
+	for off := int64(0); off < total; off += chunk {
+		n := int64(chunk)
+		if total-off < n {
+			n = total - off
+		}
+		img.StoreBytes(p.input+uva.Addr(off), data[off:off+n])
+	}
+	ctx.Store(p.cursor, 0)
+	ctx.Store(p.outCur, 0)
+}
+
+// gzInputCache memoizes the generated input file: benchmark sweeps re-run
+// Setup for every (workers, rate) point over the same input, and pushing
+// megabytes through the rng dominates Setup's host cost. rng.bytes
+// back-references within each call's buffer, so the stream depends on the
+// chunking — the cache reproduces Setup's exact 64 KiB chunk loop and is
+// byte-identical to direct generation.
+var gzInputCache sync.Map // gzInputKey -> []byte
+
+type gzInputKey struct {
+	seed  uint64
+	total int64
+}
+
+func gzInput(seed uint64, total int64) []byte {
+	key := gzInputKey{seed, total}
+	if v, ok := gzInputCache.Load(key); ok {
+		return v.([]byte)
+	}
+	r := newRNG(seed)
+	data := make([]byte, 0, total)
 	const chunk = 1 << 16
 	for off := int64(0); off < total; off += chunk {
 		n := chunk
 		if total-off < int64(n) {
 			n = int(total - off)
 		}
-		img.StoreBytes(p.input+uva.Addr(off), r.bytes(n))
+		data = append(data, r.bytes(n)...)
 	}
-	ctx.Store(p.cursor, 0)
-	ctx.Store(p.outCur, 0)
+	v, _ := gzInputCache.LoadOrStore(key, data)
+	return v.([]byte)
 }
+
+// lzScratch recycles the LZ77 token stream between compress calls: it is
+// consumed by huffEncode and never escapes, so the buffer can go straight
+// back in the pool.
+var lzScratch sync.Pool
 
 // compress does the block's real work — LZ77 then canonical Huffman, the
 // two halves of deflate; costs derive from the operations each half
 // actually performed.
 func (p *gzProg) compress(block []byte) (comp []byte, instr int64) {
-	lz, probes := lzCompress(block)
+	buf, _ := lzScratch.Get().([]byte)
+	lz, probes := lzCompressInto(block, buf)
 	comp, huffWork := huffEncode(lz)
+	lzScratch.Put(lz[:0])
 	return comp, int64(probes)*gzInstrPerProbe + huffWork*gzInstrPerHuffOp
 }
 

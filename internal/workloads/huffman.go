@@ -5,37 +5,65 @@ package workloads
 // The header stores the 256 code lengths plus the payload length; decoding
 // rebuilds the canonical code from lengths alone, as deflate does.
 
-import "sort"
+import "slices"
 
 // huffEncode compresses b; work counts the operations performed (for cost
 // charging). The output is self-describing and decoded by huffDecode.
 func huffEncode(b []byte) (out []byte, work int64) {
+	// Four sub-histograms break the store-to-load dependency chain on
+	// repeated bytes; counts are identical to a single-table pass.
+	var f0, f1, f2, f3 [256]int
+	n := 0
+	for ; n+4 <= len(b); n += 4 {
+		f0[b[n]]++
+		f1[b[n+1]]++
+		f2[b[n+2]]++
+		f3[b[n+3]]++
+	}
+	for ; n < len(b); n++ {
+		f0[b[n]]++
+	}
 	var freq [256]int
-	for _, c := range b {
-		freq[c]++
+	for s := range freq {
+		freq[s] = f0[s] + f1[s] + f2[s] + f3[s]
 	}
 	work += int64(len(b))
 	lengths := huffLengths(freq)
 	codes := canonicalCodes(lengths)
 
-	out = make([]byte, 0, len(b)/2+264)
+	// Incompressible blocks emit about one output byte per input byte;
+	// size the buffer for that so growth doesn't copy the block mid-emit.
+	out = make([]byte, 0, len(b)+len(b)/8+264)
 	// Header: payload length (4 bytes) + 256 code lengths.
 	out = append(out, byte(len(b)), byte(len(b)>>8), byte(len(b)>>16), byte(len(b)>>24))
 	out = append(out, lengths[:]...)
 
+	// Codes go out MSB-first (prefix decodability), so reverse them into
+	// the LSB-first accumulator — exactly deflate's convention. Reversing
+	// once per symbol here instead of once per input byte keeps the
+	// emission loop to a table lookup.
+	var rcodes [256]uint64
+	for s := range codes {
+		rcodes[s] = uint64(reverseBits(codes[s], lengths[s]))
+	}
 	var acc uint64 // bit accumulator, LSB-first
 	var nbits uint
 	for _, c := range b {
-		// Codes go out MSB-first (prefix decodability), so reverse them
-		// into the LSB-first accumulator — exactly deflate's convention.
-		acc |= uint64(reverseBits(codes[c], lengths[c])) << nbits
+		acc |= rcodes[c] << nbits
 		nbits += uint(lengths[c])
-		for nbits >= 8 {
-			out = append(out, byte(acc))
-			acc >>= 8
-			nbits -= 8
+		// Flush four bytes at a time; nbits stays below 32 between
+		// iterations, so a code (at most 32 bits) never overflows acc.
+		if nbits >= 32 {
+			out = append(out, byte(acc), byte(acc>>8), byte(acc>>16), byte(acc>>24))
+			acc >>= 32
+			nbits -= 32
 		}
 		work += int64(lengths[c])
+	}
+	for nbits >= 8 {
+		out = append(out, byte(acc))
+		acc >>= 8
+		nbits -= 8
 	}
 	if nbits > 0 {
 		out = append(out, byte(acc))
@@ -95,83 +123,104 @@ func reverseBits(v uint32, n byte) uint32 {
 }
 
 // huffLengths computes code lengths with the classic two-queue Huffman
-// construction over the 256-symbol alphabet.
+// construction over the 256-symbol alphabet: leaves sorted once by
+// (weight, symbol), merged nodes appended to a second queue in creation
+// order (their weights are nondecreasing), so the two lightest live nodes
+// are always at the queue fronts. Equal-weight ties prefer the merged
+// queue, matching the selection order of a (weight, symbol) comparison
+// where merged nodes carry symbol -1. O(n log n) for the one sort, O(n)
+// for the merges.
 func huffLengths(freq [256]int) [256]byte {
 	type node struct {
 		weight      int
 		sym         int // >= 0 for leaves
 		left, right int // indices into nodes, -1 for leaves
 	}
-	var nodes []node
-	var live []int
+	// Sorting packed weight<<8|sym keys is the (weight, symbol) order
+	// without a comparator closure. Everything is bounded by the 256-symbol
+	// alphabet (at most 511 tree nodes), so all scratch lives on the stack.
+	var keyArr [256]uint64
+	keys := keyArr[:0]
 	for s, f := range freq {
 		if f > 0 {
-			nodes = append(nodes, node{weight: f, sym: s, left: -1, right: -1})
-			live = append(live, len(nodes)-1)
+			keys = append(keys, uint64(f)<<8|uint64(s))
 		}
 	}
-	switch len(live) {
+	nLeaves := len(keys)
+	switch nLeaves {
 	case 0:
 		return [256]byte{}
 	case 1:
 		var lengths [256]byte
-		lengths[nodes[live[0]].sym] = 1
+		lengths[keys[0]&0xff] = 1
 		return lengths
 	}
-	for len(live) > 1 {
-		// Pick the two lightest (selection over <= 511 entries; cheap).
-		sort.Slice(live, func(i, j int) bool {
-			a, b := nodes[live[i]], nodes[live[j]]
-			if a.weight != b.weight {
-				return a.weight < b.weight
-			}
-			return a.sym < b.sym // deterministic ties
-		})
-		l, r := live[0], live[1]
-		nodes = append(nodes, node{weight: nodes[l].weight + nodes[r].weight, sym: -1, left: l, right: r})
-		live = append([]int{len(nodes) - 1}, live[2:]...)
+	slices.Sort(keys)
+	var nodeArr [511]node
+	nodes := nodeArr[:0]
+	for _, k := range keys {
+		nodes = append(nodes, node{weight: int(k >> 8), sym: int(k & 0xff), left: -1, right: -1})
 	}
-	var lengths [256]byte
-	var walk func(i int, depth byte)
-	walk = func(i int, depth byte) {
-		if nodes[i].sym >= 0 {
-			lengths[nodes[i].sym] = depth
-			return
+	var mergedArr [255]int
+	merged := mergedArr[:0] // FIFO of merged-node indices
+	h1, h2 := 0, 0
+	pick := func() int {
+		if h2 < len(merged) && (h1 >= nLeaves || nodes[merged[h2]].weight <= nodes[h1].weight) {
+			i := merged[h2]
+			h2++
+			return i
 		}
-		walk(nodes[i].left, depth+1)
-		walk(nodes[i].right, depth+1)
+		i := h1
+		h1++
+		return i
 	}
-	walk(live[0], 0)
+	for range nLeaves - 1 {
+		l := pick()
+		r := pick()
+		nodes = append(nodes, node{weight: nodes[l].weight + nodes[r].weight, sym: -1, left: l, right: r})
+		merged = append(merged, len(nodes)-1)
+	}
+	// Children always precede parents, so one reverse pass propagates
+	// depths from the root (the last node) without recursion.
+	var lengths [256]byte
+	var depthArr [511]byte
+	depth := depthArr[:len(nodes)]
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if n.sym >= 0 {
+			lengths[n.sym] = depth[i]
+			continue
+		}
+		depth[n.left] = depth[i] + 1
+		depth[n.right] = depth[i] + 1
+	}
 	return lengths
 }
 
 // canonicalCodes assigns canonical codes (shorter codes first, then by
-// symbol) from lengths, as RFC 1951 does.
+// symbol) from lengths, as RFC 1951 does. Visiting length buckets in
+// ascending order and symbols in ascending order within each bucket IS the
+// (length, symbol) sort, without sorting.
 func canonicalCodes(lengths [256]byte) [256]uint32 {
-	type sl struct {
-		sym    int
-		length byte
-	}
-	var syms []sl
-	for s, l := range lengths {
-		if l > 0 {
-			syms = append(syms, sl{s, l})
+	maxLen := byte(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
 		}
 	}
-	sort.Slice(syms, func(i, j int) bool {
-		if syms[i].length != syms[j].length {
-			return syms[i].length < syms[j].length
-		}
-		return syms[i].sym < syms[j].sym
-	})
 	var codes [256]uint32
 	code := uint32(0)
 	prevLen := byte(0)
-	for _, e := range syms {
-		code <<= (e.length - prevLen)
-		codes[e.sym] = code
-		code++
-		prevLen = e.length
+	for l := byte(1); l != 0 && l <= maxLen; l++ {
+		for s := 0; s < 256; s++ {
+			if lengths[s] != l {
+				continue
+			}
+			code <<= (l - prevLen)
+			codes[s] = code
+			code++
+			prevLen = l
+		}
 	}
 	return codes
 }

@@ -5,6 +5,11 @@ package workloads
 // token stream (flag 0: literal run; flag 1: back-reference). lzDecompress
 // inverts it exactly; tests round-trip every block.
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 const (
 	lzHashBits = 12
 	lzMinMatch = 4
@@ -12,18 +17,42 @@ const (
 	lzMaxDist  = 1 << 15
 )
 
-func lzHash(b []byte) uint32 {
-	return (uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])) * 2654435761 >> (32 - lzHashBits)
+// lzMatchLen returns the longest common prefix (capped at limit) of
+// src[c:] and src[i:], comparing eight bytes at a time. Both windows stay
+// within src: c < i and i+limit <= len(src).
+func lzMatchLen(src []byte, c, i, limit int) int {
+	n := 0
+	for n+8 <= limit {
+		x := binary.LittleEndian.Uint64(src[c+n:]) ^ binary.LittleEndian.Uint64(src[i+n:])
+		if x != 0 {
+			n += bits.TrailingZeros64(x) >> 3
+			return n
+		}
+		n += 8
+	}
+	for n < limit && src[c+n] == src[i+n] {
+		n++
+	}
+	return n
 }
 
 // lzCompress returns the compressed form of src and the number of match
 // probes performed (a faithful work measure for cost charging).
 func lzCompress(src []byte) (out []byte, probes int) {
-	var table [1 << lzHashBits]int32
-	for i := range table {
-		table[i] = -1
+	return lzCompressInto(src, nil)
+}
+
+// lzCompressInto is lzCompress writing into buf (grown as needed), so
+// callers can recycle the token stream when it is only an intermediate.
+func lzCompressInto(src, buf []byte) (out []byte, probes int) {
+	var table [1 << lzHashBits]int32 // stores position+1; 0 means empty
+	// Worst case (incompressible input) is all literal runs: the payload
+	// plus a 2-byte header per 255-byte run. Size for that so the stream
+	// never regrows mid-block.
+	if need := len(src) + len(src)/128 + 16; cap(buf) < need {
+		buf = make([]byte, 0, need)
 	}
-	out = make([]byte, 0, len(src)/2+16)
+	out = buf[:0]
 	litStart := 0
 	flushLits := func(end int) {
 		for litStart < end {
@@ -38,21 +67,24 @@ func lzCompress(src []byte) (out []byte, probes int) {
 	}
 	i := 0
 	for i+lzMinMatch <= len(src) {
-		h := lzHash(src[i:])
-		cand := table[h]
-		table[h] = int32(i)
+		// One 32-bit load instead of three byte loads; identical hash
+		// value (little-endian v holds b0|b1<<8|b2<<16).
+		v := binary.LittleEndian.Uint32(src[i:])
+		h := ((v&0xff)<<16 | v&0xff00 | v>>16&0xff) * 2654435761 >> (32 - lzHashBits)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
 		probes++
-		if cand >= 0 && i-int(cand) < lzMaxDist && src[cand] == src[i] {
-			// Extend the match.
-			length := 0
-			for i+length < len(src) && length < lzMaxMatch &&
-				src[int(cand)+length] == src[i+length] {
-				length++
-				probes++
+		if cand >= 0 && i-cand < lzMaxDist && src[cand] == src[i] {
+			// Extend the match; one probe per matched byte.
+			limit := len(src) - i
+			if limit > lzMaxMatch {
+				limit = lzMaxMatch
 			}
+			length := lzMatchLen(src, cand, i, limit)
+			probes += length
 			if length >= lzMinMatch {
 				flushLits(i)
-				dist := i - int(cand)
+				dist := i - cand
 				out = append(out, 1, byte(length), byte(dist), byte(dist>>8))
 				i += length
 				litStart = i

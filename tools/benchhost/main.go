@@ -1,0 +1,118 @@
+// Command benchhost runs the host-side performance benchmarks
+// (BenchmarkHost* in the repo root) and records the results as a labelled
+// entry in BENCH_host.json, so the simulator's wall-clock trajectory is
+// tracked across PRs.
+//
+// Usage (from the repo root, or via `make bench-host`):
+//
+//	go run ./tools/benchhost -label pr1 [-benchtime 3x] [-keep-label]
+//
+// An existing entry with the same label is replaced unless -keep-label is
+// set, in which case the run aborts instead of overwriting history.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Measurement is one benchmark's host-side result.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry is one labelled benchmark run (typically one per PR).
+type Entry struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	GoVersion  string                 `json:"go_version,omitempty"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+// File is the whole BENCH_host.json document.
+type File struct {
+	Comment string  `json:"comment"`
+	Entries []Entry `json:"entries"`
+}
+
+// benchLine matches `BenchmarkHostFoo-8  3  123456789 ns/op  456 B/op  7 allocs/op`.
+var benchLine = regexp.MustCompile(`^(BenchmarkHost\S*?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchhost: ")
+	var (
+		label     = flag.String("label", "current", "entry label (e.g. pr1, pr1-baseline)")
+		benchtime = flag.String("benchtime", "3x", "go test -benchtime value")
+		out       = flag.String("out", "BENCH_host.json", "results file")
+		keep      = flag.Bool("keep-label", false, "abort instead of replacing an existing entry with the same label")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "BenchmarkHost",
+		"-benchmem", "-benchtime", *benchtime, "-count", "1", ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go test -bench: %v", err)
+	}
+	fmt.Print(string(raw))
+
+	entry := Entry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Benchmarks: map[string]Measurement{},
+	}
+	if v, err := exec.Command("go", "env", "GOVERSION").Output(); err == nil {
+		entry.GoVersion = string(v[:len(v)-1])
+	}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		bytes, _ := strconv.ParseInt(m[3], 10, 64)
+		allocs, _ := strconv.ParseInt(m[4], 10, 64)
+		entry.Benchmarks[m[1]] = Measurement{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+	}
+	if len(entry.Benchmarks) == 0 {
+		log.Fatal("no BenchmarkHost results parsed")
+	}
+
+	f := File{Comment: "Host wall-clock per figure-harness run, one labelled entry per PR; written by tools/benchhost (make bench-host)."}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &f); err != nil {
+			log.Fatalf("parse %s: %v", *out, err)
+		}
+	}
+	kept := f.Entries[:0]
+	for _, e := range f.Entries {
+		if e.Label == *label {
+			if *keep {
+				log.Fatalf("entry %q already exists in %s", *label, *out)
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	f.Entries = append(kept, entry)
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("recorded %d benchmarks under label %q in %s", len(entry.Benchmarks), *label, *out)
+}

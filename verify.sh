@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, vet, build, full test suite, and the
+# race detector over the packages that run real goroutines. CI and
+# pre-commit both run this (or `make verify`).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+# The sim kernel hosts processes on real goroutines; everything above it is
+# cooperative, but the handoff protocol itself must stay race-clean.
+go test -race ./internal/sim/
+echo "verify: OK"
