@@ -1,7 +1,8 @@
 # Development entry points. `make verify` is the tier-1 gate; `make
-# bench-host` records the host-side perf trajectory in BENCH_host.json.
+# bench-host` records the host-side perf trajectory in BENCH_host.json;
+# `make trace-demo` produces and validates a sample Perfetto timeline.
 
-.PHONY: verify test bench-host bench-host-baseline
+.PHONY: verify test bench-host bench-host-baseline trace-demo
 
 verify:
 	./verify.sh
@@ -13,3 +14,10 @@ test:
 LABEL ?= current
 bench-host:
 	go run ./tools/benchhost -label $(LABEL)
+
+# Generate a sample virtual-time trace from the example compressor and
+# validate the Chrome trace-event JSON; load trace-demo.json in Perfetto
+# (ui.perfetto.dev) to browse it. CI runs this to keep the export loadable.
+trace-demo:
+	go run ./examples/compress -trace trace-demo.json
+	go run ./tools/tracecheck trace-demo.json

@@ -17,6 +17,10 @@
 //	dsmtxbench -benchhost                      # wall-clock/allocs per run
 //	dsmtxbench -figure 4 -cpuprofile cpu.out   # profile any mode
 //	dsmtxbench -benchhost -memprofile mem.out
+//
+// Virtual-time timeline export (load the file in Perfetto):
+//
+//	dsmtxbench -trace out.json -bench 164.gzip -cores 32
 package main
 
 import (
@@ -30,7 +34,9 @@ import (
 	"strings"
 	"time"
 
+	"dsmtx/internal/core"
 	"dsmtx/internal/harness"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/workloads"
 )
 
@@ -50,6 +56,7 @@ func main() {
 		scale    = flag.Int("scale", 1, "problem-size multiplier")
 		seed     = flag.Uint64("seed", 42, "input generation seed")
 
+		traceOut   = flag.String("trace", "", "run one configuration (honors -bench, -cores) and write a Chrome trace-event JSON timeline to this file")
 		benchhost  = flag.Bool("benchhost", false, "measure host wall-clock and allocations per simulated run (honors -bench, -cores, -benchn)")
 		benchN     = flag.Int("benchn", 3, "repetitions for -benchhost")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,6 +105,16 @@ func main() {
 	}
 
 	ran := false
+	if *traceOut != "" {
+		c := 32
+		if *coreArg != "" {
+			c = cores[0]
+		}
+		in := in
+		in.MisspecRate = *rate
+		runTrace(in, *bench, c, *traceOut)
+		ran = true
+	}
 	if *benchhost {
 		c := 32
 		if *coreArg != "" {
@@ -150,6 +167,37 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runTrace executes one configuration with the virtual-time tracer attached
+// and writes the Perfetto-loadable Chrome trace.
+func runTrace(in workloads.Input, bench string, cores int, path string) {
+	name := bench
+	if name == "" || name == "geomean" {
+		name = "164.gzip"
+	}
+	b, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := trace.New()
+	res, err := workloads.RunParallel(b, in, workloads.DSMTX, cores,
+		func(cfg *core.Config) { cfg.Tracer = tr })
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %s on %d cores, %v virtual time, %d events -> %s\n",
+		name, cores, res.Elapsed, len(tr.Events()), path)
 }
 
 // runBenchHost times complete simulated-cluster runs on the host — the

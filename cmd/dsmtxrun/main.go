@@ -7,6 +7,7 @@
 //	dsmtxrun -bench 456.hmmer -cores 64
 //	dsmtxrun -bench 130.li -cores 32 -paradigm tls
 //	dsmtxrun -bench crc32 -cores 96 -misspec 0.001
+//	dsmtxrun -bench 164.gzip -cores 32 -trace out.json -metrics
 package main
 
 import (
@@ -19,11 +20,13 @@ import (
 	"dsmtx/internal/core"
 	"dsmtx/internal/harness"
 	"dsmtx/internal/stats"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/workloads"
 )
 
-// writeTrace dumps events as JSON lines for external tooling.
-func writeTrace(path string, events []core.TraceEvent) error {
+// writeMTXTrace dumps MTX lifecycle events as JSON lines for external
+// tooling (the Fig. 3c timeline mechanism).
+func writeMTXTrace(path string, events []core.TraceEvent) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -46,6 +49,21 @@ func writeTrace(path string, events []core.TraceEvent) error {
 	return nil
 }
 
+// writeChromeTrace exports the virtual-time timeline as Chrome trace-event
+// JSON (load in Perfetto / chrome://tracing: ranks appear as threads, virtual
+// nanoseconds as timestamps).
+func writeChromeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsmtxrun: ")
@@ -56,7 +74,9 @@ func main() {
 		misspec  = flag.Float64("misspec", 0, "input misspeculation rate (e.g. 0.001)")
 		scale    = flag.Int("scale", 1, "problem-size multiplier")
 		seed     = flag.Uint64("seed", 42, "input generation seed")
-		trace    = flag.String("trace", "", "write the MTX lifecycle trace to this JSON-lines file")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
+		metrics  = flag.Bool("metrics", false, "print the metrics registry and per-rank stall attribution")
+		mtxTrace = flag.String("mtxtrace", "", "write the MTX lifecycle trace to this JSON-lines file")
 	)
 	flag.Parse()
 
@@ -79,19 +99,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The tracer is shared across invocations; BindKernel stitches each
+	// invocation's virtual clock onto one monotonic timeline.
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New()
+	} else if *metrics {
+		tr = trace.NewMetricsOnly()
+	}
 	var tune func(*core.Config)
-	if *trace != "" {
-		tune = func(cfg *core.Config) { cfg.Trace = true }
+	if tr != nil || *mtxTrace != "" {
+		mtx := *mtxTrace != ""
+		tune = func(cfg *core.Config) {
+			cfg.Trace = mtx
+			cfg.Tracer = tr
+		}
 	}
 	res, err := workloads.RunParallel(b, in, p, *cores, tune)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *trace != "" {
-		if err := writeTrace(*trace, res.Trace); err != nil {
+	if *mtxTrace != "" {
+		if err := writeMTXTrace(*mtxTrace, res.Trace); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("trace: %d events -> %s\n", len(res.Trace), *trace)
+		fmt.Printf("mtxtrace: %d events -> %s\n", len(res.Trace), *mtxTrace)
+	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(tr.Events()), *traceOut)
 	}
 
 	fmt.Printf("%s (%s), %d cores, paradigm %s\n", b.Name, b.Paradigm, *cores, p)
@@ -100,6 +138,13 @@ func main() {
 	fmt.Printf("  speedup         %s\n", stats.FormatSpeedup(seqTime.Seconds()/res.Elapsed.Seconds()))
 	fmt.Printf("  MTXs committed  %d (misspeculations: %d)\n", res.Committed, res.Misspecs)
 	fmt.Printf("  wire traffic    %.2f MB (%.1f MB/s)\n", float64(res.Bytes)/1e6, res.Bandwidth()/1e6)
+	if tr != nil {
+		t := res.Traffic
+		fmt.Printf("  traffic classes queue %.2f MB (%d msgs), COA pages %.2f MB (%d msgs), control %.2f MB (%d msgs)\n",
+			float64(t.QueueBytes)/1e6, t.QueueMessages,
+			float64(t.PageBytes)/1e6, t.PageMessages,
+			float64(t.ControlBytes)/1e6, t.ControlMessages)
+	}
 	if res.Misspecs > 0 {
 		fmt.Printf("  recovery        ERM %v  FLQ %v  SEQ %v  RFP %v\n", res.ERM, res.FLQ, res.SEQ, res.RFP)
 	}
@@ -107,5 +152,10 @@ func main() {
 		fmt.Printf("  output          VERIFIED (checksum %#x matches sequential)\n", res.Checksum)
 	} else {
 		fmt.Printf("  output          MISMATCH: parallel %#x, sequential %#x\n", res.Checksum, seqCheck)
+	}
+	if *metrics {
+		fmt.Printf("\nStall attribution (per rank):\n%s\n", res.Stalls.Table())
+		fmt.Printf("\nStall attribution (per stage):\n%s\n", res.Stalls.StageTable())
+		fmt.Printf("\nMetrics:\n%s\n", tr.Metrics().Table())
 	}
 }

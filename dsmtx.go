@@ -61,6 +61,7 @@ import (
 	"dsmtx/internal/pipeline"
 	"dsmtx/internal/sim"
 	"dsmtx/internal/tlsrt"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
 
@@ -98,6 +99,30 @@ type (
 	// Time is virtual time in nanoseconds.
 	Time = sim.Time
 )
+
+// Observability types: set Config.Tracer to a NewTracer (timeline + metrics)
+// or NewMetricsTracer (metrics only) and export with Tracer.WriteChromeTrace
+// after Run. A nil Tracer — the default — keeps every runtime hot path on
+// the uninstrumented, allocation-free fast path, and tracing never alters
+// virtual-time outcomes.
+type (
+	// Tracer records per-rank virtual-time timelines (subTX, validate,
+	// group-commit, Copy-On-Access round trips, recovery phases) and hosts
+	// the metrics registry.
+	Tracer = trace.Tracer
+	// Metrics is the registry of named counters, gauges and histograms.
+	Metrics = trace.Metrics
+	// StallReport attributes each rank's time across busy, backpressure,
+	// starvation, verdict-wait, recovery and blocked (System.StallReport).
+	StallReport = trace.StallReport
+)
+
+// NewTracer returns a tracer that records timeline spans and metrics.
+func NewTracer() *Tracer { return trace.New() }
+
+// NewMetricsTracer returns a tracer that maintains only the metrics
+// registry (no timeline events, so no per-event memory growth).
+func NewMetricsTracer() *Tracer { return trace.NewMetricsOnly() }
 
 // NewSystem validates cfg and builds an execution of prog. initial, if
 // non-nil, seeds committed memory (for chaining parallel invocations).

@@ -15,8 +15,10 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"dsmtx"
 )
@@ -107,6 +109,9 @@ func (p *compressor) SeqIter(ctx *dsmtx.SeqCtx, iter uint64) {
 }
 
 func main() {
+	traceOut := flag.String("trace", "", "write the 17-core run's Chrome trace-event JSON timeline here")
+	flag.Parse()
+
 	plan := dsmtx.SpecDSWP("S", "DOALL", "S")
 	prog := &compressor{}
 	seqTime, _, err := dsmtx.RunSequential(dsmtx.DefaultConfig(5, plan), prog, numBlocks, nil)
@@ -127,10 +132,30 @@ func main() {
 			cores, res.Elapsed, seqTime.Seconds()/res.Elapsed.Seconds(), res.Bandwidth()/1e6)
 	}
 
-	// Verify the committed output decompresses to the input.
-	sys, _ := dsmtx.NewSystem(dsmtx.DefaultConfig(17, plan), prog, nil)
+	// Verify the committed output decompresses to the input; this run also
+	// carries the timeline tracer when -trace is set.
+	var tr *dsmtx.Tracer
+	cfg := dsmtx.DefaultConfig(17, plan)
+	if *traceOut != "" {
+		tr = dsmtx.NewTracer()
+		cfg.Tracer = tr
+	}
+	sys, _ := dsmtx.NewSystem(cfg, prog, nil)
 	if _, err := sys.Run(); err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s: load it in Perfetto (ui.perfetto.dev) to see each rank's timeline\n", *traceOut)
 	}
 	img := sys.CommitImage()
 	var restored []byte

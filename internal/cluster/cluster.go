@@ -116,12 +116,29 @@ func (c Config) InstrTime(instructions int64) sim.Duration {
 	return sim.Duration(float64(instructions) / c.ClockGHz)
 }
 
+// MsgClass labels a message's role for bandwidth attribution: the Fig. 5a
+// harness and the metrics report split wire traffic into queue batches,
+// Copy-On-Access page transfers, and everything else (control: verdicts
+// travel in queues, but barriers, credits, start/ctrl and occupancy acks
+// are control).
+type MsgClass uint8
+
+// Message classes. The zero value is ClassControl, so untagged sends (the
+// default path) count as control traffic.
+const (
+	ClassControl MsgClass = iota
+	ClassQueue
+	ClassPage
+	numClasses
+)
+
 // Message is one unit of data in flight between ranks.
 type Message struct {
 	From, To int
 	Tag      int
 	Payload  any
 	Bytes    int // modelled wire size; must be >= 0
+	Class    MsgClass
 }
 
 // AnySource registers a mailbox that receives messages from every sender
@@ -129,12 +146,35 @@ type Message struct {
 const AnySource = -1
 
 // TrafficStats accumulates modelled wire traffic for an entire run; the
-// figure-5a bandwidth numbers divide these by execution time.
+// figure-5a bandwidth numbers divide these by execution time. The per-class
+// fields are a breakdown of the same traffic: QueueBytes + PageBytes +
+// ControlBytes == Bytes (and likewise for messages).
 type TrafficStats struct {
 	Messages       uint64
 	Bytes          uint64
 	InterNodeBytes uint64
 	IntraNodeBytes uint64
+
+	QueueMessages   uint64
+	QueueBytes      uint64
+	PageMessages    uint64
+	PageBytes       uint64
+	ControlMessages uint64
+	ControlBytes    uint64
+}
+
+// Add accumulates another run's traffic into t (multi-invocation totals).
+func (t *TrafficStats) Add(o TrafficStats) {
+	t.Messages += o.Messages
+	t.Bytes += o.Bytes
+	t.InterNodeBytes += o.InterNodeBytes
+	t.IntraNodeBytes += o.IntraNodeBytes
+	t.QueueMessages += o.QueueMessages
+	t.QueueBytes += o.QueueBytes
+	t.PageMessages += o.PageMessages
+	t.PageBytes += o.PageBytes
+	t.ControlMessages += o.ControlMessages
+	t.ControlBytes += o.ControlBytes
 }
 
 type mailboxKey struct {
@@ -201,6 +241,17 @@ func (m *Machine) transmit(msg Message) sim.Time {
 	now := m.k.Now()
 	m.stats.Messages++
 	m.stats.Bytes += uint64(msg.Bytes)
+	switch msg.Class {
+	case ClassQueue:
+		m.stats.QueueMessages++
+		m.stats.QueueBytes += uint64(msg.Bytes)
+	case ClassPage:
+		m.stats.PageMessages++
+		m.stats.PageBytes += uint64(msg.Bytes)
+	default:
+		m.stats.ControlMessages++
+		m.stats.ControlBytes += uint64(msg.Bytes)
+	}
 	srcNode, dstNode := m.cfg.NodeOf(msg.From), m.cfg.NodeOf(msg.To)
 	var arrival sim.Time
 	if srcNode == dstNode {
@@ -272,10 +323,16 @@ func (e *Endpoint) deliver(msg Message) {
 // mpi package layers per-call instruction costs on top). Delivery happens at
 // the modelled arrival time.
 func (e *Endpoint) Send(to, tag int, payload any, bytes int) {
+	e.SendClass(to, tag, payload, bytes, ClassControl)
+}
+
+// SendClass is Send with an explicit traffic class for bandwidth
+// attribution; the class changes accounting only, never timing.
+func (e *Endpoint) SendClass(to, tag int, payload any, bytes int, class MsgClass) {
 	if bytes < 0 {
 		panic("cluster: negative message size")
 	}
-	msg := Message{From: e.rank, To: to, Tag: tag, Payload: payload, Bytes: bytes}
+	msg := Message{From: e.rank, To: to, Tag: tag, Payload: payload, Bytes: bytes, Class: class}
 	dst := e.m.Endpoint(to)
 	arrival := e.m.transmit(msg)
 	e.m.k.At(arrival, func() { dst.deliver(msg) })

@@ -8,6 +8,7 @@ import (
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
 
@@ -34,6 +35,20 @@ type cuNode struct {
 	iter     uint64
 	result   Result
 	resumed  sim.Time // time of last recovery resume, 0 if none pending RFP
+
+	// Stall attribution: pollTime split by what the poll was waiting for
+	// (worker store streams vs try-commit verdicts), plus recovery-window
+	// accounting. rfpStart anchors the RFP span in tracer time.
+	stallStarve  sim.Time
+	stallVerdict sim.Time
+	recWall      sim.Time
+	recAdv       sim.Time
+	recBlk       sim.Time
+	rfpStart     sim.Time
+
+	// Misspeculation cause counters (nil when uninstrumented).
+	cMissWorker   *trace.Counter
+	cMissConflict *trace.Counter
 }
 
 func newCUNode(s *System) *cuNode {
@@ -43,6 +58,7 @@ func newCUNode(s *System) *cuNode {
 func (c *cuNode) run(p *sim.Proc) {
 	c.proc = p
 	c.comm = c.sys.world.Attach(c.rank, p)
+	c.comm.SetTracer(c.sys.tr, c.rank)
 	c.bind()
 
 	seq := &SeqCtx{cfg: c.sys.cfg, proc: p, img: c.img, arena: c.arena}
@@ -80,6 +96,9 @@ func (c *cuNode) bind() {
 	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
 		c.verdicts = append(c.verdicts, newEntryCursor(c.sys.verdictQ[j].Receiver(c.comm)))
 	}
+	c.img.Instrument(c.sys.tr.Metrics())
+	c.cMissWorker = c.sys.tr.Metrics().Counter("misspec.worker")
+	c.cMissConflict = c.sys.tr.Metrics().Counter("misspec.conflict")
 }
 
 // commitLoop stages each MTX's stores from the worker streams, awaits the
@@ -118,14 +137,21 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 		}
 		// The verdict arrives after the try-commit unit has validated every
 		// subTX of this MTX.
+		markerMiss := misspec
 		if !c.nextVerdict(iter) {
 			misspec = true
 		}
 		if misspec {
+			if markerMiss {
+				c.cMissWorker.Inc()
+			} else {
+				c.cMissConflict.Inc()
+			}
 			c.result.Misspecs++
 			c.recover(seq, iter)
 			continue
 		}
+		spanStart := c.sys.tr.Now()
 		// Group transaction commit: apply all stores in subTX order; the
 		// last write to a location wins.
 		var bulkBytes int
@@ -145,8 +171,10 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 		}
 		c.sys.trace(TraceEvent{Kind: TraceCommit, MTX: iter, Stage: -1, Tid: -1,
 			Start: c.proc.Now(), End: c.proc.Now()})
+		c.sys.tr.Span(trace.SpanCommit, c.rank, spanStart, iter, int64(len(c.staged)), int64(bulkBytes))
 		if c.resumed > 0 {
 			c.result.RFP += c.proc.Now() - c.resumed
+			c.sys.tr.Span(trace.SpanRFP, c.rank, c.rfpStart, iter, 0, 0)
 			c.resumed = 0
 		}
 		delete(c.routes, iter)
@@ -158,7 +186,7 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 func (c *cuNode) drainSub(tid int, iter uint64) (misspec, term bool) {
 	port := c.in[tid]
 	for {
-		e := c.consumeNext(port)
+		e := c.consumeNext(port, &c.stallStarve)
 		switch e.Kind {
 		case entWrite, entWriteBlk:
 			c.staged = append(c.staged, e)
@@ -185,7 +213,7 @@ func (c *cuNode) drainTerminates(endIter uint64) {
 			continue
 		}
 		for {
-			e := c.consumeNext(c.in[tid])
+			e := c.consumeNext(c.in[tid], &c.stallStarve)
 			if e.Kind == entTerminate {
 				break
 			}
@@ -198,7 +226,7 @@ func (c *cuNode) drainTerminates(endIter uint64) {
 func (c *cuNode) awaitTerminateVerdict() {
 	for _, port := range c.verdicts {
 		for {
-			e := c.consumeNext(port)
+			e := c.consumeNext(port, &c.stallVerdict)
 			if e.Kind == entTerminate {
 				break
 			}
@@ -211,7 +239,7 @@ func (c *cuNode) awaitTerminateVerdict() {
 func (c *cuNode) nextVerdict(iter uint64) bool {
 	ok := true
 	for _, port := range c.verdicts {
-		e := c.consumeNext(port)
+		e := c.consumeNext(port, &c.stallVerdict)
 		if e.Kind != entVerdict {
 			panic(fmt.Sprintf("core: unexpected %v entry on verdict queue", e.Kind))
 		}
@@ -237,7 +265,11 @@ func (c *cuNode) routeOf(s int, iter uint64) int {
 	return c.sys.layout.Assign[s][0]
 }
 
-func (c *cuNode) consumeNext(port *entryCursor) Entry {
+// consumeNext polls for the next entry, charging wait time both to the
+// total (pollTime) and to the caller's stall bucket: starvation when
+// waiting on worker store streams, verdict-wait when waiting on the
+// try-commit unit.
+func (c *cuNode) consumeNext(port *entryCursor, bucket *sim.Time) Entry {
 	backoff := c.sys.cfg.PollMin
 	for {
 		if e, ok := port.tryNext(); ok {
@@ -245,6 +277,7 @@ func (c *cuNode) consumeNext(port *entryCursor) Entry {
 		}
 		c.proc.Advance(backoff)
 		c.pollTime += backoff
+		*bucket += backoff
 		if backoff < c.sys.cfg.PollMax {
 			backoff *= 2
 		}
@@ -258,6 +291,8 @@ func (c *cuNode) consumeNext(port *entryCursor) Entry {
 // commit.
 func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	start := c.proc.Now()
+	trStart := c.sys.tr.Now()
+	adv0, blk0 := c.proc.Advanced(), c.proc.Blocked()
 	c.epoch++
 	cm := ctrlMsg{epoch: c.epoch, restart: failed + 1}
 	for w := 0; w < c.sys.cfg.Workers(); w++ {
@@ -270,6 +305,8 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	c.comm.Barrier(c.sys.allRanks) // B1: everyone is in recovery mode
 	ermDone := c.proc.Now()
 	c.result.ERM += ermDone - start
+	trERM := c.sys.tr.Now()
+	c.sys.tr.Span(trace.SpanERM, c.rank, trStart, failed, 0, 0)
 
 	for _, port := range c.in {
 		port.abort(c.epoch)
@@ -282,6 +319,8 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	c.comm.Barrier(c.sys.allRanks) // B2: queues flushed
 	flqDone := c.proc.Now()
 	c.result.FLQ += flqDone - ermDone
+	trFLQ := c.sys.tr.Now()
+	c.sys.tr.Span(trace.SpanFLQ, c.rank, trERM, failed, 0, 0)
 
 	// Re-execute the aborted iteration single-threaded against committed
 	// state, then refresh the Copy-On-Access snapshot so restarted workers
@@ -294,11 +333,17 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	c.sys.srv.setSnapshot(c.img.Snapshot())
 	seqDone := c.proc.Now()
 	c.result.SEQ += seqDone - flqDone
+	c.sys.tr.Span(trace.SpanSEQ, c.rank, trFLQ, failed, 0, 0)
 
 	c.comm.Barrier(c.sys.allRanks) // B3: resume parallel execution
 	c.resumed = c.proc.Now()
 	c.sys.trace(TraceEvent{Kind: TraceRecovery, MTX: failed, Stage: -1, Tid: -1,
 		Start: start, End: c.resumed})
+	c.sys.tr.Span(trace.SpanRecovery, c.rank, trStart, failed, 0, 0)
+	c.rfpStart = c.sys.tr.Now()
+	c.recWall += c.resumed - start
+	c.recAdv += c.proc.Advanced() - adv0
+	c.recBlk += c.proc.Blocked() - blk0
 	c.iter = failed + 1
 }
 
@@ -315,6 +360,10 @@ type pageServer struct {
 	// Served-request accounting (diagnostic).
 	Requests    uint64
 	PagesServed uint64
+
+	// Metric handles (nil when uninstrumented).
+	cReq   *trace.Counter
+	cPages *trace.Counter
 }
 
 func newPageServer(s *System) *pageServer { return &pageServer{sys: s} }
@@ -328,6 +377,8 @@ func (ps *pageServer) run(p *sim.Proc) {
 	ps.proc = p
 	ps.comm = ps.sys.world.Attach(ps.sys.cfg.commitRank(), p)
 	ps.comm.Endpoint().Mailbox(cluster.AnySource, tagPageReq)
+	ps.cReq = ps.sys.tr.Metrics().Counter("coa.requests")
+	ps.cPages = ps.sys.tr.Metrics().Counter("coa.pages.served")
 	for {
 		msg := ps.comm.Endpoint().Recv(p, cluster.AnySource, tagPageReq)
 		if msg.Payload == nil {
@@ -336,6 +387,8 @@ func (ps *pageServer) run(p *sim.Proc) {
 		req := msg.Payload.(pageReq)
 		ps.Requests++
 		ps.PagesServed += uint64(req.Count)
+		ps.cReq.Inc()
+		ps.cPages.Add(uint64(req.Count))
 		ps.proc.Advance(ps.sys.instrTime(ps.sys.cfg.PageServInstr + 60*int64(req.Count)))
 		pages := make([]*mem.Page, req.Count)
 		for i := range pages {
@@ -346,6 +399,6 @@ func (ps *pageServer) run(p *sim.Proc) {
 			wire = req.Grain + 56 // sub-page chunk (word-granularity ablation)
 		}
 		// RDMA put: wire time only, no per-byte CPU marshalling.
-		ps.comm.Endpoint().Send(msg.From, tagPageReply, pages, wire)
+		ps.comm.Endpoint().SendClass(msg.From, tagPageReply, pages, wire, cluster.ClassPage)
 	}
 }

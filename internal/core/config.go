@@ -10,6 +10,7 @@ import (
 	"dsmtx/internal/pipeline"
 	"dsmtx/internal/queue"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 )
 
 // Config assembles a DSMTX system.
@@ -75,6 +76,14 @@ type Config struct {
 	// Trace records per-MTX activity of every unit (System.Trace) for
 	// execution-model timelines (Fig. 3c).
 	Trace bool
+
+	// Tracer, if non-nil, attaches the virtual-time observability layer:
+	// per-rank timeline spans (subTX, validate, commit, COA, recovery
+	// phases), the metrics registry, and per-message-class traffic
+	// attribution. nil (the default) keeps every hot path on the
+	// uninstrumented, allocation-free fast path. Tracing never alters
+	// virtual-time outcomes: hooks only read the clock.
+	Tracer *trace.Tracer
 
 	// Horizon aborts the simulation if virtual time exceeds it (a safety
 	// net for runtime bugs); 0 means none.

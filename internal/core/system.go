@@ -9,6 +9,7 @@ import (
 	"dsmtx/internal/pipeline"
 	"dsmtx/internal/queue"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
 
@@ -126,6 +127,11 @@ type System struct {
 
 	// events collects the execution trace when cfg.Trace is set.
 	events []TraceEvent
+
+	// tr is cfg.Tracer (nil = observability disabled); stalls is the
+	// per-rank stall attribution assembled after Run.
+	tr     *trace.Tracer
+	stalls trace.StallReport
 }
 
 // NewSystem validates the configuration and builds the (unstarted) system.
@@ -165,7 +171,52 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 	for r := 0; r < cfg.TotalCores; r++ {
 		s.allRanks = append(s.allRanks, r)
 	}
+	s.bindTracer()
 	return s, nil
+}
+
+// pageSrvTrack is the page server's synthetic timeline id: it shares the
+// commit unit's rank, so it gets the first id past the real ranks.
+func (s *System) pageSrvTrack() int { return s.cfg.TotalCores }
+
+// bindTracer attaches cfg.Tracer to this invocation: stitches the kernel's
+// clock into the tracer's timeline, labels one track per rank (plus the
+// page server's synthetic track), and resolves queue metric handles. A nil
+// tracer leaves everything on the uninstrumented path.
+func (s *System) bindTracer() {
+	s.tr = s.cfg.Tracer
+	if s.tr == nil {
+		return
+	}
+	s.tr.BindKernel(s.kernel)
+	node := s.cfg.Cluster.NodeOf
+	for w := 0; w < s.cfg.Workers(); w++ {
+		s.tr.SetTrack(w, node(w), fmt.Sprintf("worker%d (S%d)", w, s.layout.StageOf(w)))
+	}
+	for j := 0; j < s.cfg.tcUnits(); j++ {
+		r := s.cfg.tryCommitRank(j)
+		s.tr.SetTrack(r, node(r), fmt.Sprintf("trycommit%d", j))
+	}
+	cuRank := s.cfg.commitRank()
+	s.tr.SetTrack(cuRank, node(cuRank), "commit")
+	s.tr.SetTrack(s.pageSrvTrack(), node(cuRank), "pagesrv")
+	for _, q := range s.edgeQ {
+		q.Instrument(s.tr)
+	}
+	for _, shards := range s.toTCQ {
+		for _, q := range shards {
+			q.Instrument(s.tr)
+		}
+	}
+	for _, q := range s.toCUQ {
+		q.Instrument(s.tr)
+	}
+	for _, q := range s.verdictQ {
+		q.Instrument(s.tr)
+	}
+	for _, q := range s.syncQ {
+		q.Instrument(s.tr)
+	}
 }
 
 // analyzePlan finds the routed parallel stage and its downstream route sink,
@@ -319,6 +370,7 @@ func (s *System) Run() (Result, error) {
 		}
 	}
 	res.WorkerBusyAvg = sum / sim.Time(len(s.workers))
+	s.buildStallReport()
 	// Recycle worker and try-commit page frames: their speculative images
 	// are dead once the run ends (only the commit unit's memory is exposed
 	// via CommitImage). Counters survive Reset for post-run diagnostics.
@@ -330,6 +382,72 @@ func (s *System) Run() (Result, error) {
 	}
 	return res, nil
 }
+
+// buildStallReport attributes each rank's virtual time across the stall
+// causes. The identity per process is
+//
+//	Advanced + Blocked == Busy + Starvation + Backpressure + VerdictWait + Recovery + Blocked'
+//
+// where Recovery is the wall time of recovery windows (virtual time inside
+// a window passes only in Advance or parks, so recWall == recAdv + recBlk
+// and both are pulled out of the Busy/Blocked buckets) and Blocked'
+// excludes parks inside recovery. The bucket *accounting* runs
+// unconditionally — plain integer adds on paths that already do time
+// arithmetic — but the report (its label strings and row slice) is only
+// assembled when a tracer is attached, keeping the untraced Run
+// allocation profile unchanged.
+func (s *System) buildStallReport() {
+	if s.tr == nil {
+		return
+	}
+	s.stalls = trace.StallReport{}
+	for _, w := range s.workers {
+		s.stalls.Add(trace.StallRow{
+			Track: w.rank,
+			Label: fmt.Sprintf("worker%d", w.tid),
+			Stage: fmt.Sprintf("S%d", w.stage),
+			Busy:  w.proc.Advanced() - w.stallStarve - w.stallBack - w.recAdv,
+
+			Backpressure: w.stallBack,
+			Starvation:   w.stallStarve,
+			Recovery:     w.recWall,
+			Blocked:      w.proc.Blocked() - w.recBlk,
+		})
+	}
+	for _, tc := range s.tcs {
+		s.stalls.Add(trace.StallRow{
+			Track:      tc.rank,
+			Label:      fmt.Sprintf("trycommit%d", tc.shard),
+			Stage:      "trycommit",
+			Busy:       tc.proc.Advanced() - tc.pollTime - tc.recAdv,
+			Starvation: tc.pollTime,
+			Recovery:   tc.recWall,
+			Blocked:    tc.proc.Blocked() - tc.recBlk,
+		})
+	}
+	c := s.cu
+	s.stalls.Add(trace.StallRow{
+		Track:       c.rank,
+		Label:       "commit",
+		Stage:       "commit",
+		Busy:        c.proc.Advanced() - c.pollTime - c.recAdv,
+		Starvation:  c.stallStarve,
+		VerdictWait: c.stallVerdict,
+		Recovery:    c.recWall,
+		Blocked:     c.proc.Blocked() - c.recBlk,
+	})
+	s.stalls.Add(trace.StallRow{
+		Track:   s.pageSrvTrack(),
+		Label:   "pagesrv",
+		Stage:   "pagesrv",
+		Busy:    s.srv.proc.Advanced(),
+		Blocked: s.srv.proc.Blocked(),
+	})
+}
+
+// StallReport exposes the per-rank stall attribution assembled by Run;
+// empty unless a Config.Tracer was attached.
+func (s *System) StallReport() *trace.StallReport { return &s.stalls }
 
 // CommitImage exposes the commit unit's memory after Run, for checksum
 // comparison against the sequential reference and for chaining invocations.

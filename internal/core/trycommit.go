@@ -9,6 +9,7 @@ import (
 	"dsmtx/internal/pipeline"
 	"dsmtx/internal/queue"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
 
@@ -40,6 +41,11 @@ type tcNode struct {
 	nextIter    uint64
 	pendingCtrl *ctrlMsg
 
+	// Recovery-window accounting for stall attribution.
+	recWall sim.Time
+	recAdv  sim.Time
+	recBlk  sim.Time
+
 	// Validated counts, for tests.
 	Checked   uint64
 	Conflicts uint64
@@ -52,6 +58,7 @@ func newTCNode(s *System, shard int) *tcNode {
 func (t *tcNode) run(p *sim.Proc) {
 	t.proc = p
 	t.comm = t.sys.world.Attach(t.rank, p)
+	t.comm.SetTracer(t.sys.tr, t.rank)
 	t.bind()
 	t.comm.Recv(t.sys.cfg.commitRank(), tagStart) // Setup must finish first
 	for {
@@ -89,6 +96,7 @@ func (t *tcNode) bind() {
 	// The view's pages are private Copy-On-Access clones; recovery's
 	// wholesale discard can recycle the frames.
 	t.view.ReleaseOnReset(true)
+	t.view.Instrument(t.sys.tr.Metrics())
 	for w := 0; w < t.sys.cfg.Workers(); w++ {
 		t.in = append(t.in, newEntryCursor(t.sys.toTCQ[w][t.shard].Receiver(t.comm)))
 	}
@@ -123,6 +131,7 @@ func (t *tcNode) epochLoop() (terminated bool) {
 func (t *tcNode) validateLoop() bool {
 	for {
 		iter := t.nextIter
+		spanStart := t.sys.tr.Now()
 		ok := true
 		for s := range t.sys.cfg.Plan.Stages {
 			tid := t.routeOf(s, iter)
@@ -146,6 +155,7 @@ func (t *tcNode) validateLoop() bool {
 		t.verdict.Produce(Entry{Kind: entVerdict, MTX: iter, Val: verdictVal})
 		t.sys.trace(TraceEvent{Kind: TraceValidate, MTX: iter, Stage: -1, Tid: -1,
 			Start: t.proc.Now(), End: t.proc.Now()})
+		t.sys.tr.Span(trace.SpanValidate, t.rank, spanStart, iter, int64(verdictVal), 0)
 		t.sinceFlush++
 		if !ok || t.sinceFlush >= t.sys.cfg.MarkerFlushIters {
 			t.verdict.Flush() // conflicts flush immediately; the rest batch
@@ -259,6 +269,9 @@ func (t *tcNode) checkCtrl() {
 func (t *tcNode) doRecovery() {
 	cm := *t.pendingCtrl
 	t.pendingCtrl = nil
+	recStart := t.proc.Now()
+	spanStart := t.sys.tr.Now()
+	adv0, blk0 := t.proc.Advanced(), t.proc.Blocked()
 	t.comm.Barrier(t.sys.allRanks) // B1: entered recovery mode
 	for _, port := range t.in {
 		port.abort(cm.epoch)
@@ -271,4 +284,8 @@ func (t *tcNode) doRecovery() {
 	t.epoch = cm.epoch
 	t.nextIter = cm.restart
 	t.comm.Barrier(t.sys.allRanks) // B3: resume
+	t.recWall += t.proc.Now() - recStart
+	t.recAdv += t.proc.Advanced() - adv0
+	t.recBlk += t.proc.Blocked() - blk0
+	t.sys.tr.Span(trace.SpanRecovery, t.rank, spanStart, cm.restart, 0, 0)
 }

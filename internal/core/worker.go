@@ -10,6 +10,7 @@ import (
 	"dsmtx/internal/pipeline"
 	"dsmtx/internal/queue"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
 
@@ -53,6 +54,14 @@ type workerNode struct {
 	pollTime   sim.Time
 	sinceFlush int
 
+	// Stall attribution: pollTime split by cause, plus recovery-window
+	// accounting (wall time, and the advanced/blocked shares inside it).
+	stallStarve sim.Time // consumeNext polling an empty upstream queue
+	stallBack   sim.Time // occupancy-routing waits (downstream saturated)
+	recWall     sim.Time
+	recAdv      sim.Time
+	recBlk      sim.Time
+
 	epoch       uint64
 	epochBase   uint64 // first iteration of the current epoch
 	nextIter    uint64
@@ -79,6 +88,7 @@ func newWorkerNode(s *System, tid int) *workerNode {
 func (w *workerNode) run(p *sim.Proc) {
 	w.proc = p
 	w.comm = w.sys.world.Attach(w.rank, p)
+	w.comm.SetTracer(w.sys.tr, w.rank)
 	w.bind()
 	w.comm.Recv(w.sys.cfg.commitRank(), tagStart) // Setup must finish first
 	for {
@@ -124,6 +134,7 @@ func (w *workerNode) bind() {
 	// Worker pages are private Copy-On-Access clones; recovery's wholesale
 	// discard can recycle the frames.
 	w.img.ReleaseOnReset(true)
+	w.img.Instrument(w.sys.tr.Metrics())
 	w.arena = uva.NewArena(w.tid + 1)
 
 	for key, q := range w.sys.edgeQ {
@@ -185,6 +196,7 @@ type coaClient struct {
 
 func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.PageID) *mem.Page {
 	cfg := sys.cfg
+	spanStart := sys.tr.Now()
 	comm.Proc().Advance(sys.instrTime(cfg.PageFaultInstr))
 	if g := cfg.COAGrainBytes; g > 0 && g < uva.PageSize {
 		// Sub-page COA: populate the faulted page one chunk at a time,
@@ -192,11 +204,14 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 		// transferring whole pages.
 		ep := comm.Endpoint()
 		var pg *mem.Page
+		wire := 0
 		for off := 0; off < uva.PageSize; off += g {
-			ep.Send(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: 1, Grain: g}, 24)
+			ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: 1, Grain: g}, 24, cluster.ClassPage)
 			msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
 			pg = msg.Payload.([]*mem.Page)[0]
+			wire += msg.Bytes
 		}
+		sys.tr.Span(trace.SpanCOA, comm.Rank(), spanStart, uint64(id), 1, int64(wire))
 		return pg
 	}
 	if id == c.nextSeq && c.window > 0 {
@@ -232,12 +247,13 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 	// InfiniBand): a fixed per-operation CPU cost, wire time on the NIC,
 	// and no per-byte marshalling.
 	ep := comm.Endpoint()
-	ep.Send(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: count}, 24)
+	ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: count}, 24, cluster.ClassPage)
 	msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
 	pages := msg.Payload.([]*mem.Page)
 	for i := 1; i < len(pages); i++ {
 		img.InstallPage(id+uva.PageID(i), pages[i])
 	}
+	sys.tr.Span(trace.SpanCOA, comm.Rank(), spanStart, uint64(id), int64(count), int64(msg.Bytes))
 	return pages[0]
 }
 
@@ -287,6 +303,7 @@ func (w *workerNode) stageLoop() bool {
 			w.chooseRoute(iter)
 		}
 		subTXStart := w.proc.Now()
+		spanStart := w.sys.tr.Now()
 		ok := true
 		if !w.poisoned {
 			ok = w.runStage(iter)
@@ -298,6 +315,7 @@ func (w *workerNode) stageLoop() bool {
 		w.endIter(iter)
 		w.sys.trace(TraceEvent{Kind: TraceSubTX, MTX: iter, Stage: w.stage,
 			Tid: w.tid, Start: subTXStart, End: w.proc.Now()})
+		w.sys.tr.Span(trace.SpanSubTX, w.rank, spanStart, iter, int64(w.stage), 0)
 		w.nextIter = iter + 1
 		w.poisoned = false
 		w.selfMisspec = false
@@ -459,6 +477,7 @@ func (w *workerNode) chooseRoute(iter uint64) {
 			w.checkCtrl()
 			w.proc.Advance(backoff)
 			w.pollTime += backoff
+			w.stallBack += backoff
 			if backoff < w.sys.cfg.PollMax {
 				backoff *= 2
 			}
@@ -482,6 +501,7 @@ func (w *workerNode) chooseRoute(iter uint64) {
 // uncommitted values reach later subTXs promptly (mtx_end).
 func (w *workerNode) endIter(iter uint64) {
 	if w.poisoned || w.selfMisspec {
+		w.sys.tr.Instant(trace.InstMisspec, w.rank, iter, 0, 0)
 		miss := Entry{Kind: entMisspec, MTX: iter}
 		for _, dstStage := range w.outStages {
 			w.edgeOut[dstStage][w.routeFor(dstStage, iter)].Produce(miss)
@@ -577,6 +597,7 @@ func (w *workerNode) consumeNext(port *entryCursor) Entry {
 		w.checkCtrl()
 		w.proc.Advance(backoff)
 		w.pollTime += backoff
+		w.stallStarve += backoff
 		if backoff < w.sys.cfg.PollMax {
 			backoff *= 2
 		}
@@ -604,6 +625,9 @@ func (w *workerNode) checkCtrl() {
 func (w *workerNode) doRecovery() {
 	cm := *w.pendingCtrl
 	w.pendingCtrl = nil
+	recStart := w.proc.Now()
+	spanStart := w.sys.tr.Now()
+	adv0, blk0 := w.proc.Advanced(), w.proc.Blocked()
 
 	w.comm.Barrier(w.sys.allRanks) // all threads have entered recovery mode
 
@@ -649,4 +673,9 @@ func (w *workerNode) doRecovery() {
 	w.selfMisspec = false
 
 	w.comm.Barrier(w.sys.allRanks) // commit unit has re-executed; resume
+
+	w.recWall += w.proc.Now() - recStart
+	w.recAdv += w.proc.Advanced() - adv0
+	w.recBlk += w.proc.Blocked() - blk0
+	w.sys.tr.Span(trace.SpanRecovery, w.rank, spanStart, cm.restart, 0, 0)
 }

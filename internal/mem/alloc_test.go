@@ -3,6 +3,7 @@ package mem
 import (
 	"testing"
 
+	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
 
@@ -55,6 +56,52 @@ func TestLoadStoreBytesAllocBounded(t *testing.T) {
 	})
 	if per > 2 { // destination slice (+ size-class slack)
 		t.Fatalf("LoadBytes allocated %.1f times per run, want <= 2", per)
+	}
+}
+
+// TestInstrumentedLoadStoreAllocFree pins the instrumented image to the
+// same zero-allocation claim: metric handles are plain integer adds, so
+// attaching a registry must not put the resident Load/Store fast path (or
+// the fault/reset cycle, below) back on the heap.
+func TestInstrumentedLoadStoreAllocFree(t *testing.T) {
+	im := NewImage(nil)
+	im.Instrument(trace.NewMetrics())
+	const pages = 16
+	base := uva.Base(7)
+	for p := 0; p < pages; p++ {
+		im.Store(base+uva.Addr(p)*uva.PageSize, 1)
+	}
+	var sink uint64
+	per := testing.AllocsPerRun(20, func() {
+		for p := 0; p < pages; p++ {
+			a := base + uva.Addr(p)*uva.PageSize
+			im.Store(a, sink)
+			sink += im.Load(a)
+		}
+	})
+	if per > 0 {
+		t.Fatalf("instrumented resident Load/Store allocated %.1f times per run, want 0", per)
+	}
+}
+
+// TestInstrumentedFaultPathUsesPool repeats the fault/reset pool test with
+// metrics attached: the fault counter, recycle counter, and resident gauge
+// sit on those paths and must not add heap traffic.
+func TestInstrumentedFaultPathUsesPool(t *testing.T) {
+	im := NewImage(nil)
+	im.ReleaseOnReset(true)
+	im.Instrument(trace.NewMetrics())
+	const pages = 64
+	base := uva.Base(8)
+	per := testing.AllocsPerRun(50, func() {
+		for p := 0; p < pages; p++ {
+			im.Store(base+uva.Addr(p)*uva.PageSize, uint64(p))
+		}
+		im.Reset()
+	})
+	if per > pages/2 {
+		t.Fatalf("instrumented fault/reset cycle allocated %.1f times per %d-page round, want <= %d",
+			per, pages, pages/2)
 	}
 }
 

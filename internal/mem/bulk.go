@@ -64,6 +64,7 @@ func (im *Image) StoreBytes(addr uva.Addr, b []byte) {
 			if s.pg == nil {
 				s.pg = getPageRaw()
 				im.resident++
+				im.gResident.Add(1)
 			} else if s.shared {
 				s.pg = getPageRaw()
 			}

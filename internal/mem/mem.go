@@ -27,6 +27,7 @@ import (
 	"math"
 	"sync"
 
+	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
 
@@ -126,6 +127,13 @@ type Image struct {
 	Faults   uint64
 	LoadOps  uint64
 	StoreOps uint64
+
+	// Metric handles, resolved once by Instrument; nil on uninstrumented
+	// images (every use is a nil-safe single branch). They sit on the fault
+	// and reset paths only — the resident Load/Store fast path is untouched.
+	cFaults   *trace.Counter
+	cRecycled *trace.Counter
+	gResident *trace.Gauge
 }
 
 // NewImage returns an empty image whose misses are resolved by fault
@@ -137,6 +145,20 @@ func NewImage(fault FaultFunc) *Image {
 		fault:  fault,
 		lastID: noPage,
 	}
+}
+
+// Instrument attaches shared metric handles: page faults bump
+// "mem.pages.faulted", frames returned to the pool on Reset bump
+// "mem.pages.recycled", and the cluster-wide resident-page level drives the
+// "mem.resident.pages" gauge (its Max is the high-water mark). A nil
+// registry is a no-op.
+func (im *Image) Instrument(m *trace.Metrics) {
+	if m == nil {
+		return
+	}
+	im.cFaults = m.Counter("mem.pages.faulted")
+	im.cRecycled = m.Counter("mem.pages.recycled")
+	im.gResident = m.Gauge("mem.resident.pages")
 }
 
 // ReleaseOnReset opts this image into page recycling: Reset (and nothing
@@ -192,6 +214,7 @@ func (im *Image) slot(id uva.PageID) *pageSlot {
 // handler's answer for id.
 func (im *Image) fill(id uva.PageID, s *pageSlot) {
 	im.Faults++
+	im.cFaults.Inc()
 	var pg *Page
 	if im.fault != nil {
 		pg = im.fault(id)
@@ -201,6 +224,7 @@ func (im *Image) fill(id uva.PageID, s *pageSlot) {
 	}
 	if s.pg == nil {
 		im.resident++
+		im.gResident.Add(1)
 	}
 	s.pg, s.shared = pg, false
 }
@@ -268,6 +292,7 @@ func (im *Image) InstallPage(id uva.PageID, pg *Page) {
 	s := im.slot(id)
 	if s.pg == nil {
 		im.resident++
+		im.gResident.Add(1)
 	}
 	s.pg, s.shared = pg, false
 }
@@ -283,14 +308,18 @@ func (im *Image) CopyPage(id uva.PageID) *Page { return clonePage(im.page(id)) }
 // area, discarding the remaining speculative state".
 func (im *Image) Reset() {
 	if im.release {
+		recycled := 0
 		for _, ch := range im.chunks {
 			for i := range ch.slots {
 				if s := &ch.slots[i]; s.pg != nil && !s.shared {
 					pagePool.Put(s.pg)
+					recycled++
 				}
 			}
 		}
+		im.cRecycled.Add(uint64(recycled))
 	}
+	im.gResident.Add(-int64(im.resident))
 	im.chunks = make(map[uint64]*pageChunk)
 	im.lastID = noPage
 	im.lastSlot = nil

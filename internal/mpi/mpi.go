@@ -14,6 +14,7 @@ import (
 
 	"dsmtx/internal/cluster"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 )
 
 // Cost models per-call CPU overheads in instructions. PerByte covers
@@ -62,9 +63,11 @@ func (w *World) Machine() *cluster.Machine { return w.m }
 // Comm binds one rank's endpoint to the process executing it. All blocking
 // calls must be made by that process.
 type Comm struct {
-	w  *World
-	ep *cluster.Endpoint
-	p  *sim.Proc
+	w     *World
+	ep    *cluster.Endpoint
+	p     *sim.Proc
+	tr    *trace.Tracer
+	track int
 }
 
 // Attach creates the communicator for rank, executed by process p.
@@ -81,6 +84,14 @@ func (c *Comm) Proc() *sim.Proc { return c.p }
 // Endpoint exposes the raw cluster endpoint (for mailbox registration).
 func (c *Comm) Endpoint() *cluster.Endpoint { return c.ep }
 
+// SetTracer attaches a tracer: blocking receives that actually wait record
+// SpanRecvWait on the given track. A nil tracer (the default) keeps every
+// receive on the uninstrumented path.
+func (c *Comm) SetTracer(tr *trace.Tracer, track int) {
+	c.tr = tr
+	c.track = track
+}
+
 func (c *Comm) charge(instr int64, bytes int) {
 	total := instr + int64(float64(bytes)*c.w.cost.PerByte)
 	c.p.Advance(c.w.m.Config().InstrTime(total))
@@ -91,6 +102,13 @@ func (c *Comm) charge(instr int64, bytes int) {
 func (c *Comm) Send(to, tag int, payload any, bytes int) {
 	c.charge(c.w.cost.Send, bytes)
 	c.ep.Send(to, tag, payload, bytes)
+}
+
+// SendClass is Send with an explicit traffic class for bandwidth
+// attribution (accounting only — cost and timing are identical to Send).
+func (c *Comm) SendClass(to, tag int, payload any, bytes int, class cluster.MsgClass) {
+	c.charge(c.w.cost.Send, bytes)
+	c.ep.SendClass(to, tag, payload, bytes, class)
 }
 
 // Bsend performs a buffered send: like Send plus a buffer-copy overhead,
@@ -125,7 +143,13 @@ func (r *Request) Wait() {
 // Recv blocks until a message with the given source (or cluster.AnySource)
 // and tag arrives, then pays the receive overhead and returns it.
 func (c *Comm) Recv(from, tag int) cluster.Message {
+	start := c.tr.Now()
 	msg := c.ep.Recv(c.p, from, tag)
+	if c.tr.Enabled() && c.tr.Now() > start {
+		// Only waits that spent virtual time get a span; instant matches
+		// would render as zero-width noise.
+		c.tr.Span(trace.SpanRecvWait, c.track, start, 0, int64(tag), 0)
+	}
 	c.charge(c.w.cost.Recv, msg.Bytes)
 	return msg
 }

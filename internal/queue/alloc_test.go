@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 )
 
 // TestProduceConsumeAllocBounded is an allocation-regression test for the
@@ -13,11 +14,26 @@ import (
 // calendar event) with generous slack — reintroducing a per-item
 // allocation blows through it.
 func TestProduceConsumeAllocBounded(t *testing.T) {
+	testProduceConsumeAllocBounded(t, nil)
+}
+
+// TestInstrumentedProduceConsumeAllocBounded holds the same ceiling with a
+// metrics-only tracer attached: per-item counters, flush/drain histograms
+// and the occupancy gauge are integer updates on resolved handles, so
+// instrumentation must not move the queue hot path onto the heap. (A tracer
+// with timeline recording on is allowed to allocate — it appends events —
+// which is why the spans-off mode is the one pinned here.)
+func TestInstrumentedProduceConsumeAllocBounded(t *testing.T) {
+	testProduceConsumeAllocBounded(t, trace.NewMetricsOnly())
+}
+
+func testProduceConsumeAllocBounded(t *testing.T, tr *trace.Tracer) {
 	const n = 4096
 	runOnce := func() {
 		k := sim.NewKernel()
 		w := newWorld(k)
 		q := New[uint64](w, "q", 0, 1, 100, DefaultConfig(), nil)
+		q.Instrument(tr)
 		k.Spawn("consumer", func(p *sim.Proc) {
 			r := q.Receiver(w.Attach(1, p))
 			got := 0

@@ -26,6 +26,7 @@ import (
 	"dsmtx/internal/cluster"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 )
 
 // Config tunes a queue.
@@ -82,6 +83,37 @@ type Queue[T any] struct {
 	tag      int // data tag; tag+1 carries credits back
 	cfg      Config
 	size     func(T) int
+
+	// Instrumentation handles, resolved once by Instrument. All remain nil
+	// on uninstrumented queues; every use is a nil-safe single branch, so
+	// the disabled state adds zero allocations to Produce/Consume.
+	tr         *trace.Tracer
+	cProduced  *trace.Counter
+	cConsumed  *trace.Counter
+	hFlushFill *trace.Histogram
+	hFlushWire *trace.Histogram
+	hDrain     *trace.Histogram
+	gOccupancy *trace.Gauge
+}
+
+// Instrument attaches a tracer: Produce/Consume bump shared counters,
+// flushes record batch fill ("queue.flush.items"/"queue.flush.bytes") and a
+// timeline instant on the sender's rank, batch admissions record drain size
+// and an instant on the receiver's rank, and the sender's pending-item
+// level drives the "queue.occupancy" gauge. Call before binding ports or
+// traffic flows; a nil tracer is a no-op.
+func (q *Queue[T]) Instrument(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	m := tr.Metrics()
+	q.tr = tr
+	q.cProduced = m.Counter("queue.produced")
+	q.cConsumed = m.Counter("queue.consumed")
+	q.hFlushFill = m.Histogram("queue.flush.items")
+	q.hFlushWire = m.Histogram("queue.flush.bytes")
+	q.hDrain = m.Histogram("queue.drain.items")
+	q.gOccupancy = m.Gauge("queue.occupancy")
 }
 
 // New creates a queue from src to dst using tag and tag+1. size reports the
@@ -136,6 +168,8 @@ func (s *SendPort[T]) Produce(v T) {
 	s.pending.items = append(s.pending.items, v)
 	s.pending.bytes += s.q.size(v)
 	s.stats.Items++
+	s.q.cProduced.Inc()
+	s.q.gOccupancy.Set(int64(len(s.pending.items)))
 	if s.pending.bytes >= cfg.BatchBytes {
 		s.Flush()
 	}
@@ -152,9 +186,12 @@ func (s *SendPort[T]) Flush() {
 	}
 	b := batch[T]{epoch: s.epoch, items: s.pending.items, bytes: s.pending.bytes}
 	wire := b.bytes + batchHeaderBytes
-	s.comm.Send(s.q.dst, s.q.tag, b, wire)
+	s.comm.SendClass(s.q.dst, s.q.tag, b, wire, cluster.ClassQueue)
 	s.stats.Batches++
 	s.stats.Bytes += uint64(wire)
+	s.q.hFlushFill.Observe(int64(len(b.items)))
+	s.q.hFlushWire.Observe(int64(wire))
+	s.q.tr.Instant(trace.InstFlush, s.comm.Rank(), 0, int64(len(b.items)), int64(wire))
 	s.pending = batch[T]{}
 }
 
@@ -226,6 +263,7 @@ func (r *RecvPort[T]) Consume() T {
 	v := r.cur[0]
 	r.cur = r.cur[1:]
 	r.items++
+	r.q.cConsumed.Inc()
 	return v
 }
 
@@ -244,6 +282,7 @@ func (r *RecvPort[T]) TryConsume() (T, bool) {
 	v := r.cur[0]
 	r.cur = r.cur[1:]
 	r.items++
+	r.q.cConsumed.Inc()
 	return v, true
 }
 
@@ -267,6 +306,7 @@ func (r *RecvPort[T]) TryConsumeBatch() ([]T, bool) {
 	out := r.cur
 	r.cur = nil
 	r.items += uint64(len(out))
+	r.q.cConsumed.Add(uint64(len(out)))
 	return out, true
 }
 
@@ -276,6 +316,8 @@ func (r *RecvPort[T]) admit(msg cluster.Message) {
 		return // stale speculative state from before a recovery
 	}
 	r.cur = b.items
+	r.q.hDrain.Observe(int64(len(b.items)))
+	r.q.tr.Instant(trace.InstDrain, r.comm.Rank(), 0, int64(len(b.items)), 0)
 	if r.q.cfg.Window > 0 {
 		r.comm.Send(r.q.src, r.q.tag+1, r.epoch, creditBytes)
 	}

@@ -287,11 +287,18 @@ type Proc struct {
 	state     procState
 	blockedOn string
 	advanced  Time
+	blocked   Time
 }
 
 // Advanced reports the total virtual time this process has spent in
 // Advance — its busy time, as opposed to blocking waits.
 func (p *Proc) Advanced() Time { return p.advanced }
+
+// Blocked reports the total virtual time this process has spent parked in
+// blocking waits (message receives, barriers, conds) — the complement of
+// Advanced in the stall-attribution report. Time parked inside Advance
+// itself is excluded: that is busy time already counted by Advanced.
+func (p *Proc) Blocked() Time { return p.blocked }
 
 // Name reports the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
@@ -307,12 +314,18 @@ func (p *Proc) Now() Time { return p.k.now }
 func (p *Proc) park(reason string) {
 	p.state = procBlocked
 	p.blockedOn = reason
+	t0 := p.k.now
 	p.k.yield <- struct{}{}
 	<-p.resume
 	if p.k.killing {
 		panic(killSentinel{})
 	}
 	p.blockedOn = ""
+	if reason != "advance" {
+		// Advance parks are busy time (already in advanced); everything
+		// else is a genuine blocking wait.
+		p.blocked += p.k.now - t0
+	}
 }
 
 // wake schedules a blocked process to resume at the current virtual time.

@@ -72,15 +72,22 @@ type Table struct {
 // AddRow appends a row of cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Columns are sized to the
+// widest row, so rows with more cells than the header still align.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	nCols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > nCols {
+			nCols = len(row)
+		}
+	}
+	widths := make([]int, nCols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -100,7 +107,7 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	writeRow(t.Header)
-	sep := make([]string, len(t.Header))
+	sep := make([]string, nCols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}

@@ -70,6 +70,36 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+func TestTableWideRowsAlign(t *testing.T) {
+	// Rows wider than the header must still participate in column sizing
+	// and render aligned (regression: they were skipped entirely).
+	tb := Table{Header: []string{"name", "val"}}
+	tb.AddRow("alpha", "1", "extra-wide-cell", "9")
+	tb.AddRow("beta", "22", "x", "1234")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("wide rows misaligned:\n%s", out)
+	}
+	// Separator spans all columns, so rows never extend past it.
+	if len(lines[1]) < len(lines[2]) {
+		t.Fatalf("separator shorter than widest row:\n%s", out)
+	}
+	col := strings.Index(lines[2], "extra-wide-cell")
+	if col < 0 {
+		t.Fatalf("missing cell:\n%s", out)
+	}
+	// The matching cell in the next row must be right-aligned to the same
+	// column block: its last character lines up with the block end.
+	end := col + len("extra-wide-cell")
+	if lines[3][end-1] != 'x' {
+		t.Fatalf("columns not aligned at %d:\n%s", end, out)
+	}
+}
+
 func TestPlotContainsMarkersAndLabels(t *testing.T) {
 	s := Series{Name: "Spec-DSWP"}
 	s.Add(8, 4)

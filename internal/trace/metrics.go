@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"dsmtx/internal/stats"
+)
+
+// Metrics is a registry of named instruments. Handles are resolved once —
+// at System construction or queue Instrument time — so hot paths hold
+// *Counter/*Gauge/*Histogram pointers and never touch the name map.
+//
+// All instrument methods are nil-receiver-safe: a nil handle (from a nil
+// registry) costs one branch, keeping disabled-tracing hot paths
+// allocation-free.
+type Metrics struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter resolves (creating on first use) the named counter. Returns nil
+// on a nil registry — safe to use, all ops no-op.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge resolves (creating on first use) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram resolves (creating on first use) the named histogram.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	h := m.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level that also tracks its high-water mark.
+type Gauge struct {
+	v, max int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add shifts the gauge's value by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value reports the current level (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max reports the high-water mark (0 for nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bit-length i, i.e. [2^(i-1), 2^i). Bucket 0
+// holds v <= 0.
+const histBuckets = 40
+
+// Histogram accumulates a distribution in fixed power-of-two buckets —
+// no per-observation allocation, deterministic snapshots.
+type Histogram struct {
+	buckets  [histBuckets]uint64
+	count    uint64
+	sum      int64
+	min, max int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.buckets[b]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count reports the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum reports the total of all observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean reports the arithmetic mean of observations (0 if none).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min reports the smallest observation (0 if none).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation (0 if none).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Table renders the registry as a deterministic report: counters, gauges,
+// then histograms, each sorted by name. Zero-valued instruments that were
+// registered but never touched are still listed — absence of activity is
+// itself a signal.
+func (m *Metrics) Table() *stats.Table {
+	t := &stats.Table{Header: []string{"metric", "value", "detail"}}
+	if m == nil {
+		return t
+	}
+	for _, name := range sortedKeys(m.counters) {
+		t.AddRow(name, fmt.Sprintf("%d", m.counters[name].Value()), "")
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		g := m.gauges[name]
+		t.AddRow(name, fmt.Sprintf("%d", g.Value()), fmt.Sprintf("max %d", g.Max()))
+	}
+	for _, name := range sortedKeys(m.histograms) {
+		h := m.histograms[name]
+		detail := "-"
+		if h.Count() > 0 {
+			detail = fmt.Sprintf("mean %.1f min %d max %d", h.Mean(), h.Min(), h.Max())
+		}
+		t.AddRow(name, fmt.Sprintf("%d", h.Count()), detail)
+	}
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+
+	"dsmtx/internal/sim"
+	"dsmtx/internal/stats"
+)
+
+// StallRow attributes one rank's virtual time across the causes that matter
+// for pipeline balance (§3.2 of the paper: speculation management must stay
+// off the critical path, and Fig. 6's recovery cost is mostly pipeline
+// refill — both diagnoses fall out of this split):
+//
+//	Busy         — executing work (subTX bodies, validation, commit apply)
+//	Backpressure — waiting for downstream queue credit (queue full)
+//	Starvation   — polling an empty upstream queue
+//	VerdictWait  — the commit unit waiting on a try-commit verdict
+//	Recovery     — inside a recovery window (ERM/FLQ/SEQ plus refill stall)
+//	Blocked      — parked on a message or synchronization primitive
+type StallRow struct {
+	Track int    // rank (or synthetic track id)
+	Label string // "worker3", "trycommit0", "commit", "pagesrv"
+	Stage string // aggregation key: "S0".."Sn", "trycommit", "commit", "pagesrv"
+
+	Busy, Backpressure, Starvation, VerdictWait, Recovery, Blocked sim.Time
+}
+
+// Total is the row's accounted virtual time.
+func (r *StallRow) Total() sim.Time {
+	return r.Busy + r.Backpressure + r.Starvation + r.VerdictWait + r.Recovery + r.Blocked
+}
+
+// StallReport collects per-rank stall rows for one or more runs.
+type StallReport struct {
+	Rows []StallRow
+}
+
+// Add appends a row.
+func (r *StallReport) Add(row StallRow) { r.Rows = append(r.Rows, row) }
+
+// Merge accumulates another report into this one, matching rows by label
+// (chained invocations of the same system layout).
+func (r *StallReport) Merge(o *StallReport) {
+	if o == nil {
+		return
+	}
+	byLabel := make(map[string]int, len(r.Rows))
+	for i := range r.Rows {
+		byLabel[r.Rows[i].Label] = i
+	}
+	for _, row := range o.Rows {
+		if i, ok := byLabel[row.Label]; ok {
+			dst := &r.Rows[i]
+			dst.Busy += row.Busy
+			dst.Backpressure += row.Backpressure
+			dst.Starvation += row.Starvation
+			dst.VerdictWait += row.VerdictWait
+			dst.Recovery += row.Recovery
+			dst.Blocked += row.Blocked
+		} else {
+			byLabel[row.Label] = len(r.Rows)
+			r.Rows = append(r.Rows, row)
+		}
+	}
+}
+
+var stallHeader = []string{"rank", "total", "busy", "backpressure", "starvation", "verdict-wait", "recovery", "blocked"}
+
+// Table renders the per-rank breakdown; each cause shows time and its share
+// of the rank's total.
+func (r *StallReport) Table() *stats.Table {
+	t := &stats.Table{Header: stallHeader}
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		t.AddRow(stallCells(row.Label, row)...)
+	}
+	return t
+}
+
+// StageTable renders the same breakdown aggregated by pipeline stage — the
+// pipeline-balance summary dsmtxrun prints.
+func (r *StallReport) StageTable() *stats.Table {
+	t := &stats.Table{Header: append([]string{}, stallHeader...)}
+	t.Header[0] = "stage"
+	agg := make(map[string]*StallRow)
+	var order []string
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		a := agg[row.Stage]
+		if a == nil {
+			a = &StallRow{Stage: row.Stage, Label: row.Stage}
+			agg[row.Stage] = a
+			order = append(order, row.Stage)
+		}
+		a.Busy += row.Busy
+		a.Backpressure += row.Backpressure
+		a.Starvation += row.Starvation
+		a.VerdictWait += row.VerdictWait
+		a.Recovery += row.Recovery
+		a.Blocked += row.Blocked
+	}
+	for _, stage := range order {
+		t.AddRow(stallCells(stage, agg[stage])...)
+	}
+	return t
+}
+
+func stallCells(name string, r *StallRow) []string {
+	total := r.Total()
+	cell := func(v sim.Time) string {
+		if total == 0 {
+			return fmtDur(v)
+		}
+		return fmt.Sprintf("%s (%4.1f%%)", fmtDur(v), 100*float64(v)/float64(total))
+	}
+	return []string{
+		name, fmtDur(total),
+		cell(r.Busy), cell(r.Backpressure), cell(r.Starvation),
+		cell(r.VerdictWait), cell(r.Recovery), cell(r.Blocked),
+	}
+}
+
+// fmtDur renders virtual nanoseconds with a human unit.
+func fmtDur(t sim.Time) string {
+	switch {
+	case t >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(t)/1e9)
+	case t >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(t)/1e6)
+	case t >= 1e3:
+		return fmt.Sprintf("%.2fus", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

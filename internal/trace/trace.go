@@ -1,0 +1,193 @@
+// Package trace is the virtual-time observability layer under DSMTX: a
+// span/event tracer recording per-rank timelines, a registry of named
+// counters/gauges/histograms, and a stall-attribution report for the
+// pipeline-balance summary.
+//
+// Everything here is measured in virtual time and recorded deterministically
+// — tracing a run never schedules events, never advances the clock, and
+// never changes decision points, so a traced run's virtual-time outcome is
+// bit-identical to an untraced one (pinned by determinism tests). The other
+// direction of the invariant is just as binding: a nil *Tracer is the
+// disabled state, and every hook throughout the runtime is a nil-check
+// no-op, so tracing-off adds zero allocations to hot paths (pinned by the
+// alloc-regression tests in internal/mem and internal/queue).
+//
+// Timelines are exported as Chrome trace-event JSON (see chrome.go):
+// simulated ranks render as threads, nodes as processes, and virtual
+// nanoseconds as timestamps — loadable in Perfetto or chrome://tracing.
+package trace
+
+import "dsmtx/internal/sim"
+
+// Kind labels a recorded span or instant event.
+type Kind uint8
+
+// Span and instant kinds. Spans have duration; Inst* events are points.
+const (
+	SpanSubTX    Kind = iota // a worker executed one subTX (V1 = stage)
+	SpanValidate             // the try-commit unit validated one MTX (V1 = verdict)
+	SpanCommit               // group commit of one MTX (V1 = entries, V2 = bulk bytes)
+	SpanCOA                  // one Copy-On-Access fault round trip (MTX = page, V1 = pages, V2 = wire bytes)
+	SpanRecvWait             // a blocking message receive (V1 = tag)
+	SpanRecovery             // one rank's whole recovery window (MTX = restart iteration)
+	SpanERM                  // recovery: enter-recovery-mode barrier (commit unit)
+	SpanFLQ                  // recovery: flush-queues barrier (commit unit)
+	SpanSEQ                  // recovery: sequential re-execution (commit unit)
+	SpanRFP                  // recovery: refill-pipeline, resume to next commit (commit unit)
+	InstFlush                // a queue batch left the sender (V1 = items, V2 = wire bytes)
+	InstDrain                // a queue batch was drained by the consumer (V1 = items)
+	InstMisspec              // a misspeculation marker was emitted (MTX = iteration)
+	numKinds
+)
+
+// kindMeta drives the Chrome export: event name, category, and the names of
+// the V1/V2 args ("" = omit). mtxName is the args key for the MTX field
+// ("" = omit).
+var kindMeta = [numKinds]struct {
+	name, cat       string
+	mtxName, a1, a2 string
+}{
+	SpanSubTX:    {"subTX", "worker", "mtx", "stage", ""},
+	SpanValidate: {"validate", "trycommit", "mtx", "ok", ""},
+	SpanCommit:   {"commit", "commit", "mtx", "entries", "bulk_bytes"},
+	SpanCOA:      {"coa.fault", "mem", "page", "pages", "wire_bytes"},
+	SpanRecvWait: {"recv.wait", "mpi", "", "tag", ""},
+	SpanRecovery: {"recovery", "recovery", "restart", "", ""},
+	SpanERM:      {"recovery.ERM", "recovery", "mtx", "", ""},
+	SpanFLQ:      {"recovery.FLQ", "recovery", "mtx", "", ""},
+	SpanSEQ:      {"recovery.SEQ", "recovery", "mtx", "", ""},
+	SpanRFP:      {"recovery.RFP", "recovery", "mtx", "", ""},
+	InstFlush:    {"queue.flush", "queue", "", "items", "bytes"},
+	InstDrain:    {"queue.drain", "queue", "", "items", ""},
+	InstMisspec:  {"misspec", "worker", "mtx", "", ""},
+}
+
+// String reports the kind's event name.
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindMeta[k].name
+	}
+	return "invalid"
+}
+
+// Event is one recorded timeline entry. Start == End denotes an instant.
+// V1/V2 are kind-specific arguments (see the Kind constants).
+type Event struct {
+	Kind       Kind
+	Track      int32 // timeline id: the simulated rank (or a synthetic id)
+	Start, End sim.Time
+	MTX        uint64
+	V1, V2     int64
+}
+
+// trackInfo labels one timeline for export: Chrome pid (the cluster node)
+// and thread name.
+type trackInfo struct {
+	pid  int
+	name string
+}
+
+// Tracer records spans and events against a simulation kernel's virtual
+// clock. A nil *Tracer is valid and means "tracing disabled": every method
+// is a no-op, so hooks cost a nil check and nothing else.
+//
+// A Tracer may observe several consecutive runs (chained invocations): each
+// BindKernel stitches the new kernel's clock after the previous run's end,
+// so multi-invocation benchmarks export one continuous timeline.
+type Tracer struct {
+	k      *sim.Kernel
+	base   sim.Time
+	spans  bool
+	events []Event
+	tracks map[int32]trackInfo
+	met    *Metrics
+}
+
+// New returns a tracer that records spans and metrics.
+func New() *Tracer {
+	return &Tracer{spans: true, tracks: make(map[int32]trackInfo), met: NewMetrics()}
+}
+
+// NewMetricsOnly returns a tracer that maintains the metrics registry but
+// records no timeline events — for metrics reports without trace files.
+func NewMetricsOnly() *Tracer {
+	t := New()
+	t.spans = false
+	return t
+}
+
+// Enabled reports whether timeline recording is active.
+func (t *Tracer) Enabled() bool { return t != nil && t.spans }
+
+// Metrics returns the tracer's metric registry (nil for a nil tracer; the
+// registry's lookup methods are nil-safe and return nil instruments).
+func (t *Tracer) Metrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	return t.met
+}
+
+// BindKernel attaches the tracer to a (new) kernel's clock. Re-binding
+// offsets subsequent timestamps past the previous kernel's final time, so
+// chained invocations form one monotonic timeline.
+func (t *Tracer) BindKernel(k *sim.Kernel) {
+	if t == nil {
+		return
+	}
+	if t.k != nil {
+		t.base += t.k.Now()
+	}
+	t.k = k
+}
+
+// SetTrack labels a timeline: pid groups tracks (the cluster node), name is
+// the per-track label ("worker3", "commit", ...).
+func (t *Tracer) SetTrack(track, pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.tracks[int32(track)] = trackInfo{pid: pid, name: name}
+}
+
+// Now reports the tracer-relative virtual time — the value to pass as a
+// span's start. It returns 0 when recording is off, making the
+// capture-then-record pattern free in the disabled state.
+func (t *Tracer) Now() sim.Time {
+	if t == nil || !t.spans || t.k == nil {
+		return 0
+	}
+	return t.base + t.k.Now()
+}
+
+// Span records an interval from start (a value captured with Now) to the
+// current virtual time.
+func (t *Tracer) Span(kind Kind, track int, start sim.Time, mtx uint64, v1, v2 int64) {
+	if t == nil || !t.spans || t.k == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		Kind: kind, Track: int32(track), Start: start, End: t.base + t.k.Now(),
+		MTX: mtx, V1: v1, V2: v2,
+	})
+}
+
+// Instant records a zero-duration event at the current virtual time.
+func (t *Tracer) Instant(kind Kind, track int, mtx uint64, v1, v2 int64) {
+	if t == nil || !t.spans || t.k == nil {
+		return
+	}
+	now := t.base + t.k.Now()
+	t.events = append(t.events, Event{
+		Kind: kind, Track: int32(track), Start: now, End: now,
+		MTX: mtx, V1: v1, V2: v2,
+	})
+}
+
+// Events exposes the recorded timeline (tests and custom exporters).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}

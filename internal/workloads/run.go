@@ -3,9 +3,11 @@ package workloads
 import (
 	"fmt"
 
+	"dsmtx/internal/cluster"
 	"dsmtx/internal/core"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 )
 
 // Paradigm selects which parallelization of a benchmark to run.
@@ -34,6 +36,13 @@ type Result struct {
 	SEQ, RFP  sim.Time
 	Bytes     uint64 // total wire traffic
 	Events    uint64
+	// Traffic breaks the wire total down by message class (queue batches,
+	// Copy-On-Access pages, control); its Bytes field equals the Bytes
+	// total above.
+	Traffic cluster.TrafficStats
+	// Stalls aggregates per-rank stall attribution across invocations when
+	// the run was tuned with a core.Config.Tracer; empty otherwise.
+	Stalls trace.StallReport
 	// Trace holds the MTX lifecycle events of every invocation when the
 	// run was tuned with core.Config.Trace.
 	Trace []core.TraceEvent
@@ -87,6 +96,8 @@ func RunParallel(b *Benchmark, in Input, paradigm Paradigm, cores int, tune func
 		agg.RFP += res.RFP
 		agg.Bytes += res.Traffic.Bytes
 		agg.Events += res.Events
+		agg.Traffic.Add(res.Traffic)
+		agg.Stalls.Merge(sys.StallReport())
 		agg.Trace = append(agg.Trace, sys.Trace()...)
 		if inv == invocations-1 {
 			agg.Checksum = prog.Checksum(img)

@@ -1,0 +1,111 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// the dsmtx virtual-time tracer: well-formed JSON, the trace-event fields
+// Perfetto requires, monotone non-negative durations, and per-rank metadata
+// covering every thread that has events. CI runs it over the trace-demo
+// output so a malformed export fails the build rather than a Perfetto load.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+)
+
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Ts   json.RawMessage `json:"ts"`
+	Dur  json.RawMessage `json:"dur"`
+	Args map[string]any  `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+// usec parses a trace timestamp (a JSON number in microseconds, emitted
+// with nanosecond precision as %d.%03d).
+func usec(raw json.RawMessage) (float64, error) {
+	return strconv.ParseFloat(string(raw), 64)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: tracecheck trace.json")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		log.Fatalf("%s: not valid JSON: %v", os.Args[1], err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		log.Fatalf("%s: no traceEvents", os.Args[1])
+	}
+
+	named := make(map[int]string) // tid -> thread_name from metadata
+	eventTids := make(map[int]int)
+	spans, instants := 0, 0
+	kinds := make(map[string]int)
+	for i, e := range tf.TraceEvents {
+		if e.Pid == nil || e.Tid == nil {
+			log.Fatalf("event %d (%q): missing pid/tid", i, e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				name, _ := e.Args["name"].(string)
+				if name == "" {
+					log.Fatalf("event %d: thread_name metadata without a name", i)
+				}
+				named[*e.Tid] = name
+			}
+		case "X":
+			ts, err := usec(e.Ts)
+			if err != nil {
+				log.Fatalf("event %d (%q): bad ts %s: %v", i, e.Name, e.Ts, err)
+			}
+			dur, err := usec(e.Dur)
+			if err != nil {
+				log.Fatalf("event %d (%q): bad dur %s: %v", i, e.Name, e.Dur, err)
+			}
+			if ts < 0 || dur < 0 {
+				log.Fatalf("event %d (%q): negative ts/dur (%g, %g)", i, e.Name, ts, dur)
+			}
+			spans++
+			kinds[e.Name]++
+			eventTids[*e.Tid]++
+		case "i":
+			if _, err := usec(e.Ts); err != nil {
+				log.Fatalf("event %d (%q): bad ts %s: %v", i, e.Name, e.Ts, err)
+			}
+			instants++
+			kinds[e.Name]++
+			eventTids[*e.Tid]++
+		default:
+			log.Fatalf("event %d (%q): unexpected phase %q", i, e.Name, e.Ph)
+		}
+	}
+	if spans == 0 {
+		log.Fatalf("%s: no duration events", os.Args[1])
+	}
+	for tid := range eventTids {
+		if named[tid] == "" {
+			log.Fatalf("thread %d has %d events but no thread_name metadata", tid, eventTids[tid])
+		}
+	}
+	fmt.Printf("tracecheck: %s OK — %d spans + %d instants across %d named tracks, %d event kinds\n",
+		os.Args[1], spans, instants, len(eventTids), len(kinds))
+}
