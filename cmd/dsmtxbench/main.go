@@ -11,6 +11,19 @@
 //	dsmtxbench -all
 //	dsmtxbench -quick                    # coarser core counts
 //
+// Experiment points (workload × cores × mode) are independent
+// deterministic simulations, so they are scheduled across host CPUs and
+// cached on disk, content-addressed by their full configuration plus a
+// fingerprint of the simulator sources:
+//
+//	dsmtxbench -all -parallel 8          # fan points over 8 host CPUs
+//	dsmtxbench -all -parallel 1          # sequential; output is byte-identical
+//	dsmtxbench -all -cache /tmp/points   # reuse results across runs
+//	dsmtxbench -all -cache-off           # always simulate
+//
+// Figures and tables go to stdout; progress, logs and the scheduler
+// summary go to stderr, so stdout stays machine-parseable.
+//
 // Host-performance introspection (the simulator's own cost, not the
 // simulated machine's):
 //
@@ -26,8 +39,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -35,182 +50,365 @@ import (
 	"time"
 
 	"dsmtx/internal/core"
+	"dsmtx/internal/expsched"
 	"dsmtx/internal/harness"
 	"dsmtx/internal/trace"
 	"dsmtx/internal/workloads"
 )
 
+// options are the parsed, validated command-line settings.
+type options struct {
+	figure   string
+	table    int
+	micro    bool
+	manycore bool
+	all      bool
+	bench    string
+	quick    bool
+	coreArg  string
+	rate     float64
+	scale    int
+	seed     uint64
+
+	parallel int
+	cacheDir string
+	cacheOff bool
+
+	traceOut   string
+	benchhost  bool
+	benchN     int
+	cpuprofile string
+	memprofile string
+
+	cores []int // resolved from quick/coreArg
+}
+
+// defaultCacheDir places the point cache under the user cache directory;
+// empty (caching disabled by default) when that cannot be determined.
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "dsmtxbench")
+}
+
+// parseFlags parses and validates args (without the program name).
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("dsmtxbench", flag.ContinueOnError)
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 3, 4, 5a, 5b or 6")
+	fs.IntVar(&o.table, "table", 0, "table to regenerate: 2")
+	fs.BoolVar(&o.micro, "micro", false, "run the §5.3 queue-vs-MPI micro-benchmark")
+	fs.BoolVar(&o.manycore, "manycore", false, "run the §7 coherence-free manycore comparison")
+	fs.BoolVar(&o.all, "all", false, "regenerate everything")
+	fs.StringVar(&o.bench, "bench", "", "restrict to one benchmark (or \"geomean\")")
+	fs.BoolVar(&o.quick, "quick", false, "coarse core counts (8,16,32,64,96,128)")
+	fs.StringVar(&o.coreArg, "cores", "", "comma-separated core counts (overrides -quick)")
+	fs.Float64Var(&o.rate, "rate", 0.001, "misspeculation rate for figure 6")
+	fs.IntVar(&o.scale, "scale", 1, "problem-size multiplier")
+	fs.Uint64Var(&o.seed, "seed", 42, "input generation seed")
+
+	fs.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "host CPUs to schedule experiment points across (1 = sequential)")
+	fs.StringVar(&o.cacheDir, "cache", defaultCacheDir(), "directory for the content-addressed point-result cache (\"\" disables)")
+	fs.BoolVar(&o.cacheOff, "cache-off", false, "disable the point-result cache")
+
+	fs.StringVar(&o.traceOut, "trace", "", "run one configuration (honors -bench, -cores) and write a Chrome trace-event JSON timeline to this file")
+	fs.BoolVar(&o.benchhost, "benchhost", false, "measure host wall-clock and allocations per simulated run (honors -bench, -cores, -benchn)")
+	fs.IntVar(&o.benchN, "benchn", 3, "repetitions for -benchhost")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	switch o.figure {
+	case "", "1", "3", "4", "5a", "5b", "6":
+	default:
+		return nil, fmt.Errorf("unknown -figure %q (have 1, 3, 4, 5a, 5b, 6)", o.figure)
+	}
+	if o.table != 0 && o.table != 2 {
+		return nil, fmt.Errorf("unknown -table %d (have 2)", o.table)
+	}
+	if o.bench != "" && o.bench != "geomean" {
+		if _, err := workloads.ByName(o.bench); err != nil {
+			return nil, err
+		}
+	}
+
+	o.cores = harness.DefaultCores()
+	if o.quick {
+		o.cores = harness.QuickCores()
+	}
+	if o.coreArg != "" {
+		o.cores = nil
+		for _, f := range strings.Split(o.coreArg, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad -cores: %v", err)
+			}
+			if c < 1 {
+				return nil, fmt.Errorf("bad -cores: %d is not a positive core count", c)
+			}
+			o.cores = append(o.cores, c)
+		}
+	}
+	return o, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsmtxbench: ")
-	var (
-		figure   = flag.String("figure", "", "figure to regenerate: 1, 3, 4, 5a, 5b or 6")
-		table    = flag.Int("table", 0, "table to regenerate: 2")
-		micro    = flag.Bool("micro", false, "run the §5.3 queue-vs-MPI micro-benchmark")
-		manycore = flag.Bool("manycore", false, "run the §7 coherence-free manycore comparison")
-		all      = flag.Bool("all", false, "regenerate everything")
-		bench    = flag.String("bench", "", "restrict to one benchmark (or \"geomean\")")
-		quick    = flag.Bool("quick", false, "coarse core counts (8,16,32,64,96,128)")
-		coreArg  = flag.String("cores", "", "comma-separated core counts (overrides -quick)")
-		rate     = flag.Float64("rate", 0.001, "misspeculation rate for figure 6")
-		scale    = flag.Int("scale", 1, "problem-size multiplier")
-		seed     = flag.Uint64("seed", 42, "input generation seed")
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
-		traceOut   = flag.String("trace", "", "run one configuration (honors -bench, -cores) and write a Chrome trace-event JSON timeline to this file")
-		benchhost  = flag.Bool("benchhost", false, "measure host wall-clock and allocations per simulated run (honors -bench, -cores, -benchn)")
-		benchN     = flag.Int("benchn", 3, "repetitions for -benchhost")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+// run executes the selected sections. Figures and tables are written to
+// stdout only; progress and diagnostics go to stderr.
+func run(o *options, stdout, stderr io.Writer) error {
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
 		if err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			return fmt.Errorf("-cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatalf("-cpuprofile: %v", err)
+			return fmt.Errorf("-cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *memprofile != "" {
+	if o.memprofile != "" {
 		defer func() {
-			f, err := os.Create(*memprofile)
+			f, err := os.Create(o.memprofile)
 			if err != nil {
-				log.Fatalf("-memprofile: %v", err)
+				fmt.Fprintf(stderr, "dsmtxbench: -memprofile: %v\n", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatalf("-memprofile: %v", err)
+				fmt.Fprintf(stderr, "dsmtxbench: -memprofile: %v\n", err)
 			}
 		}()
 	}
 
-	in := workloads.Input{Scale: *scale, Seed: *seed}
-	cores := harness.DefaultCores()
-	if *quick {
-		cores = harness.QuickCores()
-	}
-	if *coreArg != "" {
-		cores = nil
-		for _, f := range strings.Split(*coreArg, ",") {
-			c, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil {
-				log.Fatalf("bad -cores: %v", err)
-			}
-			cores = append(cores, c)
+	in := workloads.Input{Scale: o.scale, Seed: o.seed}
+	runner := newRunner(o, stderr)
+
+	start := time.Now()
+	specs := prefetchSpecs(o, in)
+	if len(specs) > 0 && runner.Workers > 1 {
+		if err := runner.Prefetch(specs); err != nil {
+			return err
 		}
 	}
 
 	ran := false
-	if *traceOut != "" {
-		c := 32
-		if *coreArg != "" {
-			c = cores[0]
+	if o.traceOut != "" {
+		tin := in
+		tin.MisspecRate = o.rate
+		if err := runTrace(tin, o.bench, o.oneCoreCount(), o.traceOut, stderr); err != nil {
+			return err
 		}
-		in := in
-		in.MisspecRate = *rate
-		runTrace(in, *bench, c, *traceOut)
 		ran = true
 	}
-	if *benchhost {
-		c := 32
-		if *coreArg != "" {
-			c = cores[0]
+	if o.benchhost {
+		if err := runBenchHost(in, o.bench, o.oneCoreCount(), o.benchN, stdout); err != nil {
+			return err
 		}
-		runBenchHost(in, *bench, c, *benchN)
 		ran = true
 	}
-	if *all || *figure == "1" {
-		runFigure1()
+	if o.all || o.figure == "1" {
+		runFigure1(stdout)
 		ran = true
 	}
-	if *all || *table == 2 {
-		fmt.Println(harness.RenderTable2())
+	if o.all || o.table == 2 {
+		fmt.Fprintln(stdout, harness.RenderTable2())
 		ran = true
 	}
-	if *all || *micro {
-		fmt.Println(harness.RenderMicro(harness.RunMicroQueue()))
+	if o.all || o.micro {
+		res, err := runner.RunMicroQueue()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, harness.RenderMicro(res))
 		ran = true
 	}
-	if *all || *figure == "3" {
+	if o.all || o.figure == "3" {
 		r, err := harness.RunFigure3()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(harness.RenderFigure3(r))
+		fmt.Fprintln(stdout, harness.RenderFigure3(r))
 		ran = true
 	}
-	if *all || *manycore {
-		runManycore(in, *bench)
+	if o.all || o.manycore {
+		if err := runManycore(runner, in, o.bench, stdout); err != nil {
+			return err
+		}
 		ran = true
 	}
-	if *all || *figure == "4" {
-		runFigure4(in, cores, *bench)
+	if o.all || o.figure == "4" {
+		if err := runFigure4(runner, in, o.cores, o.bench, stdout); err != nil {
+			return err
+		}
 		ran = true
 	}
-	if *all || *figure == "5a" {
-		runFigure5a(in, *bench)
+	if o.all || o.figure == "5a" {
+		if err := runFigure5a(runner, in, o.bench, stdout); err != nil {
+			return err
+		}
 		ran = true
 	}
-	if *all || *figure == "5b" {
-		runFigure5b(in, *bench)
+	if o.all || o.figure == "5b" {
+		if err := runFigure5b(runner, in, o.bench, stdout); err != nil {
+			return err
+		}
 		ran = true
 	}
-	if *all || *figure == "6" {
-		runFigure6(in, *rate, cores)
+	if o.all || o.figure == "6" {
+		if err := runFigure6(runner, in, o.rate, o.cores, stdout); err != nil {
+			return err
+		}
 		ran = true
 	}
 	if !ran {
-		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("nothing selected; use -all, -figure, -table, -micro, -manycore, -trace or -benchhost")
 	}
+	if s := runner.Stats(); s.Computed+s.CacheHits > 0 {
+		fmt.Fprintf(stderr, "dsmtxbench: sweep workers=%d points=%d computed=%d cached=%d elapsed=%s\n",
+			runner.Workers, s.Computed+s.CacheHits, s.Computed, s.CacheHits,
+			time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// newRunner wires the experiment scheduler: worker count, the
+// content-addressed cache (unless disabled) and progress to stderr.
+func newRunner(o *options, stderr io.Writer) *harness.Runner {
+	r := &harness.Runner{Workers: o.parallel}
+	if r.Workers < 1 {
+		r.Workers = 1
+	}
+	if !o.cacheOff && o.cacheDir != "" {
+		fp, err := harness.ResultFingerprint()
+		if err == nil {
+			r.Cache, err = expsched.OpenCache(o.cacheDir, fp)
+		}
+		if err != nil {
+			// A broken cache must never fail a run that would otherwise work.
+			fmt.Fprintf(stderr, "dsmtxbench: point cache disabled: %v\n", err)
+			r.Cache = nil
+		}
+	}
+	r.Progress = func(done, total int, spec harness.PointSpec, source string) {
+		fmt.Fprintf(stderr, "dsmtxbench: [%d/%d] %s (%s)\n", done, total, spec, source)
+	}
+	return r
+}
+
+// prefetchSpecs enumerates every experiment point the selected sections
+// will resolve, in a deterministic order, for the parallel fan-out.
+func prefetchSpecs(o *options, in workloads.Input) []harness.PointSpec {
+	var specs []harness.PointSpec
+	if o.all || o.micro {
+		specs = append(specs, harness.PointsMicro()...)
+	}
+	if o.all || o.manycore {
+		for _, name := range manycoreNames(o.bench) {
+			if b, err := workloads.ByName(name); err == nil {
+				specs = append(specs, harness.PointsManycore(b, in)...)
+			}
+		}
+	}
+	if o.all || o.figure == "4" {
+		for _, b := range selected(o.bench) {
+			specs = append(specs, harness.PointsFigure4(b, in, o.cores)...)
+		}
+	}
+	if o.all || o.figure == "5a" {
+		for _, b := range selected(o.bench) {
+			specs = append(specs, harness.PointsFigure5a(b, in)...)
+		}
+	}
+	if o.all || o.figure == "5b" {
+		for _, b := range selected(o.bench) {
+			specs = append(specs, harness.PointsFigure5b(b, in, 128)...)
+		}
+	}
+	if o.all || o.figure == "6" {
+		for _, name := range harness.Fig6Benches() {
+			b, err := workloads.ByName(name)
+			if err != nil {
+				continue
+			}
+			for _, c := range fig6Cores(o.cores) {
+				specs = append(specs, harness.PointsFigure6(b, in, o.rate, c)...)
+			}
+		}
+	}
+	return specs
+}
+
+// oneCoreCount picks the core count for single-configuration modes
+// (-trace, -benchhost): the first -cores value, else 32.
+func (o *options) oneCoreCount() int {
+	if o.coreArg != "" {
+		return o.cores[0]
+	}
+	return 32
 }
 
 // runTrace executes one configuration with the virtual-time tracer attached
 // and writes the Perfetto-loadable Chrome trace.
-func runTrace(in workloads.Input, bench string, cores int, path string) {
+func runTrace(in workloads.Input, bench string, cores int, path string, stderr io.Writer) error {
 	name := bench
 	if name == "" || name == "geomean" {
 		name = "164.gzip"
 	}
 	b, err := workloads.ByName(name)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tr := trace.New()
 	res, err := workloads.RunParallel(b, in, workloads.DSMTX, cores,
 		func(cfg *core.Config) { cfg.Tracer = tr })
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := tr.WriteChromeTrace(f); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("trace: %s on %d cores, %v virtual time, %d events -> %s\n",
+	fmt.Fprintf(stderr, "dsmtxbench: trace: %s on %d cores, %v virtual time, %d events -> %s\n",
 		name, cores, res.Elapsed, len(tr.Events()), path)
+	return nil
 }
 
 // runBenchHost times complete simulated-cluster runs on the host — the
 // same measurement as the BenchmarkHost* functions, without the testing
 // harness, so it composes with -cpuprofile/-memprofile.
-func runBenchHost(in workloads.Input, bench string, cores, n int) {
+func runBenchHost(in workloads.Input, bench string, cores, n int, stdout io.Writer) error {
 	name := bench
 	if name == "" || name == "geomean" {
 		name = "164.gzip"
 	}
 	b, err := workloads.ByName(name)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if n < 1 {
 		n = 1
@@ -222,117 +420,136 @@ func runBenchHost(in workloads.Input, bench string, cores, n int) {
 	for i := 0; i < n; i++ {
 		res, err := workloads.RunParallel(b, in, workloads.DSMTX, cores, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if res.Committed == 0 {
-			log.Fatalf("%s: no commits", name)
+			return fmt.Errorf("%s: no commits", name)
 		}
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	un := uint64(n)
-	fmt.Printf("benchhost %s DSMTX %d cores: %d ns/op  %d B/op  %d allocs/op  (%d runs)\n",
+	fmt.Fprintf(stdout, "benchhost %s DSMTX %d cores: %d ns/op  %d B/op  %d allocs/op  (%d runs)\n",
 		name, cores, wall.Nanoseconds()/int64(n),
 		(after.TotalAlloc-before.TotalAlloc)/un, (after.Mallocs-before.Mallocs)/un, n)
+	return nil
 }
 
+// selected resolves the benchmark filter; bench is pre-validated by
+// parseFlags.
 func selected(name string) []*workloads.Benchmark {
 	if name == "" || name == "geomean" {
 		return workloads.All()
 	}
 	b, err := workloads.ByName(name)
 	if err != nil {
-		log.Fatal(err)
+		return nil
 	}
 	return []*workloads.Benchmark{b}
 }
 
-func runManycore(in workloads.Input, bench string) {
-	names := []string{"456.hmmer", "crc32", "blackscholes"}
+// manycoreNames are the benchmarks the §7 comparison covers, honoring
+// the -bench filter.
+func manycoreNames(bench string) []string {
 	if bench != "" && bench != "geomean" {
-		names = []string{bench}
+		return []string{bench}
 	}
+	return []string{"456.hmmer", "crc32", "blackscholes"}
+}
+
+// fig6Cores applies the Fig. 6 core-count policy: a full sweep collapses
+// to the paper's four counts.
+func fig6Cores(cores []int) []int {
+	if len(cores) > 4 {
+		return []int{32, 64, 96, 128} // the paper's Fig. 6 core counts
+	}
+	return cores
+}
+
+func runManycore(r *harness.Runner, in workloads.Input, bench string, stdout io.Writer) error {
 	var rows []harness.ManycoreRow
-	for _, name := range names {
+	for _, name := range manycoreNames(bench) {
 		b, err := workloads.ByName(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		row, err := harness.RunManycore(b, in)
+		row, err := r.RunManycore(b, in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rows = append(rows, row)
 	}
-	fmt.Println(harness.RenderManycore(rows))
+	fmt.Fprintln(stdout, harness.RenderManycore(rows))
+	return nil
 }
 
-func runFigure1() {
+func runFigure1(stdout io.Writer) {
 	var results []harness.Fig1Result
 	for _, lat := range []int{1, 2, 4, 8} {
 		results = append(results, harness.RunFigure1(lat))
 	}
-	fmt.Println(harness.RenderFigure1(results))
+	fmt.Fprintln(stdout, harness.RenderFigure1(results))
 }
 
-func runFigure4(in workloads.Input, cores []int, bench string) {
+func runFigure4(r *harness.Runner, in workloads.Input, cores []int, bench string, stdout io.Writer) error {
 	var series []harness.Fig4Series
 	for _, b := range selected(bench) {
-		s, err := harness.RunFigure4(b, in, cores)
+		s, err := r.RunFigure4(b, in, cores)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if bench != "geomean" {
-			fmt.Println(harness.RenderFigure4(s))
+			fmt.Fprintln(stdout, harness.RenderFigure4(s))
 		}
 		series = append(series, s)
 	}
 	if bench == "" || bench == "geomean" {
-		fmt.Println(harness.RenderGeomean(harness.Geomean(series)))
+		fmt.Fprintln(stdout, harness.RenderGeomean(harness.Geomean(series)))
 	}
+	return nil
 }
 
-func runFigure5a(in workloads.Input, bench string) {
+func runFigure5a(r *harness.Runner, in workloads.Input, bench string, stdout io.Writer) error {
 	var rows []harness.Fig5aRow
 	for _, b := range selected(bench) {
-		row, err := harness.RunFigure5a(b, in)
+		row, err := r.RunFigure5a(b, in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rows = append(rows, row)
 	}
-	fmt.Println(harness.RenderFigure5a(rows))
+	fmt.Fprintln(stdout, harness.RenderFigure5a(rows))
+	return nil
 }
 
-func runFigure5b(in workloads.Input, bench string) {
+func runFigure5b(r *harness.Runner, in workloads.Input, bench string, stdout io.Writer) error {
 	var rows []harness.Fig5bRow
 	for _, b := range selected(bench) {
-		row, err := harness.RunFigure5b(b, in, 128)
+		row, err := r.RunFigure5b(b, in, 128)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rows = append(rows, row)
 	}
-	fmt.Println(harness.RenderFigure5b(rows))
+	fmt.Fprintln(stdout, harness.RenderFigure5b(rows))
+	return nil
 }
 
-func runFigure6(in workloads.Input, rate float64, cores []int) {
-	if len(cores) > 4 {
-		cores = []int{32, 64, 96, 128} // the paper's Fig. 6 core counts
-	}
+func runFigure6(r *harness.Runner, in workloads.Input, rate float64, cores []int, stdout io.Writer) error {
 	var rows []harness.Fig6Row
 	for _, name := range harness.Fig6Benches() {
 		b, err := workloads.ByName(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		for _, c := range cores {
-			row, err := harness.RunFigure6(b, in, rate, c)
+		for _, c := range fig6Cores(cores) {
+			row, err := r.RunFigure6(b, in, rate, c)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			rows = append(rows, row)
 		}
 	}
-	fmt.Println(harness.RenderFigure6(rows))
+	fmt.Fprintln(stdout, harness.RenderFigure6(rows))
+	return nil
 }

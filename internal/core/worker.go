@@ -533,7 +533,11 @@ func (w *workerNode) endIter(iter uint64) {
 func (w *workerNode) emitTerminate() {
 	t := Entry{Kind: entTerminate, MTX: w.curIter}
 	for _, dstStage := range w.outStages {
-		for _, port := range w.edgeOut[dstStage] {
+		// Iterate destinations in layout order, not map order: each send
+		// serializes on the NIC, so a nondeterministic broadcast order
+		// would perturb downstream virtual time.
+		for _, dst := range w.sys.layout.Assign[dstStage] {
+			port := w.edgeOut[dstStage][dst]
 			port.Produce(t)
 			port.Flush()
 		}
@@ -631,14 +635,14 @@ func (w *workerNode) doRecovery() {
 
 	w.comm.Barrier(w.sys.allRanks) // all threads have entered recovery mode
 
-	for _, m := range w.edgeOut {
-		for _, port := range m {
-			port.Abort(cm.epoch)
+	for _, dstStage := range w.outStages {
+		for _, dst := range w.sys.layout.Assign[dstStage] {
+			w.edgeOut[dstStage][dst].Abort(cm.epoch)
 		}
 	}
-	for _, m := range w.edgeIn {
-		for _, port := range m {
-			port.abort(cm.epoch)
+	for _, fromStage := range w.inStages {
+		for _, src := range w.sys.layout.Assign[fromStage] {
+			w.edgeIn[fromStage][src].abort(cm.epoch)
 		}
 	}
 	for _, port := range w.toTC {

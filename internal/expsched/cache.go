@@ -1,0 +1,133 @@
+package expsched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-addressed on-disk result store. A key is the SHA-256
+// of the cache fingerprint (a digest of everything that can change a
+// result — simulator sources, record schema) concatenated with the
+// canonical JSON of a point's full specification, so any change to either
+// silently addresses fresh entries and stale ones are simply never read
+// again. Entries are JSON files named by their key under a two-level
+// fan-out directory; writes go through a temp file and rename, so
+// concurrent writers of the same (deterministic) entry race benignly.
+type Cache struct {
+	dir         string
+	fingerprint string
+}
+
+// OpenCache prepares a cache rooted at dir. The directory is created if
+// missing; fingerprint scopes every key (see Cache).
+func OpenCache(dir, fingerprint string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("expsched: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("expsched: cache dir: %w", err)
+	}
+	return &Cache{dir: dir, fingerprint: fingerprint}, nil
+}
+
+// Dir reports the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk layout: the spec is echoed for debuggability (the
+// key alone is opaque), the value is kept raw so Get can decode it into
+// the caller's type.
+type entry struct {
+	Fingerprint string          `json:"fingerprint"`
+	Spec        json.RawMessage `json:"spec"`
+	Value       json.RawMessage `json:"value"`
+}
+
+// Key derives the content address for a point specification. spec must
+// marshal deterministically (structs do: field order is fixed).
+func (c *Cache) Key(spec any) (string, error) {
+	js, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("expsched: marshal spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(c.fingerprint))
+	h.Write([]byte{'\n'})
+	h.Write(js)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get looks a spec up and, on a hit, decodes the stored value into v
+// (a pointer). Unreadable or corrupt entries count as misses: the cache
+// must never be able to fail a run that would succeed without it.
+func (c *Cache) Get(spec, v any) (bool, error) {
+	key, err := c.Key(spec)
+	if err != nil {
+		return false, err
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return false, nil
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return false, nil
+	}
+	if e.Fingerprint != c.fingerprint {
+		return false, nil
+	}
+	if err := json.Unmarshal(e.Value, v); err != nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// Put stores a spec's value. The write is atomic (temp file + rename) so
+// a reader never observes a partial entry.
+func (c *Cache) Put(spec, v any) error {
+	key, err := c.Key(spec)
+	if err != nil {
+		return err
+	}
+	specJS, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("expsched: marshal spec: %w", err)
+	}
+	valJS, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("expsched: marshal value: %w", err)
+	}
+	out, err := json.MarshalIndent(entry{Fingerprint: c.fingerprint, Spec: specJS, Value: valJS}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("expsched: cache subdir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("expsched: cache write: %w", err)
+	}
+	if _, err := tmp.Write(append(out, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expsched: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expsched: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("expsched: cache write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package expsched
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrderAndConcurrency: results come back in index order regardless
+// of worker count, and the pool really runs concurrently but never above
+// its bound.
+func TestMapOrderAndConcurrency(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		var inFlight, peak atomic.Int64
+		out, err := Map(workers, 40, func(i int) (int, error) {
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		bound := int64(workers)
+		if workers <= 1 {
+			bound = 1
+		}
+		if workers > 40 {
+			bound = 40
+		}
+		if peak.Load() > bound {
+			t.Errorf("workers=%d: peak concurrency %d exceeds bound %d", workers, peak.Load(), bound)
+		}
+	}
+}
+
+// TestMapError: a failing index surfaces as an error and no partial
+// results leak; in sequential mode later indices never run.
+func TestMapError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(1, 10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, fmt.Errorf("boom at %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom at 3") {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("sequential mode ran %d calls, want 4 (stop at first error)", ran.Load())
+	}
+	_, err = Map(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("boom at %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom at") {
+		t.Fatalf("parallel err = %v", err)
+	}
+}
+
+// TestMapPanic: a panicking point reports as an error, with the panic
+// value and a stack, instead of killing the process.
+func TestMapPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 5, func(i int) (int, error) {
+			if i == 2 {
+				panic("kernel deadlock")
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "kernel deadlock") {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+// TestMapEmpty: zero points is a no-op, not a hang.
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(8, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+type testSpec struct {
+	Bench string
+	Cores int
+	Seed  uint64
+}
+
+type testValue struct {
+	Elapsed int64
+	Check   uint64 // full-range uint64: round-trip must be exact
+	Speedup float64
+}
+
+// TestCacheRoundTrip: Put then Get returns the value bit-exactly —
+// including uint64 values above 2^53, which would corrupt through a
+// float64 intermediate.
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec{Bench: "164.gzip", Cores: 32, Seed: 42}
+	want := testValue{Elapsed: 123456789012345, Check: 0xfedcba9876543210, Speedup: 17.25}
+	var got testValue
+	if ok, err := c.Get(spec, &got); ok || err != nil {
+		t.Fatalf("cold Get = %v, %v", ok, err)
+	}
+	if err := c.Put(spec, want); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Get(spec, &got)
+	if err != nil || !ok {
+		t.Fatalf("warm Get = %v, %v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+// TestCacheKeying: different specs and different fingerprints address
+// different entries; the same spec+fingerprint addresses the same one.
+func TestCacheKeying(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := OpenCache(dir, "fp1")
+	c2, _ := OpenCache(dir, "fp2")
+	spec := testSpec{Bench: "crc32", Cores: 8}
+	if err := c1.Put(spec, testValue{Elapsed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var v testValue
+	if ok, _ := c2.Get(spec, &v); ok {
+		t.Fatal("fingerprint change must miss")
+	}
+	other := spec
+	other.Cores = 16
+	if ok, _ := c1.Get(other, &v); ok {
+		t.Fatal("different spec must miss")
+	}
+	c1b, _ := OpenCache(dir, "fp1")
+	if ok, _ := c1b.Get(spec, &v); !ok || v.Elapsed != 1 {
+		t.Fatalf("same spec+fingerprint must hit: ok=%v v=%+v", ok, v)
+	}
+}
+
+// TestCacheCorruptEntryIsMiss: a truncated entry file degrades to a miss,
+// never an error.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	c, _ := OpenCache(t.TempDir(), "fp")
+	spec := testSpec{Bench: "x"}
+	if err := c.Put(spec, testValue{Elapsed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := c.Key(spec)
+	path := filepath.Join(c.Dir(), key[:2], key+".json")
+	if err := os.WriteFile(path, []byte("{\"trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v testValue
+	if ok, err := c.Get(spec, &v); ok || err != nil {
+		t.Fatalf("corrupt entry: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSourceFingerprint: stable across calls, sensitive to content
+// changes, blind to _test.go files, and loud about missing directories.
+func TestSourceFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package a\n")
+	write("b.go", "package a\nvar B = 1\n")
+	fp1, err := SourceFingerprint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := SourceFingerprint(dir)
+	if err != nil || fp1 != fp2 {
+		t.Fatalf("unstable: %s vs %s (%v)", fp1, fp2, err)
+	}
+	write("a_test.go", "package a\n")
+	fp3, _ := SourceFingerprint(dir)
+	if fp3 != fp1 {
+		t.Fatal("_test.go files must not affect the fingerprint")
+	}
+	write("b.go", "package a\nvar B = 2\n")
+	fp4, _ := SourceFingerprint(dir)
+	if fp4 == fp1 {
+		t.Fatal("content change must change the fingerprint")
+	}
+	if _, err := SourceFingerprint(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing directory must error")
+	}
+}

@@ -1,0 +1,75 @@
+package expsched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SourceFingerprint digests every non-test .go file under the given
+// directories (path-sorted, path and content both hashed), producing a
+// stable identifier for "the code that computes results". Cache keys
+// scoped by it invalidate automatically when any of those sources change,
+// while edits elsewhere — rendering, CLI, docs — keep entries live.
+// Missing directories are an error: silently fingerprinting less than the
+// caller asked for would let stale results survive a code change.
+func SourceFingerprint(dirs ...string) (string, error) {
+	var files []string
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return "", fmt.Errorf("expsched: fingerprint %s: %w", dir, err)
+		}
+	}
+	if len(files) == 0 {
+		return "", fmt.Errorf("expsched: fingerprint: no .go files under %v", dirs)
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", fmt.Errorf("expsched: fingerprint: %w", err)
+		}
+		fmt.Fprintf(h, "%s %d\n", filepath.ToSlash(path), len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ExecutableFingerprint digests the running binary — the coarse fallback
+// when sources are not reachable (installed binaries run outside the
+// repo). Any rebuild invalidates the cache, which is safe, just less
+// precise than SourceFingerprint.
+func ExecutableFingerprint() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", fmt.Errorf("expsched: fingerprint: %w", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", fmt.Errorf("expsched: fingerprint: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("expsched: fingerprint: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

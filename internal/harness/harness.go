@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"strings"
 
-	"dsmtx/internal/core"
 	"dsmtx/internal/stats"
 	"dsmtx/internal/workloads"
 )
@@ -40,22 +39,24 @@ type Fig4Series struct {
 // RunFigure4 measures speedup-vs-cores for one benchmark (one panel of
 // Fig. 4).
 func RunFigure4(b *workloads.Benchmark, in workloads.Input, cores []int) (Fig4Series, error) {
+	return new(Runner).RunFigure4(b, in, cores)
+}
+
+// RunFigure4 measures one Fig. 4 panel through the runner's memo/cache.
+func (r *Runner) RunFigure4(b *workloads.Benchmark, in workloads.Input, cores []int) (Fig4Series, error) {
 	out := Fig4Series{Bench: b.Name, Paradigm: b.Paradigm}
-	seqTime, seqCheck, err := workloads.RunSequentialRef(b, in)
+	seqTime, seqCheck, err := r.runSequential(b, in, KnobNone)
 	if err != nil {
 		return out, err
 	}
 	out.SeqTime = seqTime.Seconds()
 	for _, c := range cores {
-		minc := minCores(b.NewDSMTX(in, 0))
-		if c < minc {
-			c = minc
-		}
-		dres, err := workloads.RunParallel(b, in, workloads.DSMTX, c, nil)
+		c = clampCores(b, in, c)
+		dres, err := r.runParallel(b, in, workloads.DSMTX, c, KnobNone)
 		if err != nil {
 			return out, err
 		}
-		tres, err := workloads.RunParallel(b, in, workloads.TLS, c, nil)
+		tres, err := r.runParallel(b, in, workloads.TLS, c, KnobNone)
 		if err != nil {
 			return out, err
 		}
@@ -151,11 +152,16 @@ type Fig5aRow struct {
 // RunFigure5a measures application bandwidth at consecutive core counts
 // starting from the plan's minimum, under Spec-DSWP (as the paper does).
 func RunFigure5a(b *workloads.Benchmark, in workloads.Input) (Fig5aRow, error) {
+	return new(Runner).RunFigure5a(b, in)
+}
+
+// RunFigure5a measures one Fig. 5a row through the runner's memo/cache.
+func (r *Runner) RunFigure5a(b *workloads.Benchmark, in workloads.Input) (Fig5aRow, error) {
 	row := Fig5aRow{Bench: b.Name}
 	base := minCores(b.NewDSMTX(in, 0))
 	for i := 0; i < 4; i++ {
 		c := base + i
-		res, err := workloads.RunParallel(b, in, workloads.DSMTX, c, nil)
+		res, err := r.runParallel(b, in, workloads.DSMTX, c, KnobNone)
 		if err != nil {
 			return row, err
 		}
@@ -188,18 +194,21 @@ type Fig5bRow struct {
 // RunFigure5b measures the communication optimization's effect at the given
 // core count (the paper uses 128).
 func RunFigure5b(b *workloads.Benchmark, in workloads.Input, cores int) (Fig5bRow, error) {
+	return new(Runner).RunFigure5b(b, in, cores)
+}
+
+// RunFigure5b measures one Fig. 5b row through the runner's memo/cache.
+func (r *Runner) RunFigure5b(b *workloads.Benchmark, in workloads.Input, cores int) (Fig5bRow, error) {
 	row := Fig5bRow{Bench: b.Name}
-	seqTime, _, err := workloads.RunSequentialRef(b, in)
+	seqTime, _, err := r.runSequential(b, in, KnobNone)
 	if err != nil {
 		return row, err
 	}
-	opt, err := workloads.RunParallel(b, in, workloads.DSMTX, cores, nil)
+	opt, err := r.runParallel(b, in, workloads.DSMTX, cores, KnobNone)
 	if err != nil {
 		return row, err
 	}
-	unopt, err := workloads.RunParallel(b, in, workloads.DSMTX, cores, func(cfg *core.Config) {
-		cfg.Queue = cfg.Queue.Unoptimized()
-	})
+	unopt, err := r.runParallel(b, in, workloads.DSMTX, cores, KnobQueueUnopt)
 	if err != nil {
 		return row, err
 	}
@@ -241,23 +250,28 @@ func Fig6Benches() []string {
 // RunFigure6 measures recovery overhead at the given misspeculation rate
 // (the paper uses 0.1%).
 func RunFigure6(b *workloads.Benchmark, in workloads.Input, rate float64, cores int) (Fig6Row, error) {
+	return new(Runner).RunFigure6(b, in, rate, cores)
+}
+
+// RunFigure6 measures one recovery cell through the runner's memo/cache.
+func (r *Runner) RunFigure6(b *workloads.Benchmark, in workloads.Input, rate float64, cores int) (Fig6Row, error) {
 	row := Fig6Row{Bench: b.Name, Cores: cores}
-	seqTime, _, err := workloads.RunSequentialRef(b, in)
+	seqTime, _, err := r.runSequential(b, in, KnobNone)
 	if err != nil {
 		return row, err
 	}
-	clean, err := workloads.RunParallel(b, in, workloads.DSMTX, cores, nil)
+	clean, err := r.runParallel(b, in, workloads.DSMTX, cores, KnobNone)
 	if err != nil {
 		return row, err
 	}
 	mis := in
 	mis.MisspecRate = rate
 	// The sequential baseline must process the same (corrupted) input.
-	misSeqTime, misCheck, err := workloads.RunSequentialRef(b, mis)
+	misSeqTime, misCheck, err := r.runSequential(b, mis, KnobNone)
 	if err != nil {
 		return row, err
 	}
-	misRes, err := workloads.RunParallel(b, mis, workloads.DSMTX, cores, nil)
+	misRes, err := r.runParallel(b, mis, workloads.DSMTX, cores, KnobNone)
 	if err != nil {
 		return row, err
 	}

@@ -3,8 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"dsmtx/internal/cluster"
-	"dsmtx/internal/core"
 	"dsmtx/internal/stats"
 	"dsmtx/internal/workloads"
 )
@@ -27,40 +25,37 @@ type ManycoreRow struct {
 
 // RunManycore measures one benchmark on both machines at 48 cores.
 func RunManycore(b *workloads.Benchmark, in workloads.Input) (ManycoreRow, error) {
+	return new(Runner).RunManycore(b, in)
+}
+
+// RunManycore measures one §7 row through the runner's memo/cache. The
+// manycore's cores are slower, so each machine's speedup is measured
+// against a sequential run on that same machine (the KnobManycore
+// sequential point).
+func (r *Runner) RunManycore(b *workloads.Benchmark, in workloads.Input) (ManycoreRow, error) {
 	row := ManycoreRow{Bench: b.Name}
-	manycore := func(cfg *core.Config) {
-		cfg.Cluster = cluster.ManycoreConfig() // head placement resolves at NewSystem
-	}
-	run := func(p workloads.Paradigm, tune func(*core.Config)) (float64, error) {
-		// The manycore's cores are slower; speedup is measured against a
-		// sequential run on the same machine.
-		seqCfgTune := tune
-		prog := b.NewDSMTX(in, 0)
-		seqCfg := core.DefaultConfig(prog.Plan().MinWorkers()+2, prog.Plan())
-		if seqCfgTune != nil {
-			seqCfgTune(&seqCfg)
-		}
-		seqTime, _, err := core.RunSequential(seqCfg, prog, prog.Iterations(), nil)
+	run := func(p workloads.Paradigm, knob string) (float64, error) {
+		seqTime, _, err := r.runSequential(b, in, knob)
 		if err != nil {
 			return 0, err
 		}
-		res, err := workloads.RunParallel(b, in, p, 48, tune)
+		res, err := r.runParallel(b, in, p, 48, knob)
 		if err != nil {
 			return 0, err
 		}
 		return seqTime.Seconds() / res.Elapsed.Seconds(), nil
 	}
 	var err error
-	if row.ClusterDSMTX, err = run(workloads.DSMTX, nil); err != nil {
+	if row.ClusterDSMTX, err = run(workloads.DSMTX, KnobNone); err != nil {
 		return row, err
 	}
-	if row.ClusterTLS, err = run(workloads.TLS, nil); err != nil {
+	if row.ClusterTLS, err = run(workloads.TLS, KnobNone); err != nil {
 		return row, err
 	}
-	if row.ManycoreDSMTX, err = run(workloads.DSMTX, manycore); err != nil {
+	if row.ManycoreDSMTX, err = run(workloads.DSMTX, KnobManycore); err != nil {
 		return row, err
 	}
-	if row.ManycoreTLS, err = run(workloads.TLS, manycore); err != nil {
+	if row.ManycoreTLS, err = run(workloads.TLS, KnobManycore); err != nil {
 		return row, err
 	}
 	return row, nil

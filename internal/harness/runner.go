@@ -1,0 +1,388 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/core"
+	"dsmtx/internal/expsched"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/workloads"
+)
+
+// A Runner executes experiment points — the isolated, deterministic
+// simulations behind every figure cell — through three layers: an
+// in-process memo (points shared between figures run once per process),
+// an optional content-addressed disk cache, and the simulations
+// themselves. Prefetch fans a deduplicated point list across Workers
+// host CPUs; because every point is independent and the figure methods
+// then read the memo in their original sequential order, all rendered
+// output is byte-identical to a Workers=1 run.
+//
+// The zero value is a sequential, uncached runner, which is exactly the
+// pre-scheduler behaviour of the package-level Run functions.
+type Runner struct {
+	// Workers bounds concurrent simulations during Prefetch; <= 1 runs
+	// sequentially.
+	Workers int
+	// Cache, when non-nil, persists point results keyed by their full
+	// configuration and the simulator-source fingerprint.
+	Cache *expsched.Cache
+	// Progress, when non-nil, is called after each Prefetch point with
+	// how it was satisfied ("run" or "cache"). Calls are serialized.
+	Progress func(done, total int, spec PointSpec, source string)
+
+	mu    sync.Mutex
+	memo  map[PointSpec]pointRecord
+	stats RunnerStats
+}
+
+// RunnerStats counts how points were satisfied.
+type RunnerStats struct {
+	Computed  int // simulations actually run
+	CacheHits int // points satisfied from the disk cache
+	MemoHits  int // repeat requests satisfied from the in-process memo
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Point kinds. A PointSpec's Kind decides which fields are meaningful
+// and which simulation it names.
+const (
+	pointParallel = "parallel" // one RunParallel: Bench, Paradigm, Cores, Scale, Seed, Rate, Knob
+	pointSeq      = "seq"      // one sequential reference: Bench, Scale, Seed, Rate, Knob
+	pointMicro    = "micro"    // one §5.3 bandwidth measurement: Knob = mechanism
+)
+
+// Named configuration variations. Cache keys must capture everything
+// that changes a result, and an opaque tune closure cannot be hashed —
+// so every variation the harness uses is registered here by name.
+const (
+	KnobNone       = ""
+	KnobQueueUnopt = "queue-unopt" // Fig. 5b: flush every produce
+	KnobManycore   = "manycore"    // §7: coherence-free manycore machine model
+)
+
+// knobTune resolves a knob name to its configuration hook.
+func knobTune(knob string) (func(*core.Config), error) {
+	switch knob {
+	case KnobNone:
+		return nil, nil
+	case KnobQueueUnopt:
+		return func(cfg *core.Config) { cfg.Queue = cfg.Queue.Unoptimized() }, nil
+	case KnobManycore:
+		return func(cfg *core.Config) { cfg.Cluster = cluster.ManycoreConfig() }, nil
+	}
+	return nil, fmt.Errorf("harness: unknown config knob %q", knob)
+}
+
+// PointSpec is the complete identity of one experiment point: everything
+// that can change its result, and nothing else. It doubles as the memo
+// key (it is comparable) and, JSON-marshalled, as the cache key.
+type PointSpec struct {
+	Kind     string  `json:"kind"`
+	Bench    string  `json:"bench"`
+	Paradigm string  `json:"paradigm"`
+	Cores    int     `json:"cores"`
+	Scale    int     `json:"scale"`
+	Seed     uint64  `json:"seed"`
+	Rate     float64 `json:"rate"`
+	Knob     string  `json:"knob"`
+}
+
+// String renders a compact human label for progress reporting.
+func (s PointSpec) String() string {
+	switch s.Kind {
+	case pointSeq:
+		label := s.Bench + " seq"
+		if s.Knob != "" {
+			label += "/" + s.Knob
+		}
+		return label
+	case pointMicro:
+		return "micro/" + s.Knob
+	default:
+		label := fmt.Sprintf("%s %s@%d", s.Bench, s.Paradigm, s.Cores)
+		if s.Knob != "" {
+			label += "/" + s.Knob
+		}
+		return label
+	}
+}
+
+// parSpec and seqSpec build normalized specs (Scale <= 0 means 1, as
+// Input does), so equivalent configurations share one point.
+func parSpec(bench string, in workloads.Input, paradigm workloads.Paradigm, cores int, knob string) PointSpec {
+	return PointSpec{Kind: pointParallel, Bench: bench, Paradigm: paradigm.String(),
+		Cores: cores, Scale: normScale(in.Scale), Seed: in.Seed, Rate: in.MisspecRate, Knob: knob}
+}
+
+func seqSpec(bench string, in workloads.Input, knob string) PointSpec {
+	return PointSpec{Kind: pointSeq, Bench: bench,
+		Scale: normScale(in.Scale), Seed: in.Seed, Rate: in.MisspecRate, Knob: knob}
+}
+
+func microSpec(mechanism string) PointSpec {
+	return PointSpec{Kind: pointMicro, Knob: mechanism}
+}
+
+func normScale(scale int) int {
+	if scale <= 0 {
+		return 1
+	}
+	return scale
+}
+
+// pointRecord is a point's serializable result; exactly one field group
+// is populated, per Kind.
+type pointRecord struct {
+	Result   *resultRecord `json:"result,omitempty"`    // parallel
+	SeqTime  sim.Time      `json:"seq_time,omitempty"`  // seq
+	SeqCheck uint64        `json:"seq_check,omitempty"` // seq
+	MBps     float64       `json:"mbps,omitempty"`      // micro
+}
+
+// resultRecord mirrors the cacheable subset of workloads.Result. Traced
+// runs never pass through the Runner (a Tracer cannot be named in a
+// PointSpec), so Stalls and Trace are always empty here and the
+// reconstruction below is lossless.
+type resultRecord struct {
+	Elapsed   sim.Time             `json:"elapsed"`
+	Checksum  uint64               `json:"checksum"`
+	Committed uint64               `json:"committed"`
+	Misspecs  uint64               `json:"misspecs"`
+	ERM       sim.Time             `json:"erm"`
+	FLQ       sim.Time             `json:"flq"`
+	SEQ       sim.Time             `json:"seq"`
+	RFP       sim.Time             `json:"rfp"`
+	Bytes     uint64               `json:"bytes"`
+	Events    uint64               `json:"events"`
+	Traffic   cluster.TrafficStats `json:"traffic"`
+}
+
+func recordFromResult(res workloads.Result) *resultRecord {
+	return &resultRecord{
+		Elapsed: res.Elapsed, Checksum: res.Checksum, Committed: res.Committed,
+		Misspecs: res.Misspecs, ERM: res.ERM, FLQ: res.FLQ, SEQ: res.SEQ, RFP: res.RFP,
+		Bytes: res.Bytes, Events: res.Events, Traffic: res.Traffic,
+	}
+}
+
+func (rec *resultRecord) toResult() workloads.Result {
+	return workloads.Result{
+		Elapsed: rec.Elapsed, Checksum: rec.Checksum, Committed: rec.Committed,
+		Misspecs: rec.Misspecs, ERM: rec.ERM, FLQ: rec.FLQ, SEQ: rec.SEQ, RFP: rec.RFP,
+		Bytes: rec.Bytes, Events: rec.Events, Traffic: rec.Traffic,
+	}
+}
+
+// resolve satisfies one point: memo, then disk cache, then simulation.
+// It reports where the result came from ("memo", "cache", "run").
+func (r *Runner) resolve(spec PointSpec) (pointRecord, string, error) {
+	r.mu.Lock()
+	if rec, ok := r.memo[spec]; ok {
+		r.stats.MemoHits++
+		r.mu.Unlock()
+		return rec, "memo", nil
+	}
+	r.mu.Unlock()
+
+	var rec pointRecord
+	if r.Cache != nil {
+		if ok, err := r.Cache.Get(spec, &rec); err != nil {
+			return pointRecord{}, "", err
+		} else if ok {
+			r.remember(spec, rec, "cache")
+			return rec, "cache", nil
+		}
+	}
+	rec, err := r.compute(spec)
+	if err != nil {
+		return pointRecord{}, "", err
+	}
+	if r.Cache != nil {
+		if err := r.Cache.Put(spec, rec); err != nil {
+			return pointRecord{}, "", err
+		}
+	}
+	r.remember(spec, rec, "run")
+	return rec, "run", nil
+}
+
+func (r *Runner) remember(spec PointSpec, rec pointRecord, source string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.memo == nil {
+		r.memo = make(map[PointSpec]pointRecord)
+	}
+	r.memo[spec] = rec
+	if source == "cache" {
+		r.stats.CacheHits++
+	} else {
+		r.stats.Computed++
+	}
+}
+
+// compute runs the simulation a spec names.
+func (r *Runner) compute(spec PointSpec) (pointRecord, error) {
+	in := workloads.Input{Scale: spec.Scale, Seed: spec.Seed, MisspecRate: spec.Rate}
+	switch spec.Kind {
+	case pointParallel:
+		tune, err := knobTune(spec.Knob)
+		if err != nil {
+			return pointRecord{}, err
+		}
+		b, err := workloads.ByName(spec.Bench)
+		if err != nil {
+			return pointRecord{}, err
+		}
+		paradigm := workloads.DSMTX
+		if spec.Paradigm == workloads.TLS.String() {
+			paradigm = workloads.TLS
+		}
+		res, err := workloads.RunParallel(b, in, paradigm, spec.Cores, tune)
+		if err != nil {
+			return pointRecord{}, err
+		}
+		return pointRecord{Result: recordFromResult(res)}, nil
+	case pointSeq:
+		tune, err := knobTune(spec.Knob)
+		if err != nil {
+			return pointRecord{}, err
+		}
+		b, err := workloads.ByName(spec.Bench)
+		if err != nil {
+			return pointRecord{}, err
+		}
+		elapsed, check, err := workloads.RunSequentialTuned(b, in, tune)
+		if err != nil {
+			return pointRecord{}, err
+		}
+		return pointRecord{SeqTime: elapsed, SeqCheck: check}, nil
+	case pointMicro:
+		mbps, err := microBandwidth(spec.Knob)
+		if err != nil {
+			return pointRecord{}, err
+		}
+		return pointRecord{MBps: mbps}, nil
+	}
+	return pointRecord{}, fmt.Errorf("harness: unknown point kind %q", spec.Kind)
+}
+
+// runParallel is the Runner-mediated replacement for a direct
+// workloads.RunParallel call in the figure harnesses.
+func (r *Runner) runParallel(b *workloads.Benchmark, in workloads.Input, paradigm workloads.Paradigm, cores int, knob string) (workloads.Result, error) {
+	rec, _, err := r.resolve(parSpec(b.Name, in, paradigm, cores, knob))
+	if err != nil {
+		return workloads.Result{}, err
+	}
+	if rec.Result == nil {
+		return workloads.Result{}, fmt.Errorf("harness: point %s resolved without a parallel result", parSpec(b.Name, in, paradigm, cores, knob))
+	}
+	return rec.Result.toResult(), nil
+}
+
+// runSequential is the Runner-mediated replacement for RunSequentialRef.
+func (r *Runner) runSequential(b *workloads.Benchmark, in workloads.Input, knob string) (sim.Time, uint64, error) {
+	rec, _, err := r.resolve(seqSpec(b.Name, in, knob))
+	if err != nil {
+		return 0, 0, err
+	}
+	return rec.SeqTime, rec.SeqCheck, nil
+}
+
+// Prefetch resolves every given point, deduplicated, across the worker
+// pool. Afterwards the figure methods replay against the warm memo in
+// their original order, so rendering stays deterministic byte-for-byte.
+func (r *Runner) Prefetch(specs []PointSpec) error {
+	seen := make(map[PointSpec]bool, len(specs))
+	uniq := specs[:0:0]
+	for _, s := range specs {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	_, err := expsched.Map(r.Workers, len(uniq), func(i int) (struct{}, error) {
+		_, source, err := r.resolve(uniq[i])
+		if err != nil {
+			return struct{}{}, fmt.Errorf("%s: %w", uniq[i], err)
+		}
+		if r.Progress != nil {
+			n := int(done.Add(1))
+			progressMu.Lock()
+			r.Progress(n, len(uniq), uniq[i], source)
+			progressMu.Unlock()
+		}
+		return struct{}{}, nil
+	})
+	return err
+}
+
+// simSourceDirs are the packages whose sources determine simulated
+// results. The cache fingerprint covers exactly these: editing anything
+// else (rendering, CLI, docs, tests) keeps cached points valid, while
+// any kernel/runtime/workload change invalidates every entry.
+var simSourceDirs = []string{
+	"internal/cluster", "internal/core", "internal/mem", "internal/mpi",
+	"internal/pipeline", "internal/queue", "internal/sim", "internal/tlsrt",
+	"internal/uva", "internal/workloads",
+}
+
+// recordSchema versions the pointRecord layout; bump it when the record
+// changes shape so old entries cannot be misdecoded.
+const recordSchema = "record-v1"
+
+// ResultFingerprint computes the cache fingerprint for this checkout:
+// the record schema plus a digest of the simulation sources (located by
+// walking up from the working directory to go.mod). Outside a checkout
+// it falls back to digesting the running executable — coarser, but still
+// sound: a rebuild can only invalidate, never falsely hit.
+func ResultFingerprint() (string, error) {
+	if root, ok := moduleRoot(); ok {
+		dirs := make([]string, len(simSourceDirs))
+		for i, d := range simSourceDirs {
+			dirs[i] = filepath.Join(root, filepath.FromSlash(d))
+		}
+		fp, err := expsched.SourceFingerprint(dirs...)
+		if err != nil {
+			return "", err
+		}
+		return recordSchema + ":src:" + fp, nil
+	}
+	fp, err := expsched.ExecutableFingerprint()
+	if err != nil {
+		return "", err
+	}
+	return recordSchema + ":exe:" + fp, nil
+}
+
+// moduleRoot finds the dsmtx checkout by walking up from the working
+// directory until a go.mod appears.
+func moduleRoot() (string, bool) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", false
+		}
+		dir = parent
+	}
+}

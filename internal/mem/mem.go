@@ -46,7 +46,11 @@ func (pg *Page) Clone() *Page {
 // pagePool recycles Page frames across images and runs. Pages enter the
 // pool only from images that opted in via ReleaseOnReset (worker and
 // try-commit images, whose pages are exclusively owned clones), so a pooled
-// frame is never still referenced.
+// frame is never still referenced. The pool is also shared by simulations
+// running concurrently on the host (the experiment scheduler's fan-out):
+// that is safe because sync.Pool is goroutine-safe and every taker fully
+// initializes the frame before use — getPageRaw callers overwrite every
+// word, getPageZero clears — so no kernel can observe another's contents.
 var pagePool sync.Pool
 
 // getPageRaw returns a page frame with undefined contents; callers must

@@ -95,7 +95,10 @@ func (p *gzProg) Setup(ctx *core.SeqCtx) {
 // megabytes through the rng dominates Setup's host cost. rng.bytes
 // back-references within each call's buffer, so the stream depends on the
 // chunking — the cache reproduces Setup's exact 64 KiB chunk loop and is
-// byte-identical to direct generation.
+// byte-identical to direct generation. Host-parallel sweeps hit this map
+// from many goroutines at once: stored slices are never mutated after
+// insertion, and LoadOrStore keeps a lost race harmless (both runs see some
+// byte-identical buffer).
 var gzInputCache sync.Map // gzInputKey -> []byte
 
 type gzInputKey struct {
@@ -124,7 +127,9 @@ func gzInput(seed uint64, total int64) []byte {
 
 // lzScratch recycles the LZ77 token stream between compress calls: it is
 // consumed by huffEncode and never escapes, so the buffer can go straight
-// back in the pool.
+// back in the pool. Safe under concurrent simulations: each Get hands the
+// buffer to exactly one goroutine, and lzCompressInto overwrites from
+// offset zero before any read.
 var lzScratch sync.Pool
 
 // compress does the block's real work — LZ77 then canonical Huffman, the

@@ -110,6 +110,13 @@ func RunParallel(b *Benchmark, in Input, paradigm Paradigm, cores int, tune func
 // original single-threaded program with the same cost model) and reports
 // its elapsed virtual time and output checksum.
 func RunSequentialRef(b *Benchmark, in Input) (sim.Time, uint64, error) {
+	return RunSequentialTuned(b, in, nil)
+}
+
+// RunSequentialTuned is RunSequentialRef with a configuration hook, so
+// machine-model comparisons (e.g. the §7 manycore) can measure their
+// sequential baseline on the same machine as the parallel run.
+func RunSequentialTuned(b *Benchmark, in Input, tune func(*core.Config)) (sim.Time, uint64, error) {
 	var total sim.Time
 	var img *mem.Image
 	var check uint64
@@ -120,6 +127,9 @@ func RunSequentialRef(b *Benchmark, in Input) (sim.Time, uint64, error) {
 	for inv := 0; inv < invocations; inv++ {
 		prog := b.NewDSMTX(in, inv)
 		cfg := core.DefaultConfig(cores1(prog), prog.Plan())
+		if tune != nil {
+			tune(&cfg)
+		}
 		elapsed, out, err := core.RunSequential(cfg, prog, prog.Iterations(), img)
 		if err != nil {
 			return 0, 0, fmt.Errorf("%s sequential inv %d: %w", b.Name, inv, err)

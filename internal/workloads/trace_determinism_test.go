@@ -3,6 +3,8 @@ package workloads
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
+	"sync"
 	"testing"
 
 	"dsmtx/internal/core"
@@ -63,6 +65,61 @@ func TestChromeTraceDeterministic(t *testing.T) {
 	}
 	if len(parsed.TraceEvents) == 0 {
 		t.Fatal("exported trace holds no events")
+	}
+}
+
+// TestRepeatRunsBitIdentical pins in-process run-to-run determinism on a
+// wide configuration: 256.bzip2 at 96 cores has a ~90-worker DOALL stage,
+// so any iteration-order nondeterminism in a broadcast (e.g. ranging over
+// the per-stage port map when emitting terminate markers, which once
+// permuted NIC serialization order run to run) shifts arrival times and
+// shows up in Events and the recovery totals. Every Result field must be
+// identical, not just the rendered ones.
+func TestRepeatRunsBitIdentical(t *testing.T) {
+	in := Input{Scale: 1, Seed: 42, MisspecRate: 0.001}
+	base, _ := traceRun(t, "256.bzip2", 96, in, nil)
+	if base.Misspecs == 0 {
+		t.Fatal("want misspeculations so the recovery path is exercised")
+	}
+	again, _ := traceRun(t, "256.bzip2", 96, in, nil)
+	if !reflect.DeepEqual(again, base) {
+		t.Fatalf("repeat run differs:\n got %+v\nwant %+v", again, base)
+	}
+}
+
+// TestConcurrentRunsBitIdentical is the host-parallel variant: simulations
+// running concurrently on the host (as the experiment scheduler does) must
+// not perturb each other — each kernel's outcome is a pure function of its
+// configuration. Under -race this doubles as the scheduler's race smoke.
+func TestConcurrentRunsBitIdentical(t *testing.T) {
+	in := Input{Scale: 1, Seed: 42, MisspecRate: 0.001}
+	base, _ := traceRun(t, "256.bzip2", 96, in, nil)
+	names := []string{"164.gzip", "130.li", "256.bzip2"}
+	results := make([]Result, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			b, err := ByName(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := RunParallel(b, DefaultInput(), DSMTX, 32, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			results[i], _ = traceRun(t, "256.bzip2", 96, in, nil)
+		}()
+	}
+	wg.Wait()
+	for i, got := range results {
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("run concurrent with %s differs:\n got %+v\nwant %+v", names[i], got, base)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"time"
 )
@@ -30,12 +32,31 @@ type Measurement struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// SweepRun is one full-figure dsmtxbench execution through the host-parallel
+// experiment scheduler, parsed from its stderr summary line.
+type SweepRun struct {
+	Workers  int     `json:"workers"`
+	Points   int     `json:"points"`
+	Computed int     `json:"computed"`
+	Cached   int     `json:"cached"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// Sweep tracks the scheduler's wall clock: a cold run that simulates every
+// point of `dsmtxbench -all -quick`, then a warm rerun over the same cache
+// directory that must resolve 100% of them from disk.
+type Sweep struct {
+	Cold SweepRun `json:"cold"`
+	Warm SweepRun `json:"warm"`
+}
+
 // Entry is one labelled benchmark run (typically one per PR).
 type Entry struct {
 	Label      string                 `json:"label"`
 	Date       string                 `json:"date"`
 	GoVersion  string                 `json:"go_version,omitempty"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
+	Sweep      *Sweep                 `json:"sweep,omitempty"`
 }
 
 // File is the whole BENCH_host.json document.
@@ -47,6 +68,65 @@ type File struct {
 // benchLine matches `BenchmarkHostFoo-8  3  123456789 ns/op  456 B/op  7 allocs/op`.
 var benchLine = regexp.MustCompile(`^(BenchmarkHost\S*?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
 
+// sweepLine matches dsmtxbench's stderr summary,
+// `dsmtxbench: sweep workers=4 points=243 computed=243 cached=0 elapsed=39.9s`.
+var sweepLine = regexp.MustCompile(`sweep workers=(\d+) points=(\d+) computed=(\d+) cached=(\d+) elapsed=(\S+)`)
+
+// runSweep executes one `dsmtxbench -all -quick` sweep against the given
+// cache directory and parses the scheduler summary from stderr. Figures on
+// stdout are discarded: only the wall clock and cache behaviour matter here.
+func runSweep(bin, cacheDir string, parallel int) (SweepRun, error) {
+	cmd := exec.Command(bin, "-all", "-quick",
+		"-parallel", strconv.Itoa(parallel), "-cache", cacheDir)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return SweepRun{}, fmt.Errorf("%s -all -quick: %v\n%s", bin, err, stderr.String())
+	}
+	m := sweepLine.FindStringSubmatch(stderr.String())
+	if m == nil {
+		return SweepRun{}, fmt.Errorf("no sweep summary on stderr:\n%s", stderr.String())
+	}
+	var r SweepRun
+	r.Workers, _ = strconv.Atoi(m[1])
+	r.Points, _ = strconv.Atoi(m[2])
+	r.Computed, _ = strconv.Atoi(m[3])
+	r.Cached, _ = strconv.Atoi(m[4])
+	d, err := time.ParseDuration(m[5])
+	if err != nil {
+		return SweepRun{}, fmt.Errorf("bad sweep elapsed %q: %v", m[5], err)
+	}
+	r.Seconds = d.Seconds()
+	return r, nil
+}
+
+// measureSweep builds dsmtxbench and runs the cold/warm sweep pair in a
+// throwaway cache directory.
+func measureSweep(parallel int) (*Sweep, error) {
+	dir, err := os.MkdirTemp("", "benchhost-sweep")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := dir + "/dsmtxbench"
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dsmtxbench")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return nil, fmt.Errorf("build dsmtxbench: %v", err)
+	}
+	var s Sweep
+	if s.Cold, err = runSweep(bin, dir+"/cache", parallel); err != nil {
+		return nil, err
+	}
+	if s.Warm, err = runSweep(bin, dir+"/cache", parallel); err != nil {
+		return nil, err
+	}
+	if s.Warm.Computed != 0 {
+		return nil, fmt.Errorf("warm sweep recomputed %d points; cache broken", s.Warm.Computed)
+	}
+	return &s, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchhost: ")
@@ -55,6 +135,7 @@ func main() {
 		benchtime = flag.String("benchtime", "3x", "go test -benchtime value")
 		out       = flag.String("out", "BENCH_host.json", "results file")
 		keep      = flag.Bool("keep-label", false, "abort instead of replacing an existing entry with the same label")
+		parallel  = flag.Int("sweep-parallel", runtime.GOMAXPROCS(0), "worker count for the dsmtxbench sweep (0 disables the sweep)")
 	)
 	flag.Parse()
 
@@ -87,6 +168,17 @@ func main() {
 	}
 	if len(entry.Benchmarks) == 0 {
 		log.Fatal("no BenchmarkHost results parsed")
+	}
+
+	if *parallel > 0 {
+		sweep, err := measureSweep(*parallel)
+		if err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		entry.Sweep = sweep
+		log.Printf("sweep: %d points, cold %.1fs (workers=%d), warm %.2fs (%d cached)",
+			sweep.Cold.Points, sweep.Cold.Seconds, sweep.Cold.Workers,
+			sweep.Warm.Seconds, sweep.Warm.Cached)
 	}
 
 	f := File{Comment: "Host wall-clock per figure-harness run, one labelled entry per PR; written by tools/benchhost (make bench-host)."}

@@ -18,4 +18,8 @@ go test ./...
 # The sim kernel hosts processes on real goroutines; everything above it is
 # cooperative, but the handoff protocol itself must stay race-clean.
 go test -race ./internal/sim/
+# The experiment scheduler fans whole simulations across host goroutines, so
+# the scheduler, the harness that feeds it, the workloads' shared caches, and
+# the CLI run under the race detector too (short mode keeps it a smoke test).
+go test -race -short ./internal/expsched/ ./internal/harness/ ./internal/workloads/ ./cmd/dsmtxbench/
 echo "verify: OK"
