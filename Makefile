@@ -1,8 +1,10 @@
 # Development entry points. `make verify` is the tier-1 gate; `make
 # bench-host` records the host-side perf trajectory in BENCH_host.json;
-# `make trace-demo` produces and validates a sample Perfetto timeline.
+# `make trace-demo` produces and validates a sample Perfetto timeline;
+# `make resilience-demo` runs a faulted configuration and validates its
+# timeline (crash/re-dispatch spans included).
 
-.PHONY: verify test bench-host bench-host-baseline trace-demo
+.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo
 
 verify:
 	./verify.sh
@@ -21,3 +23,13 @@ bench-host:
 trace-demo:
 	go run ./examples/compress -trace trace-demo.json
 	go run ./tools/tracecheck trace-demo.json
+
+# Run crc32 under message loss plus a mid-run worker crash, verify the
+# output checksum against the sequential reference, and validate the trace:
+# the resilience vocabulary (fault.crash, recovery.redispatch, retransmits)
+# must survive the Chrome export round-trip.
+resilience-demo:
+	go run ./cmd/dsmtxrun -bench crc32 -cores 16 \
+		-faults drop=0.005,crash=r1@2ms+200us -fault-seed 7 \
+		-trace resilience-demo.json
+	go run ./tools/tracecheck resilience-demo.json

@@ -6,6 +6,7 @@
 //	dsmtxbench -figure 4                 # all Fig. 4 panels + geomean
 //	dsmtxbench -figure 4 -bench 164.gzip # one panel
 //	dsmtxbench -figure 5a | -figure 5b | -figure 6 | -figure 1
+//	dsmtxbench -figure r                 # resilience: speedup under injected faults
 //	dsmtxbench -table 2
 //	dsmtxbench -micro                    # §5.3 queue-vs-MPI bandwidth
 //	dsmtxbench -all
@@ -97,7 +98,7 @@ func defaultCacheDir() string {
 func parseFlags(args []string) (*options, error) {
 	o := &options{}
 	fs := flag.NewFlagSet("dsmtxbench", flag.ContinueOnError)
-	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 3, 4, 5a, 5b or 6")
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 3, 4, 5a, 5b, 6 or r (resilience)")
 	fs.IntVar(&o.table, "table", 0, "table to regenerate: 2")
 	fs.BoolVar(&o.micro, "micro", false, "run the §5.3 queue-vs-MPI micro-benchmark")
 	fs.BoolVar(&o.manycore, "manycore", false, "run the §7 coherence-free manycore comparison")
@@ -126,9 +127,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 
 	switch o.figure {
-	case "", "1", "3", "4", "5a", "5b", "6":
+	case "", "1", "3", "4", "5a", "5b", "6", "r":
 	default:
-		return nil, fmt.Errorf("unknown -figure %q (have 1, 3, 4, 5a, 5b, 6)", o.figure)
+		return nil, fmt.Errorf("unknown -figure %q (have 1, 3, 4, 5a, 5b, 6, r)", o.figure)
 	}
 	if o.table != 0 && o.table != 2 {
 		return nil, fmt.Errorf("unknown -table %d (have 2)", o.table)
@@ -279,6 +280,12 @@ func run(o *options, stdout, stderr io.Writer) error {
 		}
 		ran = true
 	}
+	if o.all || o.figure == "r" {
+		if err := runFigureR(runner, in, stdout); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("nothing selected; use -all, -figure, -table, -micro, -manycore, -trace or -benchhost")
 	}
@@ -351,6 +358,20 @@ func prefetchSpecs(o *options, in workloads.Input) []harness.PointSpec {
 			}
 			for _, c := range fig6Cores(o.cores) {
 				specs = append(specs, harness.PointsFigure6(b, in, o.rate, c)...)
+			}
+		}
+	}
+	if o.all || o.figure == "r" {
+		// The crash points are absent here by design: their fault plans
+		// derive from the clean runs' elapsed times, so RunFigureR resolves
+		// them on demand (still through the disk cache).
+		for _, name := range harness.FigRBenches() {
+			b, err := workloads.ByName(name)
+			if err != nil {
+				continue
+			}
+			for _, c := range harness.FigRCores() {
+				specs = append(specs, harness.PointsFigureR(b, in, c)...)
 			}
 		}
 	}
@@ -551,5 +572,24 @@ func runFigure6(r *harness.Runner, in workloads.Input, rate float64, cores []int
 		}
 	}
 	fmt.Fprintln(stdout, harness.RenderFigure6(rows))
+	return nil
+}
+
+func runFigureR(r *harness.Runner, in workloads.Input, stdout io.Writer) error {
+	var rows []harness.FigRRow
+	for _, name := range harness.FigRBenches() {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, c := range harness.FigRCores() {
+			row, err := r.RunFigureR(b, in, c)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Fprintln(stdout, harness.RenderFigureR(rows))
 	return nil
 }

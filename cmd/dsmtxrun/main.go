@@ -8,6 +8,8 @@
 //	dsmtxrun -bench 130.li -cores 32 -paradigm tls
 //	dsmtxrun -bench crc32 -cores 96 -misspec 0.001
 //	dsmtxrun -bench 164.gzip -cores 32 -trace out.json -metrics
+//	dsmtxrun -bench 164.gzip -cores 32 -faults drop=0.001,crash=r1@2ms+500us
+//	dsmtxrun -bench crc32 -cores 32 -faults drop=0.01 -fault-seed 7
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"dsmtx/internal/core"
+	"dsmtx/internal/faults"
 	"dsmtx/internal/harness"
 	"dsmtx/internal/stats"
 	"dsmtx/internal/trace"
@@ -77,6 +80,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
 		metrics  = flag.Bool("metrics", false, "print the metrics registry and per-rank stall attribution")
 		mtxTrace = flag.String("mtxtrace", "", "write the MTX lifecycle trace to this JSON-lines file")
+		faultArg = flag.String("faults", "", "deterministic fault plan, e.g. drop=0.001,crash=r1@2ms+500us (see internal/faults)")
+		faultSd  = flag.Uint64("fault-seed", 0, "override the fault plan's seed (with -faults)")
 	)
 	flag.Parse()
 
@@ -107,12 +112,26 @@ func main() {
 	} else if *metrics {
 		tr = trace.NewMetricsOnly()
 	}
+	var plan *faults.Plan
+	if *faultArg != "" {
+		p, err := faults.Parse(*faultArg)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		if *faultSd != 0 {
+			p.Seed = *faultSd
+		}
+		plan = &p
+	} else if *faultSd != 0 {
+		log.Fatal("-fault-seed needs -faults")
+	}
 	var tune func(*core.Config)
-	if tr != nil || *mtxTrace != "" {
+	if tr != nil || *mtxTrace != "" || plan != nil {
 		mtx := *mtxTrace != ""
 		tune = func(cfg *core.Config) {
 			cfg.Trace = mtx
 			cfg.Tracer = tr
+			cfg.Faults = plan
 		}
 	}
 	res, err := workloads.RunParallel(b, in, p, *cores, tune)
@@ -147,6 +166,16 @@ func main() {
 	}
 	if res.Misspecs > 0 {
 		fmt.Printf("  recovery        ERM %v  FLQ %v  SEQ %v  RFP %v\n", res.ERM, res.FLQ, res.SEQ, res.RFP)
+	}
+	if plan != nil {
+		t := res.Traffic
+		fmt.Printf("  fault plan      %s\n", plan.Format())
+		fmt.Printf("  resilience      dropped %d msgs, retransmitted %d (%.2f MB), acks %d (%.2f MB)\n",
+			t.DroppedMessages, t.RetransMessages, float64(t.RetransBytes)/1e6,
+			t.AckMessages, float64(t.AckBytes)/1e6)
+		if res.Crashes > 0 {
+			fmt.Printf("  crash recovery  %d crash(es) survived, re-dispatch %v\n", res.Crashes, res.Redispatch)
+		}
 	}
 	if res.Checksum == seqCheck {
 		fmt.Printf("  output          VERIFIED (checksum %#x matches sequential)\n", res.Checksum)

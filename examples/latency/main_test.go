@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestLatencySweepStable smoke-tests the example: both parallelizations
+// commit the same digest, the simulation is deterministic run-to-run, and
+// the paper's claim holds at high latency (Spec-DSWP tolerates it, TLS
+// degrades).
+func TestLatencySweepStable(t *testing.T) {
+	const cores = 34
+	dswp, dswpDigest := run(false, 32, cores)
+	tls, tlsDigest := run(true, 32, cores)
+	if dswpDigest != tlsDigest {
+		t.Fatalf("digest mismatch: Spec-DSWP %#x vs TLS %#x", dswpDigest, tlsDigest)
+	}
+	if dswp <= tls {
+		t.Errorf("at 32µs latency Spec-DSWP (%.2fx) should beat TLS (%.2fx)", dswp, tls)
+	}
+	if dswp <= 1 {
+		t.Errorf("Spec-DSWP speedup %.2fx, want > 1", dswp)
+	}
+	dswp2, digest2 := run(false, 32, cores)
+	tls2, tlsDigest2 := run(true, 32, cores)
+	if dswp2 != dswp || digest2 != dswpDigest || tls2 != tls || tlsDigest2 != tlsDigest {
+		t.Errorf("rerun diverged: Spec-DSWP %.4fx/%#x vs %.4fx/%#x, TLS %.4fx/%#x vs %.4fx/%#x",
+			dswp2, digest2, dswp, dswpDigest, tls2, tlsDigest2, tls, tlsDigest)
+	}
+}

@@ -12,7 +12,9 @@ package cluster
 import (
 	"fmt"
 
+	"dsmtx/internal/faults"
 	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 )
 
 // Config describes the machine. The zero value is unusable; use
@@ -91,6 +93,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: CoresPerNode = %d, need >= 1", c.CoresPerNode)
 	case c.LinkBandwidth <= 0 || c.IntraNodeBandwidth <= 0:
 		return fmt.Errorf("cluster: bandwidths must be positive")
+	case c.InterNodeLatency < 0 || c.IntraNodeLatency < 0:
+		return fmt.Errorf("cluster: latencies must be non-negative (inter %v, intra %v)",
+			c.InterNodeLatency, c.IntraNodeLatency)
+	case c.HeadNode >= c.Nodes:
+		return fmt.Errorf("cluster: HeadNode = %d out of range [0,%d) (or negative for none)",
+			c.HeadNode, c.Nodes)
+	case c.HeadNode >= 0 && c.HeadBandwidth <= 0:
+		return fmt.Errorf("cluster: HeadBandwidth = %g must be positive when HeadNode is set",
+			c.HeadBandwidth)
 	case c.ClockGHz <= 0:
 		return fmt.Errorf("cluster: ClockGHz must be positive")
 	}
@@ -139,6 +150,10 @@ type Message struct {
 	Payload  any
 	Bytes    int // modelled wire size; must be >= 0
 	Class    MsgClass
+	// Seq is the reliable-layer per-link sequence number; only meaningful
+	// when fault injection routes the message through the ack/retransmit
+	// path (zero otherwise).
+	Seq uint64
 }
 
 // AnySource registers a mailbox that receives messages from every sender
@@ -161,6 +176,18 @@ type TrafficStats struct {
 	PageBytes       uint64
 	ControlMessages uint64
 	ControlBytes    uint64
+
+	// Resilience-layer accounting, all zero when fault injection is off.
+	// Retransmissions and acks are real wire traffic, so their bytes are
+	// *also* counted in the totals and class sums above; these fields say
+	// how much of that traffic the fault layer caused. Dropped messages
+	// consumed the sender's NIC but never arrived.
+	DroppedMessages uint64
+	DroppedBytes    uint64
+	RetransMessages uint64
+	RetransBytes    uint64
+	AckMessages     uint64
+	AckBytes        uint64
 }
 
 // Add accumulates another run's traffic into t (multi-invocation totals).
@@ -175,6 +202,12 @@ func (t *TrafficStats) Add(o TrafficStats) {
 	t.PageBytes += o.PageBytes
 	t.ControlMessages += o.ControlMessages
 	t.ControlBytes += o.ControlBytes
+	t.DroppedMessages += o.DroppedMessages
+	t.DroppedBytes += o.DroppedBytes
+	t.RetransMessages += o.RetransMessages
+	t.RetransBytes += o.RetransBytes
+	t.AckMessages += o.AckMessages
+	t.AckBytes += o.AckBytes
 }
 
 type mailboxKey struct {
@@ -193,7 +226,35 @@ type Machine struct {
 	lastArrival map[[2]int]sim.Time
 	eps         []*Endpoint
 	stats       TrafficStats
+
+	// Fault-injection state; all nil/false when faults are off, and every
+	// faulty-path branch below is gated so the fault-free paths are
+	// byte-identical to a machine without an injector.
+	inj        *faults.Injector
+	tr         *trace.Tracer
+	linkFaults bool                // route inter-node traffic through the reliable layer
+	latFaults  bool                // consult the injector for spikes/degradation
+	rel        map[[2]int]*relLink // per (src,dst) reliable-link state
+	sendSeq    uint64              // plain-path per-message identity for latency rolls
+	ackSeq     uint64              // unique identity per physical ack for drop rolls
 }
+
+// EnableFaults installs a compiled fault injector. Must be called before
+// any traffic flows. With link faults in the plan, all inter-node traffic
+// switches to the reliable ack/retransmit layer; latency faults alone
+// keep the plain path and only stretch deliveries.
+func (m *Machine) EnableFaults(inj *faults.Injector) {
+	m.inj = inj
+	m.linkFaults = inj != nil && inj.LinkFaults()
+	m.latFaults = inj != nil && inj.HasLatencyFaults()
+	if m.linkFaults {
+		m.rel = make(map[[2]int]*relLink)
+	}
+}
+
+// SetTracer lets the machine record fault instants (drops, retransmits).
+// A nil tracer (the default) records nothing.
+func (m *Machine) SetTracer(tr *trace.Tracer) { m.tr = tr }
 
 // New builds a machine on the given kernel. It panics on invalid
 // configuration (construction-time misuse, per Effective Go).
@@ -264,6 +325,10 @@ func (m *Machine) transmit(msg Message) sim.Time {
 		xmit := sim.Duration(float64(msg.Bytes) / m.cfg.bandwidthOf(srcNode) * 1e9)
 		m.nicFree[srcNode] = depart + xmit
 		arrival = depart + xmit + m.cfg.InterNodeLatency
+		if m.latFaults {
+			m.sendSeq++
+			arrival += m.inj.ExtraLatency(msg.From, msg.To, m.sendSeq, 0, now, m.cfg.InterNodeLatency)
+		}
 	}
 	pair := [2]int{msg.From, msg.To}
 	if last := m.lastArrival[pair]; arrival < last {
@@ -334,6 +399,10 @@ func (e *Endpoint) SendClass(to, tag int, payload any, bytes int, class MsgClass
 	}
 	msg := Message{From: e.rank, To: to, Tag: tag, Payload: payload, Bytes: bytes, Class: class}
 	dst := e.m.Endpoint(to)
+	if e.m.linkFaults && e.m.cfg.NodeOf(msg.From) != e.m.cfg.NodeOf(to) {
+		e.m.sendReliable(msg)
+		return
+	}
 	arrival := e.m.transmit(msg)
 	e.m.k.At(arrival, func() { dst.deliver(msg) })
 }

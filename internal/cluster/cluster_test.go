@@ -19,18 +19,40 @@ func TestConfigValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
-	cases := []func(*Config){
-		func(c *Config) { c.Nodes = 0 },
-		func(c *Config) { c.CoresPerNode = 0 },
-		func(c *Config) { c.LinkBandwidth = 0 },
-		func(c *Config) { c.ClockGHz = -1 },
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }},
+		{"zero cores per node", func(c *Config) { c.CoresPerNode = 0 }},
+		{"zero link bandwidth", func(c *Config) { c.LinkBandwidth = 0 }},
+		{"negative link bandwidth", func(c *Config) { c.LinkBandwidth = -1 }},
+		{"zero intra bandwidth", func(c *Config) { c.IntraNodeBandwidth = 0 }},
+		{"negative clock", func(c *Config) { c.ClockGHz = -1 }},
+		{"negative inter latency", func(c *Config) { c.InterNodeLatency = -1 }},
+		{"negative intra latency", func(c *Config) { c.IntraNodeLatency = -1 }},
+		{"head node beyond nodes", func(c *Config) { c.HeadNode = c.Nodes }},
+		{"head node without bandwidth", func(c *Config) { c.HeadNode = 0; c.HeadBandwidth = 0 }},
+		{"negative head bandwidth", func(c *Config) { c.HeadNode = 1; c.HeadBandwidth = -2 }},
 	}
-	for i, mutate := range cases {
+	for _, tc := range cases {
 		c := testConfig()
-		mutate(&c)
+		tc.mutate(&c)
 		if err := c.Validate(); err == nil {
-			t.Errorf("case %d: invalid config accepted", i)
+			t.Errorf("%s: invalid config accepted", tc.name)
 		}
+	}
+	// A valid head-node designation passes.
+	c := testConfig()
+	c.HeadNode, c.HeadBandwidth = 1, 5e9
+	if err := c.Validate(); err != nil {
+		t.Errorf("head-node config rejected: %v", err)
+	}
+	// Zero latencies are legal (idealized interconnect).
+	c = testConfig()
+	c.InterNodeLatency, c.IntraNodeLatency = 0, 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("zero-latency config rejected: %v", err)
 	}
 }
 

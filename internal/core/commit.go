@@ -46,6 +46,17 @@ type cuNode struct {
 	recBlk       sim.Time
 	rfpStart     sim.Time
 
+	// Crash-fault machinery, allocated only under a crash plan (sys.hbOn):
+	// hbBox/rejoinBox collect any-source heartbeats and restart
+	// announcements; lastHeard[w] is worker w's newest sign of life; the
+	// red* fields account crash re-dispatch windows for stall attribution.
+	hbBox     *sim.Chan[cluster.Message]
+	rejoinBox *sim.Chan[cluster.Message]
+	lastHeard []sim.Time
+	redWall   sim.Time
+	redAdv    sim.Time
+	redBlk    sim.Time
+
 	// Misspeculation cause counters (nil when uninstrumented).
 	cMissWorker   *trace.Counter
 	cMissConflict *trace.Counter
@@ -54,6 +65,10 @@ type cuNode struct {
 func newCUNode(s *System) *cuNode {
 	return &cuNode{sys: s, rank: s.cfg.commitRank(), routes: make(map[uint64]int)}
 }
+
+// crashSignal unwinds the commit loop when a worker crash is detected; the
+// deferred handler in commitEpoch converts it into a crash recovery.
+type crashSignal struct{ rank int }
 
 func (c *cuNode) run(p *sim.Proc) {
 	c.proc = p
@@ -73,8 +88,16 @@ func (c *cuNode) run(p *sim.Proc) {
 	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
 		c.comm.Send(c.sys.cfg.tryCommitRank(j), tagStart, nil, 8)
 	}
+	if c.sys.hbOn {
+		// Workers begin heartbeating once they see tagStart; the freshness
+		// clock starts now so setup time is never counted as silence.
+		for i := range c.lastHeard {
+			c.lastHeard[i] = p.Now()
+		}
+	}
 
 	c.commitLoop(seq)
+	c.sys.stopHeartbeats()
 
 	if f, ok := c.sys.prog.(Finalizer); ok {
 		f.Finalize(seq)
@@ -99,11 +122,35 @@ func (c *cuNode) bind() {
 	c.img.Instrument(c.sys.tr.Metrics())
 	c.cMissWorker = c.sys.tr.Metrics().Counter("misspec.worker")
 	c.cMissConflict = c.sys.tr.Metrics().Counter("misspec.conflict")
+	if c.sys.hbOn {
+		ep := c.comm.Endpoint()
+		c.hbBox = ep.Mailbox(cluster.AnySource, tagHeartbeat)
+		c.rejoinBox = ep.Mailbox(cluster.AnySource, tagRejoin)
+		c.lastHeard = make([]sim.Time, c.sys.cfg.Workers())
+	}
 }
 
 // commitLoop stages each MTX's stores from the worker streams, awaits the
-// try-commit verdict, and either commits atomically or recovers.
+// try-commit verdict, and either commits atomically or recovers. A detected
+// worker crash unwinds the loop body (crashSignal), is repaired by
+// recoverCrash, and the loop resumes from the same iteration.
 func (c *cuNode) commitLoop(seq *SeqCtx) {
+	for !c.commitEpoch(seq) {
+	}
+}
+
+// commitEpoch runs the commit loop until loop termination (true) or until a
+// worker crash unwinds it (false, with recovery already performed).
+func (c *cuNode) commitEpoch(seq *SeqCtx) (done bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			cs, ok := r.(crashSignal)
+			if !ok {
+				panic(r)
+			}
+			c.recoverCrash(seq, cs.rank)
+		}
+	}()
 	committer, hasCommitter := c.sys.prog.(Committer)
 	for {
 		iter := c.iter
@@ -133,7 +180,7 @@ func (c *cuNode) commitLoop(seq *SeqCtx) {
 			for j := 0; j < c.sys.cfg.tcUnits(); j++ {
 				c.comm.Send(c.sys.cfg.tryCommitRank(j), tagCtrl, done, 24)
 			}
-			return
+			return true
 		}
 		// The verdict arrives after the try-commit unit has validated every
 		// subTX of this MTX.
@@ -275,12 +322,106 @@ func (c *cuNode) consumeNext(port *entryCursor, bucket *sim.Time) Entry {
 		if e, ok := port.tryNext(); ok {
 			return e
 		}
+		if c.hbBox != nil {
+			// A stalled poll is exactly when a dead worker matters: either
+			// this stream is the crashed worker's, or someone upstream of it
+			// is transitively blocked on the crash.
+			c.checkLiveness()
+		}
 		c.proc.Advance(backoff)
 		c.pollTime += backoff
 		*bucket += backoff
 		if backoff < c.sys.cfg.PollMax {
 			backoff *= 2
 		}
+	}
+}
+
+// checkLiveness drains liveness traffic and unwinds to crash recovery when
+// a worker is down. Heartbeats are consumed at NIC level (no per-message
+// receive charge — hardware keepalive tracking); the commit unit only reads
+// the freshness table. A rejoin announcement carrying the current epoch is
+// the primary detection trigger: it proves a crash happened in this epoch.
+// A stale rejoin (from an epoch some recovery already ended) is dropped —
+// the broadcast that ended that epoch is already in the worker's control
+// mailbox and re-integrates it through the ordinary recovery path. The
+// HeartbeatTimeout scan is the backstop for crashes whose downtime exceeds
+// the patience of the commit unit.
+func (c *cuNode) checkLiveness() {
+	now := c.proc.Now()
+	for {
+		msg, ok := c.hbBox.TryRecv()
+		if !ok {
+			break
+		}
+		c.lastHeard[msg.From] = now
+	}
+	for {
+		msg, ok := c.rejoinBox.TryRecv()
+		if !ok {
+			break
+		}
+		if msg.Payload.(uint64) == c.epoch {
+			panic(crashSignal{rank: msg.From})
+		}
+	}
+	cutoff := now - c.sys.cfg.HeartbeatTimeout
+	for w, t := range c.lastHeard {
+		if t < cutoff {
+			c.sys.tr.Instant(trace.InstHeartbeatMiss, c.rank, uint64(w), int64(now-t), 0)
+			c.lastHeard[w] = now // at most one recovery per detection
+			panic(crashSignal{rank: w})
+		}
+	}
+}
+
+// recoverCrash re-integrates a crashed-and-restarted worker. The worker's
+// speculative state died with it, but the commit unit's image holds every
+// committed store, so this is §4.3's misspeculation protocol minus the SEQ
+// phase — no iteration failed validation; the uncommitted window simply
+// re-dispatches from the current commit point. Costs land in the red*
+// buckets (the stall table's "crashed" column) and Result.Redispatch, kept
+// apart from the ERM/FLQ/SEQ/RFP misspeculation accounting.
+func (c *cuNode) recoverCrash(seq *SeqCtx, rank int) {
+	start := c.proc.Now()
+	trStart := c.sys.tr.Now()
+	adv0, blk0 := c.proc.Advanced(), c.proc.Blocked()
+	c.epoch++
+	cm := ctrlMsg{epoch: c.epoch, restart: c.iter}
+	for w := 0; w < c.sys.cfg.Workers(); w++ {
+		c.comm.Send(w, tagCtrl, cm, 24)
+	}
+	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
+		c.comm.Send(c.sys.cfg.tryCommitRank(j), tagCtrl, cm, 24)
+	}
+
+	c.comm.Barrier(c.sys.allRanks) // B1: completes once the worker has rejoined
+
+	for _, port := range c.in {
+		port.abort(c.epoch)
+	}
+	for _, port := range c.verdicts {
+		port.abort(c.epoch)
+	}
+	c.routes = make(map[uint64]int)
+
+	c.comm.Barrier(c.sys.allRanks) // B2: queues flushed
+
+	// No SEQ re-execution — nothing misspeculated. Refresh the COA snapshot
+	// so the restarted worker pages in committed state.
+	c.sys.srv.setSnapshot(c.img.Snapshot())
+
+	c.comm.Barrier(c.sys.allRanks) // B3: resume parallel execution
+
+	end := c.proc.Now()
+	c.result.Crashes++
+	c.result.Redispatch += end - start
+	c.redWall += end - start
+	c.redAdv += c.proc.Advanced() - adv0
+	c.redBlk += c.proc.Blocked() - blk0
+	c.sys.tr.Span(trace.SpanRedispatch, c.rank, trStart, uint64(rank), int64(c.iter), 0)
+	for i := range c.lastHeard {
+		c.lastHeard[i] = end // everyone proved liveness at the barriers
 	}
 }
 
@@ -345,6 +486,11 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	c.recAdv += c.proc.Advanced() - adv0
 	c.recBlk += c.proc.Blocked() - blk0
 	c.iter = failed + 1
+	for i := range c.lastHeard {
+		// The barriers proved every worker alive; without this reset a long
+		// SEQ re-execution would read as heartbeat silence.
+		c.lastHeard[i] = c.proc.Now()
+	}
 }
 
 // pageServer serves Copy-On-Access page requests from the invocation-entry

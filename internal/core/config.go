@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dsmtx/internal/cluster"
+	"dsmtx/internal/faults"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
 	"dsmtx/internal/queue"
@@ -77,6 +78,24 @@ type Config struct {
 	// execution-model timelines (Fig. 3c).
 	Trace bool
 
+	// Faults, if non-nil and non-empty, injects the compiled fault plan:
+	// inter-node message loss (with the cluster's ack/retransmit layer
+	// engaged), latency spikes and degradation windows, straggler ranks,
+	// and worker crashes with commit-unit-driven recovery. nil (the
+	// default) and the empty plan leave every path byte-identical to a
+	// fault-free build.
+	Faults *faults.Plan
+
+	// HeartbeatInterval/HeartbeatTimeout drive crash detection, active
+	// only when the fault plan crashes a rank: workers heartbeat the
+	// commit unit every interval, and the commit unit declares a silent
+	// worker dead after the timeout. The timeout also bounds how long a
+	// false positive can take to trigger a (survivable) spurious
+	// recovery, so it trades detection delay against sensitivity to long
+	// legitimate stalls.
+	HeartbeatInterval sim.Duration
+	HeartbeatTimeout  sim.Duration
+
 	// Tracer, if non-nil, attaches the virtual-time observability layer:
 	// per-rank timeline spans (subTX, validate, commit, COA, recovery
 	// phases), the metrics registry, and per-message-class traffic
@@ -111,6 +130,9 @@ func DefaultConfig(totalCores int, plan pipeline.Plan) Config {
 		ProtectInstr:     30,
 		PollMin:          100 * sim.Nanosecond,
 		PollMax:          1600 * sim.Nanosecond,
+
+		HeartbeatInterval: 20 * sim.Microsecond,
+		HeartbeatTimeout:  500 * sim.Microsecond,
 	}
 }
 
@@ -144,6 +166,30 @@ func (c Config) Validate() error {
 	if c.PollMin <= 0 || c.PollMax < c.PollMin {
 		return fmt.Errorf("core: bad poll bounds [%v, %v]", c.PollMin, c.PollMax)
 	}
+	if !c.Faults.Empty() {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		for _, cr := range c.Faults.Crashes {
+			// Only workers crash: the commit unit holds the sole
+			// non-speculative image (its loss is unrecoverable by design,
+			// §4.3), and try-commit state is rebuilt only via the full
+			// misspeculation path.
+			if cr.Rank >= c.Workers() {
+				return fmt.Errorf("core: crash rank %d is not a worker (workers are 0..%d)",
+					cr.Rank, c.Workers()-1)
+			}
+		}
+		for _, st := range c.Faults.Stragglers {
+			if st.Rank >= c.TotalCores {
+				return fmt.Errorf("core: straggler rank %d outside the %d-core system",
+					st.Rank, c.TotalCores)
+			}
+		}
+		if c.Faults.HasCrashes() && (c.HeartbeatInterval <= 0 || c.HeartbeatTimeout < c.HeartbeatInterval) {
+			return fmt.Errorf("core: bad heartbeat bounds [%v, %v]", c.HeartbeatInterval, c.HeartbeatTimeout)
+		}
+	}
 	return nil
 }
 
@@ -170,5 +216,7 @@ const (
 	tagPageReply = 3 // page server -> requester
 	tagOccAck    = 4 // parallel worker -> routing worker: iteration done
 	tagStart     = 5 // commit unit -> all: Setup done, parallel section open
+	tagHeartbeat = 6 // worker -> commit unit: liveness beacon (crash plans only)
+	tagRejoin    = 7 // restarted worker -> commit unit: crashed, need recovery
 	tagQueueBase = 100
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dsmtx/internal/cluster"
+	"dsmtx/internal/faults"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
@@ -70,6 +71,11 @@ type Result struct {
 	FLQ sim.Time // flush queues + re-protect
 	SEQ sim.Time // sequential re-execution of the aborted iteration
 	RFP sim.Time // refill pipeline: resume to first post-recovery commit
+	// Crash-fault resilience totals (zero without a fault plan): worker
+	// crashes survived, and the wall time of commit-unit crash recovery
+	// (detection through pipeline restart — the re-dispatch cost).
+	Crashes    uint64
+	Redispatch sim.Time
 	// Traffic is the machine-wide wire traffic of the run.
 	Traffic cluster.TrafficStats
 	Events  uint64 // simulation events (diagnostic)
@@ -132,6 +138,20 @@ type System struct {
 	// per-rank stall attribution assembled after Run.
 	tr     *trace.Tracer
 	stalls trace.StallReport
+
+	// inj is the compiled fault plan (nil = faults off); hbOn gates the
+	// heartbeat/crash-detection machinery, which only a plan with crashes
+	// needs — drop/latency/straggler plans leave the control plane
+	// untouched.
+	inj  *faults.Injector
+	hbOn bool
+
+	// Host-level heartbeat daemon state (see startHeartbeats): hbDark[w]
+	// silences worker w's host while it is crashed; hbStopped/hbCancel shut
+	// the ticker down when the commit unit finishes.
+	hbDark    []bool
+	hbStopped bool
+	hbCancel  func()
 }
 
 // NewSystem validates the configuration and builds the (unstarted) system.
@@ -166,6 +186,15 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 		s.cfg.Cluster.HeadNode = s.cfg.Cluster.NodeOf(s.cfg.commitRank())
 	}
 	s.mach = cluster.New(s.kernel, s.cfg.Cluster)
+	if !cfg.Faults.Empty() {
+		inj, err := faults.Compile(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+		s.hbOn = inj.HasCrashes()
+		s.mach.EnableFaults(inj)
+	}
 	s.world = mpi.NewWorld(s.mach, cfg.MPICost)
 	s.buildQueues()
 	for r := 0; r < cfg.TotalCores; r++ {
@@ -189,6 +218,7 @@ func (s *System) bindTracer() {
 		return
 	}
 	s.tr.BindKernel(s.kernel)
+	s.mach.SetTracer(s.tr)
 	node := s.cfg.Cluster.NodeOf
 	for w := 0; w < s.cfg.Workers(); w++ {
 		s.tr.SetTrack(w, node(w), fmt.Sprintf("worker%d (S%d)", w, s.layout.StageOf(w)))
@@ -322,6 +352,62 @@ func (s *System) prevPool(tid int) int {
 	panic("core: tid not in pool")
 }
 
+// applyDilation installs the fault plan's straggler multiplier (if any) on
+// the process executing rank. Dilation stretches compute quanta only — wire
+// time and queue latency are modelled elsewhere — which is exactly how a
+// slow core (thermal throttling, co-tenant interference) presents.
+func (s *System) applyDilation(p *sim.Proc, rank int) {
+	if s.inj == nil {
+		return
+	}
+	if d := s.inj.DilationFor(rank); d != nil {
+		p.SetDilation(d)
+	}
+}
+
+// startHeartbeats launches the liveness daemon of the crash-fault model: a
+// periodic kernel event that sends one 16-byte heartbeat per live worker
+// host to the commit unit every HeartbeatInterval. It deliberately runs
+// outside the worker processes — like a kernel keepalive thread on a real
+// host, it keeps beating while the worker computes, so a long iteration is
+// never mistaken for a dead host; silence means the host itself is dark.
+// The messages ride the normal control plane (NIC serialization, the
+// reliable layer when links are lossy), so liveness detection has a real,
+// measured cost rather than a modelled-away one.
+func (s *System) startHeartbeats() {
+	if !s.hbOn {
+		return
+	}
+	s.hbDark = make([]bool, s.cfg.Workers())
+	cu := s.cfg.commitRank()
+	period := s.cfg.HeartbeatInterval
+	var tick func()
+	schedule := func() {
+		s.hbCancel = s.kernel.AtCancel(s.kernel.Now()+period, tick)
+	}
+	tick = func() {
+		if s.hbStopped {
+			return
+		}
+		for w := 0; w < s.cfg.Workers(); w++ {
+			if !s.hbDark[w] {
+				s.mach.Endpoint(w).Send(cu, tagHeartbeat, nil, 16)
+			}
+		}
+		schedule()
+	}
+	schedule()
+}
+
+// stopHeartbeats cancels the daemon so the event calendar can drain; the
+// cancelled tick is skipped without advancing virtual time.
+func (s *System) stopHeartbeats() {
+	if s.hbCancel != nil {
+		s.hbStopped = true
+		s.hbCancel()
+	}
+}
+
 // Run executes the parallel invocation to completion and reports the
 // result. The commit unit's final memory is available via CommitImage.
 func (s *System) Run() (Result, error) {
@@ -336,15 +422,18 @@ func (s *System) Run() (Result, error) {
 	// Spawn order: receivers of early traffic must bind mailboxes in their
 	// spawn bodies before any delivery event fires; all spawns are enqueued
 	// ahead of any send, so order here is just cosmetic.
-	s.kernel.Spawn("commit", s.cu.run)
+	s.applyDilation(s.kernel.Spawn("commit", s.cu.run), s.cfg.commitRank())
 	for j, tc := range s.tcs {
-		s.kernel.Spawn(fmt.Sprintf("trycommit%d", j), tc.run)
+		s.applyDilation(s.kernel.Spawn(fmt.Sprintf("trycommit%d", j), tc.run), tc.rank)
 	}
-	s.kernel.Spawn("pagesrv", s.srv.run)
+	// The page server shares the commit rank's core, so a straggler window
+	// on that rank slows it too.
+	s.applyDilation(s.kernel.Spawn("pagesrv", s.srv.run), s.cfg.commitRank())
 	for _, w := range s.workers {
 		w := w
-		s.kernel.Spawn(fmt.Sprintf("worker%d", w.tid), w.run)
+		s.applyDilation(s.kernel.Spawn(fmt.Sprintf("worker%d", w.tid), w.run), w.rank)
 	}
+	s.startHeartbeats()
 	if err := s.kernel.Run(s.cfg.Horizon); err != nil {
 		return Result{}, fmt.Errorf("core: %s on %d cores: %w", s.cfg.Plan.Name, s.cfg.TotalCores, err)
 	}
@@ -406,12 +495,13 @@ func (s *System) buildStallReport() {
 			Track: w.rank,
 			Label: fmt.Sprintf("worker%d", w.tid),
 			Stage: fmt.Sprintf("S%d", w.stage),
-			Busy:  w.proc.Advanced() - w.stallStarve - w.stallBack - w.recAdv,
+			Busy:  w.proc.Advanced() - w.stallStarve - w.stallBack - w.recAdv - w.crashAdv,
 
 			Backpressure: w.stallBack,
 			Starvation:   w.stallStarve,
 			Recovery:     w.recWall,
-			Blocked:      w.proc.Blocked() - w.recBlk,
+			Crashed:      w.crashWall,
+			Blocked:      w.proc.Blocked() - w.recBlk - w.crashBlk,
 		})
 	}
 	for _, tc := range s.tcs {
@@ -430,11 +520,12 @@ func (s *System) buildStallReport() {
 		Track:       c.rank,
 		Label:       "commit",
 		Stage:       "commit",
-		Busy:        c.proc.Advanced() - c.pollTime - c.recAdv,
+		Busy:        c.proc.Advanced() - c.pollTime - c.recAdv - c.redAdv,
 		Starvation:  c.stallStarve,
 		VerdictWait: c.stallVerdict,
 		Recovery:    c.recWall,
-		Blocked:     c.proc.Blocked() - c.recBlk,
+		Crashed:     c.redWall,
+		Blocked:     c.proc.Blocked() - c.recBlk - c.redBlk,
 	})
 	s.stalls.Add(trace.StallRow{
 		Track:   s.pageSrvTrack(),

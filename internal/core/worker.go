@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dsmtx/internal/cluster"
+	"dsmtx/internal/faults"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
@@ -62,6 +63,19 @@ type workerNode struct {
 	recAdv      sim.Time
 	recBlk      sim.Time
 
+	// Crash-fault machinery, active only when the plan schedules crashes
+	// (sys.hbOn): crashes is this rank's sorted schedule with crashIdx the
+	// next entry to fire; pendingCrash is set by the crash checkpoint and
+	// consumed by doCrash. crashWall is the crash window (downtime + rejoin
+	// wait) for stall attribution, with crashAdv/crashBlk its
+	// advanced/blocked shares.
+	crashes      []faults.Crash
+	crashIdx     int
+	pendingCrash *faults.Crash
+	crashWall    sim.Time
+	crashAdv     sim.Time
+	crashBlk     sim.Time
+
 	epoch       uint64
 	epochBase   uint64 // first iteration of the current epoch
 	nextIter    uint64
@@ -91,6 +105,9 @@ func (w *workerNode) run(p *sim.Proc) {
 	w.comm.SetTracer(w.sys.tr, w.rank)
 	w.bind()
 	w.comm.Recv(w.sys.cfg.commitRank(), tagStart) // Setup must finish first
+	if w.sys.hbOn {
+		w.crashes = w.sys.inj.CrashesFor(w.rank)
+	}
 	for {
 		if w.epochLoop() {
 			// Loop exit emitted — but the commit unit may still detect a
@@ -100,13 +117,20 @@ func (w *workerNode) run(p *sim.Proc) {
 				return
 			}
 		}
+		if w.pendingCrash != nil {
+			if w.doCrash() {
+				return // the loop completed while this worker was down
+			}
+			// doCrash left pendingCtrl set: re-integrate below.
+		}
 		w.doRecovery()
 	}
 }
 
 // awaitDoneOrRecovery blocks a terminated worker until the commit unit
 // either confirms completion (true) or orders a recovery (false, with
-// pendingCtrl set).
+// pendingCtrl set). The host heartbeat daemon keeps beating while the
+// worker is parked here, so a terminated rank never reads as dead.
 func (w *workerNode) awaitDoneOrRecovery() bool {
 	for {
 		msg := w.comm.Recv(w.sys.cfg.commitRank(), tagCtrl)
@@ -609,18 +633,112 @@ func (w *workerNode) consumeNext(port *entryCursor) Entry {
 }
 
 // checkCtrl unwinds to the recovery handler if the commit unit has
-// broadcast a new epoch.
+// broadcast a new epoch. Under a crash plan it doubles as the crash
+// checkpoint: it sits on every worker poll/iteration path. A crash instant
+// falling inside a barrier or a blocking receive fires at the next
+// checkpoint — the simulation's fail-stop granularity.
 func (w *workerNode) checkCtrl() {
-	msg, ok := w.comm.TryRecvBox(w.ctrlBox)
-	if !ok {
+	if msg, ok := w.comm.TryRecvBox(w.ctrlBox); ok {
+		cm := msg.Payload.(ctrlMsg)
+		if cm.epoch > w.epoch {
+			w.pendingCtrl = &cm
+			panic(recoverySignal{})
+		}
+	}
+	if w.sys.hbOn {
+		w.checkCrash()
+	}
+}
+
+// checkCrash fires the next scheduled crash once virtual time reaches it.
+func (w *workerNode) checkCrash() {
+	if w.crashIdx >= len(w.crashes) {
 		return
 	}
-	cm := msg.Payload.(ctrlMsg)
-	if cm.epoch <= w.epoch {
+	cr := w.crashes[w.crashIdx]
+	if w.proc.Now() < cr.At {
 		return
 	}
-	w.pendingCtrl = &cm
+	w.crashIdx++
+	w.pendingCrash = &cr
 	panic(recoverySignal{})
+}
+
+// doCrash models a fail-stop worker crash with restart: every piece of
+// private state — speculative pages, arena, buffered pipeline data, route
+// records — dies with the process. The host is dark for Downtime, then the
+// replacement process announces itself to the commit unit (tagRejoin
+// carries the pre-crash epoch) and waits, without heartbeating, for the
+// epoch broadcast that re-integrates it; from there the ordinary §4.3
+// recovery machinery (doRecovery) rebuilds the pipeline from committed
+// state. Returns true if the loop completed while this worker was down.
+func (w *workerNode) doCrash() (done bool) {
+	cr := *w.pendingCrash
+	w.pendingCrash = nil
+	crashStart := w.proc.Now()
+	spanStart := w.sys.tr.Now()
+	adv0, blk0 := w.proc.Advanced(), w.proc.Blocked()
+	account := func() {
+		w.crashWall += w.proc.Now() - crashStart
+		w.crashAdv += w.proc.Advanced() - adv0
+		w.crashBlk += w.proc.Blocked() - blk0
+		w.sys.tr.Span(trace.SpanCrash, w.rank, spanStart, uint64(w.rank), int64(cr.Downtime), 0)
+	}
+
+	// The host goes dark: its heartbeat daemon stops beating until restart.
+	w.sys.hbDark[w.tid] = true
+
+	// Private state dies with the process. Resetting the image here also
+	// zeroes Resident(), so the restarted process re-protects an empty
+	// address space for free in doRecovery — a fresh process has no pages.
+	w.img.Reset()
+	w.arena = uva.NewArena(w.tid + 1)
+	for k := range w.inbox {
+		delete(w.inbox, k)
+	}
+	w.routesIn = make(map[uint64]int)
+	for i := range w.outstanding {
+		w.outstanding[i] = 0
+	}
+	w.rrNext = 0
+	w.poisoned = false
+	w.selfMisspec = false
+
+	// The host is dark: nothing sent, nothing received, no heartbeats.
+	w.proc.Advance(cr.Downtime)
+	w.sys.hbDark[w.tid] = false // restarted: the keepalive daemon resumes
+
+	// Restart. If an epoch broadcast arrived while dark (a concurrent
+	// misspeculation recovery is blocked at its first barrier waiting for
+	// us), join it — the commit unit then ignores our stale rejoin. At most
+	// one such broadcast can be pending: recovery cannot complete without
+	// this rank, so the commit unit cannot have moved further ahead.
+	preEpoch := w.epoch
+	rejoined := false
+	backoff := w.sys.cfg.PollMin
+	for {
+		if msg, ok := w.comm.TryRecvBox(w.ctrlBox); ok {
+			cm := msg.Payload.(ctrlMsg)
+			if cm.done {
+				account()
+				return true
+			}
+			if cm.epoch > w.epoch {
+				w.pendingCtrl = &cm
+				account()
+				return false
+			}
+			continue
+		}
+		if !rejoined {
+			w.comm.Send(w.sys.cfg.commitRank(), tagRejoin, preEpoch, 16)
+			rejoined = true
+		}
+		w.proc.Advance(backoff)
+		if backoff < w.sys.cfg.PollMax {
+			backoff *= 2
+		}
+	}
 }
 
 // doRecovery is the worker side of §4.3: barrier, flush speculative queues,

@@ -1,0 +1,574 @@
+// Package faults is the deterministic fault-injection subsystem. A Plan
+// describes *what* can go wrong — transient inter-node message loss,
+// latency spikes and sustained link degradation, straggler ranks, and
+// worker crashes — and Compile turns it into an Injector the cluster and
+// core layers consult at well-defined points. Every decision is a pure
+// function of the plan seed and the identity of the event being decided
+// (link endpoints, per-link sequence number, retransmit attempt), computed
+// with a splitmix64-style finalizer: no wall clock, no shared PRNG stream,
+// no dependence on the order in which the simulator happens to ask. Two
+// runs with the same plan therefore inject byte-identical fault schedules,
+// and concurrent simulations cannot perturb each other.
+//
+// All times in a Plan are virtual (sim.Time / sim.Duration, nanoseconds).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dsmtx/internal/sim"
+)
+
+// Defaults applied by Compile when the plan leaves the field zero.
+const (
+	// DefaultRTO is the base retransmit timeout for the reliable-link
+	// layer; it doubles per attempt (exponential backoff).
+	DefaultRTO = 20 * sim.Microsecond
+	// DefaultMaxAttempts bounds retransmissions per message. At drop rate
+	// p the chance of losing all attempts is p^n — for p=0.01, n=12 that
+	// is 1e-24, i.e. unreachable in any shipped scenario; exceeding it is
+	// a configuration error and panics.
+	DefaultMaxAttempts = 12
+	// maxAttemptsCap keeps the attempt count encodable alongside the
+	// per-link sequence number in the decision hash.
+	maxAttemptsCap = 32
+)
+
+// Degrade is a sustained link degradation: while active, inter-node
+// latency is multiplied by Factor (applied to every inter-node link).
+type Degrade struct {
+	From   sim.Time
+	Dur    sim.Duration
+	Factor float64 // >= 1
+}
+
+// Straggler slows one rank's compute: every compute quantum beginning
+// inside the window costs Factor times its nominal virtual duration.
+type Straggler struct {
+	Rank   int
+	From   sim.Time
+	Dur    sim.Duration
+	Factor float64 // >= 1
+}
+
+// Crash kills a worker rank at virtual time At. The rank loses all
+// speculative state, is silent for Downtime, then restarts and rejoins;
+// the commit unit re-dispatches its in-flight iterations.
+type Crash struct {
+	Rank     int
+	At       sim.Time
+	Downtime sim.Duration
+}
+
+// Plan is a declarative fault schedule. The zero value injects nothing.
+type Plan struct {
+	// Seed drives every probabilistic decision. Identical plans with
+	// identical seeds produce identical fault schedules.
+	Seed uint64
+	// DropRate is the per-transmission loss probability on inter-node
+	// links (each retransmission rolls independently).
+	DropRate float64
+	// AckDropRate is the loss probability for the acks of the reliable
+	// layer (forcing spurious retransmissions).
+	AckDropRate float64
+	// SpikeRate is the per-message probability of adding SpikeExtra
+	// latency to an inter-node delivery.
+	SpikeRate  float64
+	SpikeExtra sim.Duration
+	// RTO is the base retransmit timeout (0 = DefaultRTO); backoff is
+	// exponential per attempt.
+	RTO sim.Duration
+	// MaxAttempts bounds retransmissions (0 = DefaultMaxAttempts).
+	MaxAttempts int
+
+	Degrades   []Degrade
+	Stragglers []Straggler
+	Crashes    []Crash
+}
+
+// Empty reports whether the plan injects nothing at all. Seed, RTO and
+// MaxAttempts alone do not make a plan non-empty: with no faults the
+// resilience layer is never engaged.
+func (p *Plan) Empty() bool {
+	return p == nil || (p.DropRate == 0 && p.AckDropRate == 0 && p.SpikeRate == 0 &&
+		len(p.Degrades) == 0 && len(p.Stragglers) == 0 && len(p.Crashes) == 0)
+}
+
+// LinkFaults reports whether the plan requires the reliable (ack +
+// retransmit) link layer: any chance of message or ack loss.
+func (p *Plan) LinkFaults() bool {
+	return p != nil && (p.DropRate > 0 || p.AckDropRate > 0)
+}
+
+// HasCrashes reports whether the plan crashes any rank; only then do
+// heartbeats and commit-unit liveness monitoring switch on.
+func (p *Plan) HasCrashes() bool { return p != nil && len(p.Crashes) > 0 }
+
+// Validate rejects plans that cannot be injected coherently. Rank upper
+// bounds are the caller's business (the core layer knows the worker
+// count); everything else is checked here.
+func (p *Plan) Validate() error {
+	check01 := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("faults: %s %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := check01("drop rate", p.DropRate); err != nil {
+		return err
+	}
+	if err := check01("ack drop rate", p.AckDropRate); err != nil {
+		return err
+	}
+	if err := check01("spike rate", p.SpikeRate); err != nil {
+		return err
+	}
+	if p.SpikeExtra < 0 {
+		return fmt.Errorf("faults: spike extra latency %v negative", p.SpikeExtra)
+	}
+	if p.SpikeRate > 0 && p.SpikeExtra <= 0 {
+		return fmt.Errorf("faults: spike rate %g needs a positive extra latency", p.SpikeRate)
+	}
+	if p.RTO < 0 {
+		return fmt.Errorf("faults: negative RTO %v", p.RTO)
+	}
+	if p.MaxAttempts < 0 || p.MaxAttempts > maxAttemptsCap {
+		return fmt.Errorf("faults: max attempts %d outside [0,%d]", p.MaxAttempts, maxAttemptsCap)
+	}
+	for _, d := range p.Degrades {
+		if d.Factor < 1 {
+			return fmt.Errorf("faults: degrade factor %g below 1", d.Factor)
+		}
+		if d.From < 0 || d.Dur <= 0 {
+			return fmt.Errorf("faults: degrade window [%v +%v) invalid", d.From, d.Dur)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if s.Rank < 0 {
+			return fmt.Errorf("faults: straggler rank %d negative", s.Rank)
+		}
+		if s.Factor < 1 {
+			return fmt.Errorf("faults: straggler factor %g below 1", s.Factor)
+		}
+		if s.From < 0 || s.Dur <= 0 {
+			return fmt.Errorf("faults: straggler window [%v +%v) invalid", s.From, s.Dur)
+		}
+	}
+	for _, c := range p.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("faults: crash rank %d negative", c.Rank)
+		}
+		if c.At < 0 || c.Downtime <= 0 {
+			return fmt.Errorf("faults: crash at %v downtime %v invalid", c.At, c.Downtime)
+		}
+	}
+	return nil
+}
+
+// Injector is a compiled, immutable Plan ready for consultation from the
+// cluster (drops, latency, retransmit pacing) and core (stragglers,
+// crashes) layers. Safe for use from any number of concurrently running
+// simulations because it holds no mutable state.
+type Injector struct {
+	plan       Plan
+	stragglers map[int][]Straggler
+	crashes    map[int][]Crash
+}
+
+// Compile validates the plan, applies RTO/MaxAttempts defaults, and
+// indexes the per-rank schedules.
+func Compile(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.RTO == 0 {
+		p.RTO = DefaultRTO
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	in := &Injector{plan: p}
+	if len(p.Stragglers) > 0 {
+		in.stragglers = make(map[int][]Straggler)
+		for _, s := range p.Stragglers {
+			in.stragglers[s.Rank] = append(in.stragglers[s.Rank], s)
+		}
+		for _, ws := range in.stragglers {
+			sort.Slice(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
+		}
+	}
+	if len(p.Crashes) > 0 {
+		in.crashes = make(map[int][]Crash)
+		for _, c := range p.Crashes {
+			in.crashes[c.Rank] = append(in.crashes[c.Rank], c)
+		}
+		for _, cs := range in.crashes {
+			sort.Slice(cs, func(i, j int) bool { return cs[i].At < cs[j].At })
+		}
+	}
+	return in, nil
+}
+
+// Plan returns the compiled plan with defaults applied.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// LinkFaults mirrors Plan.LinkFaults on the compiled form.
+func (in *Injector) LinkFaults() bool { return in.plan.LinkFaults() }
+
+// HasLatencyFaults reports whether deliveries may be delayed (spikes or
+// degradation) even when nothing is dropped.
+func (in *Injector) HasLatencyFaults() bool {
+	return in.plan.SpikeRate > 0 || len(in.plan.Degrades) > 0
+}
+
+// HasCrashes mirrors Plan.HasCrashes on the compiled form.
+func (in *Injector) HasCrashes() bool { return in.plan.HasCrashes() }
+
+// mix is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Decision-kind salts keep the drop, ack-drop and spike streams
+// statistically independent even for the same (link, seq) identity.
+const (
+	kindDrop uint64 = iota + 1
+	kindAckDrop
+	kindSpike
+)
+
+// roll maps a fully-qualified decision identity to a uniform [0,1) float.
+func (in *Injector) roll(kind uint64, from, to int, seq uint64) float64 {
+	h := mix(in.plan.Seed ^ kind)
+	h = mix(h ^ (uint64(uint32(from))<<32 | uint64(uint32(to))))
+	h = mix(h ^ seq)
+	return float64(h>>11) / (1 << 53)
+}
+
+// DropData decides whether transmission `attempt` of message `seq` on the
+// from→to link is lost. Each attempt rolls independently.
+func (in *Injector) DropData(from, to int, seq uint64, attempt int) bool {
+	if in.plan.DropRate == 0 {
+		return false
+	}
+	return in.roll(kindDrop, from, to, seq*maxAttemptsCap+uint64(attempt)) < in.plan.DropRate
+}
+
+// DropAck decides whether ack instance `ackSeq` on the from→to link is
+// lost. ackSeq must be unique per physical ack (the cluster keeps a
+// monotone counter) so duplicate acks roll independently.
+func (in *Injector) DropAck(from, to int, ackSeq uint64) bool {
+	if in.plan.AckDropRate == 0 {
+		return false
+	}
+	return in.roll(kindAckDrop, from, to, ackSeq) < in.plan.AckDropRate
+}
+
+// ExtraLatency returns the additional delivery latency for transmission
+// `attempt` of message `seq` departing at virtual time `at`, given the
+// link's base inter-node latency: a probabilistic spike plus any active
+// sustained degradation window.
+func (in *Injector) ExtraLatency(from, to int, seq uint64, attempt int, at sim.Time, base sim.Duration) sim.Duration {
+	var extra sim.Duration
+	if in.plan.SpikeRate > 0 &&
+		in.roll(kindSpike, from, to, seq*maxAttemptsCap+uint64(attempt)) < in.plan.SpikeRate {
+		extra += in.plan.SpikeExtra
+	}
+	for _, d := range in.plan.Degrades {
+		if at >= d.From && at < d.From+d.Dur {
+			extra += sim.Duration(float64(base) * (d.Factor - 1))
+		}
+	}
+	return extra
+}
+
+// RTO returns the retransmit timeout for the given attempt number:
+// base << attempt (exponential backoff).
+func (in *Injector) RTO(attempt int) sim.Duration {
+	if attempt > 16 {
+		attempt = 16
+	}
+	return in.plan.RTO << uint(attempt)
+}
+
+// MaxAttempts returns the transmission bound (with defaults applied).
+func (in *Injector) MaxAttempts() int { return in.plan.MaxAttempts }
+
+// DilationFor returns the compute-time dilation function for a rank, or
+// nil if the rank never straggles. The returned function multiplies any
+// compute quantum that *begins* inside a straggler window; quanta are
+// microsecond-scale against millisecond-scale windows, so per-quantum
+// resolution is accurate without splitting quanta across boundaries.
+func (in *Injector) DilationFor(rank int) func(sim.Time, sim.Duration) sim.Duration {
+	ws := in.stragglers[rank]
+	if len(ws) == 0 {
+		return nil
+	}
+	return func(now sim.Time, d sim.Duration) sim.Duration {
+		for _, w := range ws {
+			if now >= w.From && now < w.From+w.Dur {
+				return sim.Duration(float64(d) * w.Factor)
+			}
+		}
+		return d
+	}
+}
+
+// CrashesFor returns the crash schedule for a rank, sorted by At.
+func (in *Injector) CrashesFor(rank int) []Crash { return in.crashes[rank] }
+
+// ---------------------------------------------------------------------------
+// Spec strings
+//
+// Plans travel through CLI flags and experiment-cache keys as compact spec
+// strings. The grammar is a comma-separated clause list:
+//
+//	seed=N                      PRNG seed (decimal)
+//	drop=F                      inter-node loss probability
+//	ackdrop=F                   ack loss probability
+//	spike=F:DUR                 latency-spike probability and magnitude
+//	degrade=Fx@START+DUR        sustained latency multiplier window
+//	straggler=rR:Fx@START+DUR   per-rank compute multiplier window
+//	crash=rR@START+DUR          kill rank R at START for DUR
+//	rto=DUR                     base retransmit timeout
+//	attempts=N                  retransmission bound
+//
+// Durations accept ns/us/µs/ms/s suffixes. Format renders the canonical
+// form (fixed clause order, sorted windows, smallest exact unit), and
+// Parse(Format(p)) round-trips, so canonicalized specs are stable cache
+// keys.
+
+// Parse builds a Plan from a spec string. The empty string is the empty
+// plan.
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok || val == "" {
+			return Plan{}, fmt.Errorf("faults: bad clause %q (want key=value)", clause)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			p.DropRate, err = parseRate(val)
+		case "ackdrop":
+			p.AckDropRate, err = parseRate(val)
+		case "spike":
+			rate, dur, found := strings.Cut(val, ":")
+			if !found {
+				return Plan{}, fmt.Errorf("faults: bad spike %q (want RATE:DUR)", val)
+			}
+			if p.SpikeRate, err = parseRate(rate); err == nil {
+				p.SpikeExtra, err = parseDur(dur)
+			}
+		case "rto":
+			p.RTO, err = parseDur(val)
+		case "attempts":
+			p.MaxAttempts, err = strconv.Atoi(val)
+		case "degrade":
+			var d Degrade
+			if d.Factor, d.From, d.Dur, err = parseWindow(val); err == nil {
+				p.Degrades = append(p.Degrades, d)
+			}
+		case "straggler":
+			rank, rest, found := strings.Cut(val, ":")
+			if !found {
+				return Plan{}, fmt.Errorf("faults: bad straggler %q (want rR:Fx@START+DUR)", val)
+			}
+			var s Straggler
+			if s.Rank, err = parseRank(rank); err == nil {
+				if s.Factor, s.From, s.Dur, err = parseWindow(rest); err == nil {
+					p.Stragglers = append(p.Stragglers, s)
+				}
+			}
+		case "crash":
+			rank, rest, found := strings.Cut(val, "@")
+			if !found {
+				return Plan{}, fmt.Errorf("faults: bad crash %q (want rR@START+DUR)", val)
+			}
+			var c Crash
+			if c.Rank, err = parseRank(rank); err == nil {
+				if c.At, c.Downtime, err = parseSpan(rest); err == nil {
+					p.Crashes = append(p.Crashes, c)
+				}
+			}
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown clause key %q", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: clause %q: %v", clause, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Format renders the canonical spec string for the plan: clauses in fixed
+// order, windows sorted, zero fields omitted. Format of the zero plan is
+// "".
+func (p *Plan) Format() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	add := func(s string) { parts = append(parts, s) }
+	if p.Seed != 0 {
+		add(fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.DropRate != 0 {
+		add("drop=" + fmtRate(p.DropRate))
+	}
+	if p.AckDropRate != 0 {
+		add("ackdrop=" + fmtRate(p.AckDropRate))
+	}
+	if p.SpikeRate != 0 {
+		add("spike=" + fmtRate(p.SpikeRate) + ":" + fmtDur(p.SpikeExtra))
+	}
+	degrades := append([]Degrade(nil), p.Degrades...)
+	sort.Slice(degrades, func(i, j int) bool {
+		return degrades[i].From < degrades[j].From
+	})
+	for _, d := range degrades {
+		add(fmt.Sprintf("degrade=%sx@%s+%s", fmtRate(d.Factor), fmtDur(sim.Duration(d.From)), fmtDur(d.Dur)))
+	}
+	stragglers := append([]Straggler(nil), p.Stragglers...)
+	sort.Slice(stragglers, func(i, j int) bool {
+		a, b := stragglers[i], stragglers[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.From < b.From
+	})
+	for _, s := range stragglers {
+		add(fmt.Sprintf("straggler=r%d:%sx@%s+%s", s.Rank, fmtRate(s.Factor), fmtDur(sim.Duration(s.From)), fmtDur(s.Dur)))
+	}
+	crashes := append([]Crash(nil), p.Crashes...)
+	sort.Slice(crashes, func(i, j int) bool {
+		a, b := crashes[i], crashes[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.At < b.At
+	})
+	for _, c := range crashes {
+		add(fmt.Sprintf("crash=r%d@%s+%s", c.Rank, fmtDur(sim.Duration(c.At)), fmtDur(c.Downtime)))
+	}
+	if p.RTO != 0 {
+		add("rto=" + fmtDur(p.RTO))
+	}
+	if p.MaxAttempts != 0 {
+		add(fmt.Sprintf("attempts=%d", p.MaxAttempts))
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+func parseRank(s string) (int, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad rank %q (want rN)", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad rank %q (want rN)", s)
+	}
+	return n, nil
+}
+
+// parseWindow parses "Fx@START+DUR" (factor, window start, window length).
+func parseWindow(s string) (factor float64, from sim.Time, dur sim.Duration, err error) {
+	f, rest, ok := strings.Cut(s, "x@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("bad window %q (want Fx@START+DUR)", s)
+	}
+	if factor, err = parseRate(f); err != nil {
+		return 0, 0, 0, err
+	}
+	from, dur, err = parseSpan(rest)
+	return factor, from, dur, err
+}
+
+// parseSpan parses "START+DUR".
+func parseSpan(s string) (from sim.Time, dur sim.Duration, err error) {
+	start, length, ok := strings.Cut(s, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad span %q (want START+DUR)", s)
+	}
+	f, err := parseDur(start)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, err := parseDur(length)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sim.Time(f), d, nil
+}
+
+var durUnits = []struct {
+	suffix string
+	scale  sim.Duration
+}{
+	{"ns", sim.Nanosecond},
+	{"us", sim.Microsecond},
+	{"µs", sim.Microsecond},
+	{"ms", sim.Millisecond},
+	{"s", sim.Second},
+}
+
+func parseDur(s string) (sim.Duration, error) {
+	for _, u := range durUnits {
+		if num, ok := strings.CutSuffix(s, u.suffix); ok {
+			// "s" also terminates "ns"/"us"/"ms"; the table is ordered so
+			// the longer suffixes match first, but a trailing digit check
+			// keeps "17" from slipping through as unitless.
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("bad duration %q", s)
+			}
+			return sim.Duration(v * float64(u.scale)), nil
+		}
+	}
+	return 0, fmt.Errorf("bad duration %q (want number + ns/us/ms/s)", s)
+}
+
+// fmtDur renders a duration in its largest exact unit so canonical specs
+// stay human-readable ("1500us", not "1500000ns").
+func fmtDur(d sim.Duration) string {
+	switch {
+	case d == 0:
+		return "0ns"
+	case d%sim.Second == 0:
+		return strconv.FormatInt(int64(d/sim.Second), 10) + "s"
+	case d%sim.Millisecond == 0:
+		return strconv.FormatInt(int64(d/sim.Millisecond), 10) + "ms"
+	case d%sim.Microsecond == 0:
+		return strconv.FormatInt(int64(d/sim.Microsecond), 10) + "us"
+	default:
+		return strconv.FormatInt(int64(d), 10) + "ns"
+	}
+}
+
+// fmtRate renders probabilities and factors without trailing zeros.
+func fmtRate(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -10,6 +10,7 @@ import (
 	"dsmtx/internal/cluster"
 	"dsmtx/internal/core"
 	"dsmtx/internal/expsched"
+	"dsmtx/internal/faults"
 	"dsmtx/internal/sim"
 	"dsmtx/internal/workloads"
 )
@@ -97,6 +98,10 @@ type PointSpec struct {
 	Seed     uint64  `json:"seed"`
 	Rate     float64 `json:"rate"`
 	Knob     string  `json:"knob"`
+	// Faults is a canonical faults.Plan spec string (faults.Plan.Format),
+	// empty for fault-free points. Canonical form matters: the spec is part
+	// of the cache key, so two spellings of one plan must not split points.
+	Faults string `json:"faults,omitempty"`
 }
 
 // String renders a compact human label for progress reporting.
@@ -114,6 +119,9 @@ func (s PointSpec) String() string {
 		label := fmt.Sprintf("%s %s@%d", s.Bench, s.Paradigm, s.Cores)
 		if s.Knob != "" {
 			label += "/" + s.Knob
+		}
+		if s.Faults != "" {
+			label += "/" + s.Faults
 		}
 		return label
 	}
@@ -156,24 +164,28 @@ type pointRecord struct {
 // PointSpec), so Stalls and Trace are always empty here and the
 // reconstruction below is lossless.
 type resultRecord struct {
-	Elapsed   sim.Time             `json:"elapsed"`
-	Checksum  uint64               `json:"checksum"`
-	Committed uint64               `json:"committed"`
-	Misspecs  uint64               `json:"misspecs"`
-	ERM       sim.Time             `json:"erm"`
-	FLQ       sim.Time             `json:"flq"`
-	SEQ       sim.Time             `json:"seq"`
-	RFP       sim.Time             `json:"rfp"`
-	Bytes     uint64               `json:"bytes"`
-	Events    uint64               `json:"events"`
-	Traffic   cluster.TrafficStats `json:"traffic"`
+	Elapsed   sim.Time `json:"elapsed"`
+	Checksum  uint64   `json:"checksum"`
+	Committed uint64   `json:"committed"`
+	Misspecs  uint64   `json:"misspecs"`
+	ERM       sim.Time `json:"erm"`
+	FLQ       sim.Time `json:"flq"`
+	SEQ       sim.Time `json:"seq"`
+	RFP       sim.Time `json:"rfp"`
+	Bytes     uint64   `json:"bytes"`
+	Events    uint64   `json:"events"`
+	// Crash-resilience totals; zero for fault-free points.
+	Crashes    uint64               `json:"crashes,omitempty"`
+	Redispatch sim.Time             `json:"redispatch,omitempty"`
+	Traffic    cluster.TrafficStats `json:"traffic"`
 }
 
 func recordFromResult(res workloads.Result) *resultRecord {
 	return &resultRecord{
 		Elapsed: res.Elapsed, Checksum: res.Checksum, Committed: res.Committed,
 		Misspecs: res.Misspecs, ERM: res.ERM, FLQ: res.FLQ, SEQ: res.SEQ, RFP: res.RFP,
-		Bytes: res.Bytes, Events: res.Events, Traffic: res.Traffic,
+		Bytes: res.Bytes, Events: res.Events,
+		Crashes: res.Crashes, Redispatch: res.Redispatch, Traffic: res.Traffic,
 	}
 }
 
@@ -181,7 +193,8 @@ func (rec *resultRecord) toResult() workloads.Result {
 	return workloads.Result{
 		Elapsed: rec.Elapsed, Checksum: rec.Checksum, Committed: rec.Committed,
 		Misspecs: rec.Misspecs, ERM: rec.ERM, FLQ: rec.FLQ, SEQ: rec.SEQ, RFP: rec.RFP,
-		Bytes: rec.Bytes, Events: rec.Events, Traffic: rec.Traffic,
+		Bytes: rec.Bytes, Events: rec.Events,
+		Crashes: rec.Crashes, Redispatch: rec.Redispatch, Traffic: rec.Traffic,
 	}
 }
 
@@ -241,6 +254,19 @@ func (r *Runner) compute(spec PointSpec) (pointRecord, error) {
 		if err != nil {
 			return pointRecord{}, err
 		}
+		if spec.Faults != "" {
+			plan, err := faults.Parse(spec.Faults)
+			if err != nil {
+				return pointRecord{}, err
+			}
+			knob := tune
+			tune = func(cfg *core.Config) {
+				if knob != nil {
+					knob(cfg)
+				}
+				cfg.Faults = &plan
+			}
+		}
 		b, err := workloads.ByName(spec.Bench)
 		if err != nil {
 			return pointRecord{}, err
@@ -281,12 +307,18 @@ func (r *Runner) compute(spec PointSpec) (pointRecord, error) {
 // runParallel is the Runner-mediated replacement for a direct
 // workloads.RunParallel call in the figure harnesses.
 func (r *Runner) runParallel(b *workloads.Benchmark, in workloads.Input, paradigm workloads.Paradigm, cores int, knob string) (workloads.Result, error) {
-	rec, _, err := r.resolve(parSpec(b.Name, in, paradigm, cores, knob))
+	return r.runPoint(parSpec(b.Name, in, paradigm, cores, knob))
+}
+
+// runPoint resolves an arbitrary parallel point spec (Figure R builds specs
+// directly, since fault plans are part of the point identity).
+func (r *Runner) runPoint(spec PointSpec) (workloads.Result, error) {
+	rec, _, err := r.resolve(spec)
 	if err != nil {
 		return workloads.Result{}, err
 	}
 	if rec.Result == nil {
-		return workloads.Result{}, fmt.Errorf("harness: point %s resolved without a parallel result", parSpec(b.Name, in, paradigm, cores, knob))
+		return workloads.Result{}, fmt.Errorf("harness: point %s resolved without a parallel result", spec)
 	}
 	return rec.Result.toResult(), nil
 }
@@ -335,14 +367,14 @@ func (r *Runner) Prefetch(specs []PointSpec) error {
 // else (rendering, CLI, docs, tests) keeps cached points valid, while
 // any kernel/runtime/workload change invalidates every entry.
 var simSourceDirs = []string{
-	"internal/cluster", "internal/core", "internal/mem", "internal/mpi",
-	"internal/pipeline", "internal/queue", "internal/sim", "internal/tlsrt",
-	"internal/uva", "internal/workloads",
+	"internal/cluster", "internal/core", "internal/faults", "internal/mem",
+	"internal/mpi", "internal/pipeline", "internal/queue", "internal/sim",
+	"internal/tlsrt", "internal/uva", "internal/workloads",
 }
 
 // recordSchema versions the pointRecord layout; bump it when the record
 // changes shape so old entries cannot be misdecoded.
-const recordSchema = "record-v1"
+const recordSchema = "record-v2"
 
 // ResultFingerprint computes the cache fingerprint for this checkout:
 // the record schema plus a digest of the simulation sources (located by

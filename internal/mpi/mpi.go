@@ -7,6 +7,13 @@
 // bandwidth — are what limit fine-grained communication, and they are the
 // reason DSMTX batches produces into larger messages (§4.2, Fig. 5b). The
 // Cost fields reproduce that model.
+//
+// Reliability is below this layer: when fault injection is active the
+// cluster's NIC-level ack/retransmit path (cluster.Machine.EnableFaults)
+// delivers every message exactly once and in order, so the MPI semantics
+// here — blocking receives, non-overtaking per (source, dest) pair — hold
+// unchanged on a lossy interconnect; senders only observe the extra wire
+// time of retransmissions.
 package mpi
 
 import (

@@ -18,6 +18,11 @@
 // batches; the DSMTX runtime runs with unbounded windows (the decoupling
 // between workers and the commit unit is the point of the design), while
 // bounded windows are exercised by tests and the ablation benchmarks.
+//
+// Queues inherit reliability from the layer below: under fault injection
+// the cluster retransmits lost batches and releases them in order, so
+// batch FIFO order, epoch discard, and credit accounting all survive a
+// lossy interconnect unmodified (pinned by the lossy-link queue test).
 package queue
 
 import (

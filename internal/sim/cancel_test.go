@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// TestAtCancelFires: an uncancelled AtCancel event behaves exactly like At.
+func TestAtCancelFires(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.AtCancel(5*Microsecond, func() { fired = true })
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if k.Now() != 5*Microsecond {
+		t.Fatalf("clock = %v, want 5µs", k.Now())
+	}
+}
+
+// TestAtCancelDoesNotAdvanceClock pins the property the retransmit layer
+// depends on: a cancelled timer far in the future must not drag the
+// virtual clock (and therefore a run's Elapsed) out to its timestamp.
+func TestAtCancelDoesNotAdvanceClock(t *testing.T) {
+	k := NewKernel()
+	cancel := k.AtCancel(Second, func() { t.Error("cancelled event fired") })
+	k.At(2*Microsecond, func() { cancel() })
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 2*Microsecond {
+		t.Fatalf("clock = %v, want 2µs (cancelled event must not move it)", k.Now())
+	}
+}
+
+// TestAtCancelAfterFire: cancelling an already-fired event is a no-op.
+func TestAtCancelAfterFire(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	cancel := k.AtCancel(Microsecond, func() { fired++ })
+	k.At(2*Microsecond, func() { cancel() })
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+}
+
+// TestSetDilation: a dilation hook stretches Advance quanta (including
+// through the park-free fast path) and the stretch lands in Advanced.
+func TestSetDilation(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	var busy Time
+	k.Spawn("straggler", func(p *Proc) {
+		p.SetDilation(func(now Time, d Duration) Duration {
+			if now >= 10*Microsecond && now < 20*Microsecond {
+				return 3 * d
+			}
+			return d
+		})
+		p.Advance(10 * Microsecond) // outside window: 10µs
+		p.Advance(5 * Microsecond)  // inside window: 15µs
+		p.SetDilation(nil)
+		p.Advance(5 * Microsecond) // hook removed: 5µs
+		end = p.Now()
+		busy = p.Advanced()
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if end != 30*Microsecond {
+		t.Fatalf("end = %v, want 30µs", end)
+	}
+	if busy != 30*Microsecond {
+		t.Fatalf("Advanced = %v, want 30µs (dilation is busy time)", busy)
+	}
+}

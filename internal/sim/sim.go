@@ -57,12 +57,15 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 var ErrDeadlock = errors.New("sim: deadlock")
 
 // event is a single entry in the kernel's calendar: either "resume process p"
-// or "call fn" at time t. Same-time events fire in seq order.
+// or "call fn" at time t. Same-time events fire in seq order. dead, when
+// non-nil and set, marks a cancelled event: it is discarded on pop without
+// firing and without moving the clock.
 type event struct {
-	t   Time
-	seq uint64
-	p   *Proc
-	fn  func()
+	t    Time
+	seq  uint64
+	p    *Proc
+	fn   func()
+	dead *bool
 }
 
 // eventHeap is a hand-rolled binary min-heap over event values. Avoiding
@@ -169,6 +172,21 @@ func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
 // After schedules fn to run d from now. fn must not block.
 func (k *Kernel) After(d Duration, fn func()) { k.schedule(k.now+d, nil, fn) }
 
+// AtCancel schedules fn like At and returns a cancel function. Cancelled
+// events are discarded when popped — before the clock moves to their
+// timestamp — so an armed-then-cancelled timer (e.g. a retransmission
+// timeout whose ack arrived) can never stretch the virtual clock or the
+// run's elapsed time. Cancelling after the event fired is a no-op.
+func (k *Kernel) AtCancel(t Time, fn func()) (cancel func()) {
+	if t < k.now {
+		t = k.now
+	}
+	dead := new(bool)
+	k.seq++
+	k.events.push(event{t: t, seq: k.seq, fn: fn, dead: dead})
+	return func() { *dead = true }
+}
+
 // Spawn creates a new process executing fn and schedules it to start at the
 // current virtual time. The name appears in deadlock reports.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
@@ -207,6 +225,9 @@ func (k *Kernel) Run(horizon Time) error {
 			break
 		}
 		e := k.events.popMin()
+		if e.dead != nil && *e.dead {
+			continue
+		}
 		k.now = e.t
 		k.nEvents++
 		if e.fn != nil {
@@ -288,6 +309,15 @@ type Proc struct {
 	blockedOn string
 	advanced  Time
 	blocked   Time
+	dilate    func(Time, Duration) Duration
+}
+
+// SetDilation installs a compute-time dilation hook: every subsequent
+// Advance(d) spends dilate(now, d) instead of d. The fault layer uses it
+// to model straggler ranks; nil removes the hook. Dilated time counts as
+// busy time in Advanced, exactly as if the work really were slower.
+func (p *Proc) SetDilation(dilate func(now Time, d Duration) Duration) {
+	p.dilate = dilate
 }
 
 // Advanced reports the total virtual time this process has spent in
@@ -338,6 +368,9 @@ func (p *Proc) wake() { p.k.schedule(p.k.now, p, nil) }
 func (p *Proc) Advance(d Duration) {
 	if d < 0 {
 		d = 0
+	}
+	if p.dilate != nil {
+		d = p.dilate(p.k.now, d)
 	}
 	p.advanced += d
 	k := p.k

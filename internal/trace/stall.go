@@ -16,19 +16,22 @@ import (
 //	Backpressure — waiting for downstream queue credit (queue full)
 //	Starvation   — polling an empty upstream queue
 //	VerdictWait  — the commit unit waiting on a try-commit verdict
-//	Recovery     — inside a recovery window (ERM/FLQ/SEQ plus refill stall)
+//	Recovery     — inside a misspeculation-recovery window (ERM/FLQ/SEQ
+//	               plus refill stall)
+//	Crashed      — inside a crash-fault window: a worker's outage + rejoin,
+//	               or the commit unit's crash-recovery re-dispatch
 //	Blocked      — parked on a message or synchronization primitive
 type StallRow struct {
 	Track int    // rank (or synthetic track id)
 	Label string // "worker3", "trycommit0", "commit", "pagesrv"
 	Stage string // aggregation key: "S0".."Sn", "trycommit", "commit", "pagesrv"
 
-	Busy, Backpressure, Starvation, VerdictWait, Recovery, Blocked sim.Time
+	Busy, Backpressure, Starvation, VerdictWait, Recovery, Crashed, Blocked sim.Time
 }
 
 // Total is the row's accounted virtual time.
 func (r *StallRow) Total() sim.Time {
-	return r.Busy + r.Backpressure + r.Starvation + r.VerdictWait + r.Recovery + r.Blocked
+	return r.Busy + r.Backpressure + r.Starvation + r.VerdictWait + r.Recovery + r.Crashed + r.Blocked
 }
 
 // StallReport collects per-rank stall rows for one or more runs.
@@ -57,6 +60,7 @@ func (r *StallReport) Merge(o *StallReport) {
 			dst.Starvation += row.Starvation
 			dst.VerdictWait += row.VerdictWait
 			dst.Recovery += row.Recovery
+			dst.Crashed += row.Crashed
 			dst.Blocked += row.Blocked
 		} else {
 			byLabel[row.Label] = len(r.Rows)
@@ -65,7 +69,7 @@ func (r *StallReport) Merge(o *StallReport) {
 	}
 }
 
-var stallHeader = []string{"rank", "total", "busy", "backpressure", "starvation", "verdict-wait", "recovery", "blocked"}
+var stallHeader = []string{"rank", "total", "busy", "backpressure", "starvation", "verdict-wait", "recovery", "crashed", "blocked"}
 
 // Table renders the per-rank breakdown; each cause shows time and its share
 // of the rank's total.
@@ -98,6 +102,7 @@ func (r *StallReport) StageTable() *stats.Table {
 		a.Starvation += row.Starvation
 		a.VerdictWait += row.VerdictWait
 		a.Recovery += row.Recovery
+		a.Crashed += row.Crashed
 		a.Blocked += row.Blocked
 	}
 	for _, stage := range order {
@@ -117,7 +122,7 @@ func stallCells(name string, r *StallRow) []string {
 	return []string{
 		name, fmtDur(total),
 		cell(r.Busy), cell(r.Backpressure), cell(r.Starvation),
-		cell(r.VerdictWait), cell(r.Recovery), cell(r.Blocked),
+		cell(r.VerdictWait), cell(r.Recovery), cell(r.Crashed), cell(r.Blocked),
 	}
 }
 

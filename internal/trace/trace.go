@@ -24,19 +24,24 @@ type Kind uint8
 
 // Span and instant kinds. Spans have duration; Inst* events are points.
 const (
-	SpanSubTX    Kind = iota // a worker executed one subTX (V1 = stage)
-	SpanValidate             // the try-commit unit validated one MTX (V1 = verdict)
-	SpanCommit               // group commit of one MTX (V1 = entries, V2 = bulk bytes)
-	SpanCOA                  // one Copy-On-Access fault round trip (MTX = page, V1 = pages, V2 = wire bytes)
-	SpanRecvWait             // a blocking message receive (V1 = tag)
-	SpanRecovery             // one rank's whole recovery window (MTX = restart iteration)
-	SpanERM                  // recovery: enter-recovery-mode barrier (commit unit)
-	SpanFLQ                  // recovery: flush-queues barrier (commit unit)
-	SpanSEQ                  // recovery: sequential re-execution (commit unit)
-	SpanRFP                  // recovery: refill-pipeline, resume to next commit (commit unit)
-	InstFlush                // a queue batch left the sender (V1 = items, V2 = wire bytes)
-	InstDrain                // a queue batch was drained by the consumer (V1 = items)
-	InstMisspec              // a misspeculation marker was emitted (MTX = iteration)
+	SpanSubTX         Kind = iota // a worker executed one subTX (V1 = stage)
+	SpanValidate                  // the try-commit unit validated one MTX (V1 = verdict)
+	SpanCommit                    // group commit of one MTX (V1 = entries, V2 = bulk bytes)
+	SpanCOA                       // one Copy-On-Access fault round trip (MTX = page, V1 = pages, V2 = wire bytes)
+	SpanRecvWait                  // a blocking message receive (V1 = tag)
+	SpanRecovery                  // one rank's whole recovery window (MTX = restart iteration)
+	SpanERM                       // recovery: enter-recovery-mode barrier (commit unit)
+	SpanFLQ                       // recovery: flush-queues barrier (commit unit)
+	SpanSEQ                       // recovery: sequential re-execution (commit unit)
+	SpanRFP                       // recovery: refill-pipeline, resume to next commit (commit unit)
+	InstFlush                     // a queue batch left the sender (V1 = items, V2 = wire bytes)
+	InstDrain                     // a queue batch was drained by the consumer (V1 = items)
+	InstMisspec                   // a misspeculation marker was emitted (MTX = iteration)
+	SpanCrash                     // a worker's crash outage, downtime through rejoin (MTX = rank, V1 = downtime ns)
+	SpanRedispatch                // commit-unit crash recovery, detection to resume (MTX = crashed rank, V1 = restart iteration)
+	InstDrop                      // the network lost a transmission (MTX = link seq, V1 = bytes, V2 = attempt)
+	InstRetransmit                // a sender retransmitted after ack timeout (MTX = link seq, V1 = bytes, V2 = attempt)
+	InstHeartbeatMiss             // the commit unit declared a rank dead (MTX = rank, V1 = silence ns)
 	numKinds
 )
 
@@ -47,19 +52,35 @@ var kindMeta = [numKinds]struct {
 	name, cat       string
 	mtxName, a1, a2 string
 }{
-	SpanSubTX:    {"subTX", "worker", "mtx", "stage", ""},
-	SpanValidate: {"validate", "trycommit", "mtx", "ok", ""},
-	SpanCommit:   {"commit", "commit", "mtx", "entries", "bulk_bytes"},
-	SpanCOA:      {"coa.fault", "mem", "page", "pages", "wire_bytes"},
-	SpanRecvWait: {"recv.wait", "mpi", "", "tag", ""},
-	SpanRecovery: {"recovery", "recovery", "restart", "", ""},
-	SpanERM:      {"recovery.ERM", "recovery", "mtx", "", ""},
-	SpanFLQ:      {"recovery.FLQ", "recovery", "mtx", "", ""},
-	SpanSEQ:      {"recovery.SEQ", "recovery", "mtx", "", ""},
-	SpanRFP:      {"recovery.RFP", "recovery", "mtx", "", ""},
-	InstFlush:    {"queue.flush", "queue", "", "items", "bytes"},
-	InstDrain:    {"queue.drain", "queue", "", "items", ""},
-	InstMisspec:  {"misspec", "worker", "mtx", "", ""},
+	SpanSubTX:         {"subTX", "worker", "mtx", "stage", ""},
+	SpanValidate:      {"validate", "trycommit", "mtx", "ok", ""},
+	SpanCommit:        {"commit", "commit", "mtx", "entries", "bulk_bytes"},
+	SpanCOA:           {"coa.fault", "mem", "page", "pages", "wire_bytes"},
+	SpanRecvWait:      {"recv.wait", "mpi", "", "tag", ""},
+	SpanRecovery:      {"recovery", "recovery", "restart", "", ""},
+	SpanERM:           {"recovery.ERM", "recovery", "mtx", "", ""},
+	SpanFLQ:           {"recovery.FLQ", "recovery", "mtx", "", ""},
+	SpanSEQ:           {"recovery.SEQ", "recovery", "mtx", "", ""},
+	SpanRFP:           {"recovery.RFP", "recovery", "mtx", "", ""},
+	InstFlush:         {"queue.flush", "queue", "", "items", "bytes"},
+	InstDrain:         {"queue.drain", "queue", "", "items", ""},
+	InstMisspec:       {"misspec", "worker", "mtx", "", ""},
+	SpanCrash:         {"fault.crash", "fault", "rank", "downtime_ns", ""},
+	SpanRedispatch:    {"recovery.redispatch", "recovery", "rank", "restart", ""},
+	InstDrop:          {"fault.drop", "fault", "seq", "bytes", "attempt"},
+	InstRetransmit:    {"fault.retransmit", "fault", "seq", "bytes", "attempt"},
+	InstHeartbeatMiss: {"fault.heartbeat.miss", "fault", "rank", "silence_ns", ""},
+}
+
+// KnownEventNames reports every event name the Chrome exporter can emit
+// for recorded spans/instants. External validators (tools/tracecheck) use
+// it to reject unknown names without hard-coding the list.
+func KnownEventNames() []string {
+	out := make([]string, 0, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		out = append(out, kindMeta[k].name)
+	}
+	return out
 }
 
 // String reports the kind's event name.

@@ -36,6 +36,10 @@ type Result struct {
 	SEQ, RFP  sim.Time
 	Bytes     uint64 // total wire traffic
 	Events    uint64
+	// Crash-fault resilience totals (zero without a fault plan): worker
+	// crashes survived and the wall time spent re-dispatching after them.
+	Crashes    uint64
+	Redispatch sim.Time
 	// Traffic breaks the wire total down by message class (queue batches,
 	// Copy-On-Access pages, control); its Bytes field equals the Bytes
 	// total above.
@@ -96,6 +100,8 @@ func RunParallel(b *Benchmark, in Input, paradigm Paradigm, cores int, tune func
 		agg.RFP += res.RFP
 		agg.Bytes += res.Traffic.Bytes
 		agg.Events += res.Events
+		agg.Crashes += res.Crashes
+		agg.Redispatch += res.Redispatch
 		agg.Traffic.Add(res.Traffic)
 		agg.Stalls.Merge(sys.StallReport())
 		agg.Trace = append(agg.Trace, sys.Trace()...)

@@ -1,8 +1,11 @@
 // Command tracecheck validates a Chrome trace-event JSON file produced by
 // the dsmtx virtual-time tracer: well-formed JSON, the trace-event fields
-// Perfetto requires, monotone non-negative durations, and per-rank metadata
-// covering every thread that has events. CI runs it over the trace-demo
-// output so a malformed export fails the build rather than a Perfetto load.
+// Perfetto requires, monotone non-negative durations, per-rank metadata
+// covering every thread that has events, and event names restricted to the
+// tracer's published vocabulary (trace.KnownEventNames) — so a renamed or
+// misspelled span fails the build rather than silently vanishing from
+// timeline queries. CI runs it over the trace-demo and resilience-demo
+// outputs.
 //
 // Usage:
 //
@@ -15,6 +18,8 @@ import (
 	"log"
 	"os"
 	"strconv"
+
+	"dsmtx/internal/trace"
 )
 
 type event struct {
@@ -31,10 +36,96 @@ type traceFile struct {
 	TraceEvents []event `json:"traceEvents"`
 }
 
+// metadataNames are the Chrome metadata records the exporter emits beside
+// the span/instant vocabulary.
+var metadataNames = map[string]bool{
+	"process_name":      true,
+	"thread_name":       true,
+	"thread_sort_index": true,
+}
+
 // usec parses a trace timestamp (a JSON number in microseconds, emitted
 // with nanosecond precision as %d.%03d).
 func usec(raw json.RawMessage) (float64, error) {
 	return strconv.ParseFloat(string(raw), 64)
+}
+
+// check validates one trace file's bytes and reports a one-line summary.
+func check(data []byte) (string, error) {
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return "", fmt.Errorf("not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return "", fmt.Errorf("no traceEvents")
+	}
+
+	known := make(map[string]bool)
+	for _, name := range trace.KnownEventNames() {
+		known[name] = true
+	}
+	named := make(map[int]string) // tid -> thread_name from metadata
+	eventTids := make(map[int]int)
+	spans, instants := 0, 0
+	kinds := make(map[string]int)
+	for i, e := range tf.TraceEvents {
+		if e.Pid == nil || e.Tid == nil {
+			return "", fmt.Errorf("event %d (%q): missing pid/tid", i, e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			if !metadataNames[e.Name] {
+				return "", fmt.Errorf("event %d: unknown metadata record %q", i, e.Name)
+			}
+			if e.Name == "thread_name" {
+				name, _ := e.Args["name"].(string)
+				if name == "" {
+					return "", fmt.Errorf("event %d: thread_name metadata without a name", i)
+				}
+				named[*e.Tid] = name
+			}
+		case "X":
+			if !known[e.Name] {
+				return "", fmt.Errorf("event %d: span name %q is not in the tracer vocabulary", i, e.Name)
+			}
+			ts, err := usec(e.Ts)
+			if err != nil {
+				return "", fmt.Errorf("event %d (%q): bad ts %s: %v", i, e.Name, e.Ts, err)
+			}
+			dur, err := usec(e.Dur)
+			if err != nil {
+				return "", fmt.Errorf("event %d (%q): bad dur %s: %v", i, e.Name, e.Dur, err)
+			}
+			if ts < 0 || dur < 0 {
+				return "", fmt.Errorf("event %d (%q): negative ts/dur (%g, %g)", i, e.Name, ts, dur)
+			}
+			spans++
+			kinds[e.Name]++
+			eventTids[*e.Tid]++
+		case "i":
+			if !known[e.Name] {
+				return "", fmt.Errorf("event %d: instant name %q is not in the tracer vocabulary", i, e.Name)
+			}
+			if _, err := usec(e.Ts); err != nil {
+				return "", fmt.Errorf("event %d (%q): bad ts %s: %v", i, e.Name, e.Ts, err)
+			}
+			instants++
+			kinds[e.Name]++
+			eventTids[*e.Tid]++
+		default:
+			return "", fmt.Errorf("event %d (%q): unexpected phase %q", i, e.Name, e.Ph)
+		}
+	}
+	if spans == 0 {
+		return "", fmt.Errorf("no duration events")
+	}
+	for tid := range eventTids {
+		if named[tid] == "" {
+			return "", fmt.Errorf("thread %d has %d events but no thread_name metadata", tid, eventTids[tid])
+		}
+	}
+	return fmt.Sprintf("%d spans + %d instants across %d named tracks, %d event kinds",
+		spans, instants, len(eventTids), len(kinds)), nil
 }
 
 func main() {
@@ -47,65 +138,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var tf traceFile
-	if err := json.Unmarshal(data, &tf); err != nil {
-		log.Fatalf("%s: not valid JSON: %v", os.Args[1], err)
+	summary, err := check(data)
+	if err != nil {
+		log.Fatalf("%s: %v", os.Args[1], err)
 	}
-	if len(tf.TraceEvents) == 0 {
-		log.Fatalf("%s: no traceEvents", os.Args[1])
-	}
-
-	named := make(map[int]string) // tid -> thread_name from metadata
-	eventTids := make(map[int]int)
-	spans, instants := 0, 0
-	kinds := make(map[string]int)
-	for i, e := range tf.TraceEvents {
-		if e.Pid == nil || e.Tid == nil {
-			log.Fatalf("event %d (%q): missing pid/tid", i, e.Name)
-		}
-		switch e.Ph {
-		case "M":
-			if e.Name == "thread_name" {
-				name, _ := e.Args["name"].(string)
-				if name == "" {
-					log.Fatalf("event %d: thread_name metadata without a name", i)
-				}
-				named[*e.Tid] = name
-			}
-		case "X":
-			ts, err := usec(e.Ts)
-			if err != nil {
-				log.Fatalf("event %d (%q): bad ts %s: %v", i, e.Name, e.Ts, err)
-			}
-			dur, err := usec(e.Dur)
-			if err != nil {
-				log.Fatalf("event %d (%q): bad dur %s: %v", i, e.Name, e.Dur, err)
-			}
-			if ts < 0 || dur < 0 {
-				log.Fatalf("event %d (%q): negative ts/dur (%g, %g)", i, e.Name, ts, dur)
-			}
-			spans++
-			kinds[e.Name]++
-			eventTids[*e.Tid]++
-		case "i":
-			if _, err := usec(e.Ts); err != nil {
-				log.Fatalf("event %d (%q): bad ts %s: %v", i, e.Name, e.Ts, err)
-			}
-			instants++
-			kinds[e.Name]++
-			eventTids[*e.Tid]++
-		default:
-			log.Fatalf("event %d (%q): unexpected phase %q", i, e.Name, e.Ph)
-		}
-	}
-	if spans == 0 {
-		log.Fatalf("%s: no duration events", os.Args[1])
-	}
-	for tid := range eventTids {
-		if named[tid] == "" {
-			log.Fatalf("thread %d has %d events but no thread_name metadata", tid, eventTids[tid])
-		}
-	}
-	fmt.Printf("tracecheck: %s OK — %d spans + %d instants across %d named tracks, %d event kinds\n",
-		os.Args[1], spans, instants, len(eventTids), len(kinds))
+	fmt.Printf("tracecheck: %s OK — %s\n", os.Args[1], summary)
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/faults"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
+	"dsmtx/internal/workloads"
+)
+
+// realTrace produces a Chrome trace from a faulted run, so the export
+// exercises the resilience vocabulary (crash spans, re-dispatch, drops,
+// retransmits) alongside the ordinary execution spans.
+func realTrace(t *testing.T) []byte {
+	t.Helper()
+	b, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	plan := faults.Plan{
+		Seed:     3,
+		DropRate: 0.01,
+		Crashes:  []faults.Crash{{Rank: 1, At: 2 * sim.Millisecond, Downtime: 100 * sim.Microsecond}},
+	}
+	if _, err := workloads.RunParallel(b, workloads.DefaultInput(), workloads.DSMTX, 16,
+		func(cfg *core.Config) {
+			cfg.Tracer = tr
+			cfg.Faults = &plan
+		}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckAcceptsRealFaultedTrace(t *testing.T) {
+	data := realTrace(t)
+	summary, err := check(data)
+	if err != nil {
+		t.Fatalf("check rejected a tracer-produced file: %v", err)
+	}
+	if !strings.Contains(summary, "spans") {
+		t.Fatalf("summary: %q", summary)
+	}
+	for _, name := range []string{trace.SpanCrash.String(), trace.SpanRedispatch.String(),
+		trace.InstRetransmit.String()} {
+		if !bytes.Contains(data, []byte(`"`+name+`"`)) {
+			t.Errorf("faulted trace missing %q events", name)
+		}
+	}
+}
+
+func TestCheckRejectsMalformedTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"bad json", `{`, "not valid JSON"},
+		{"empty", `{"traceEvents":[]}`, "no traceEvents"},
+		{"unknown span", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"worker0"}},
+			{"name":"bogus.span","ph":"X","pid":1,"tid":0,"ts":0,"dur":1}]}`,
+			"not in the tracer vocabulary"},
+		{"unknown metadata", `{"traceEvents":[
+			{"name":"bogus_meta","ph":"M","pid":1,"tid":0,"args":{}}]}`,
+			"unknown metadata record"},
+		{"unnamed thread", `{"traceEvents":[
+			{"name":"fault.crash","ph":"X","pid":1,"tid":7,"ts":0,"dur":1}]}`,
+			"no thread_name metadata"},
+		{"negative dur", `{"traceEvents":[
+			{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"worker0"}},
+			{"name":"fault.crash","ph":"X","pid":1,"tid":0,"ts":0,"dur":-5}]}`,
+			"negative ts/dur"},
+	}
+	for _, tc := range cases {
+		if _, err := check([]byte(tc.data)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
