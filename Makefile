@@ -2,9 +2,10 @@
 # bench-host` records the host-side perf trajectory in BENCH_host.json;
 # `make trace-demo` produces and validates a sample Perfetto timeline;
 # `make resilience-demo` runs a faulted configuration and validates its
-# timeline (crash/re-dispatch spans included).
+# timeline (crash/re-dispatch spans included); `make host-demo` runs one
+# benchmark live on the host execution backend and checks its checksum.
 
-.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo
+.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo
 
 verify:
 	./verify.sh
@@ -23,6 +24,13 @@ bench-host:
 trace-demo:
 	go run ./examples/compress -trace trace-demo.json
 	go run ./tools/tracecheck trace-demo.json
+
+# Run crc32 live on the host backend (real goroutines, wall clock, same
+# protocol) with enough misspeculation to force real recovery, and require
+# the output checksum to verify against the vtime sequential reference.
+# The timeout bounds the run: the host backend has no virtual-time horizon.
+host-demo:
+	timeout 60 go run ./cmd/dsmtxrun -bench crc32 -cores 8 -misspec 0.02 -backend host | tee /dev/stderr | grep -q VERIFIED
 
 # Run crc32 under message loss plus a mid-run worker crash, verify the
 # output checksum against the sequential reference, and validate the trace:

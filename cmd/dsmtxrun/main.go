@@ -10,12 +10,23 @@
 //	dsmtxrun -bench 164.gzip -cores 32 -trace out.json -metrics
 //	dsmtxrun -bench 164.gzip -cores 32 -faults drop=0.001,crash=r1@2ms+500us
 //	dsmtxrun -bench crc32 -cores 32 -faults drop=0.01 -fault-seed 7
+//	dsmtxrun -bench crc32 -cores 8 -backend host
+//
+// The -backend flag selects the execution platform: "vtime" (the default)
+// runs on the deterministic virtual-time simulator with the paper's cost
+// model; "host" runs the same protocol live on host goroutines, measuring
+// wall-clock time. The host backend verifies the identical checksum but
+// models no instruction or wire costs, so no speedup is reported, and the
+// vtime-only flags (-trace, -metrics, -faults) are rejected.
+//
+// Results go to stdout; errors go to stderr.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -26,6 +37,85 @@ import (
 	"dsmtx/internal/trace"
 	"dsmtx/internal/workloads"
 )
+
+// options are the parsed, validated command-line settings.
+type options struct {
+	bench    string
+	cores    int
+	paradigm workloads.Paradigm
+	backend  core.Backend
+	misspec  float64
+	scale    int
+	seed     uint64
+	traceOut string
+	metrics  bool
+	mtxTrace string
+	plan     *faults.Plan
+}
+
+// parseFlags parses and validates args (without the program name).
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("dsmtxrun", flag.ContinueOnError)
+	fs.StringVar(&o.bench, "bench", "", "benchmark name (see dsmtxbench -table 2); empty lists them")
+	fs.IntVar(&o.cores, "cores", 32, "total cores (workers + try-commit + commit)")
+	paradigm := fs.String("paradigm", "dsmtx", "dsmtx or tls")
+	backend := fs.String("backend", "vtime", "execution platform: vtime (deterministic simulator) or host (live goroutines, wall clock)")
+	fs.Float64Var(&o.misspec, "misspec", 0, "input misspeculation rate (e.g. 0.001)")
+	fs.IntVar(&o.scale, "scale", 1, "problem-size multiplier")
+	fs.Uint64Var(&o.seed, "seed", 42, "input generation seed")
+	fs.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
+	fs.BoolVar(&o.metrics, "metrics", false, "print the metrics registry and per-rank stall attribution")
+	fs.StringVar(&o.mtxTrace, "mtxtrace", "", "write the MTX lifecycle trace to this JSON-lines file")
+	faultArg := fs.String("faults", "", "deterministic fault plan, e.g. drop=0.001,crash=r1@2ms+500us (see internal/faults)")
+	faultSd := fs.Uint64("fault-seed", 0, "override the fault plan's seed (with -faults)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	switch *paradigm {
+	case "dsmtx":
+		o.paradigm = workloads.DSMTX
+	case "tls":
+		o.paradigm = workloads.TLS
+	default:
+		return nil, fmt.Errorf("unknown -paradigm %q (have dsmtx, tls)", *paradigm)
+	}
+	b, err := core.ParseBackend(*backend)
+	if err != nil {
+		return nil, err
+	}
+	o.backend = b
+
+	if *faultArg != "" {
+		p, err := faults.Parse(*faultArg)
+		if err != nil {
+			return nil, fmt.Errorf("-faults: %v", err)
+		}
+		if *faultSd != 0 {
+			p.Seed = *faultSd
+		}
+		o.plan = &p
+	} else if *faultSd != 0 {
+		return nil, fmt.Errorf("-fault-seed needs -faults")
+	}
+
+	if o.backend == core.BackendHost {
+		// These subsystems are built on the virtual-time kernel.
+		switch {
+		case o.plan != nil:
+			return nil, fmt.Errorf("-faults requires -backend vtime")
+		case o.traceOut != "":
+			return nil, fmt.Errorf("-trace requires -backend vtime")
+		case o.metrics:
+			return nil, fmt.Errorf("-metrics requires -backend vtime")
+		}
+	}
+	return o, nil
+}
 
 // writeMTXTrace dumps MTX lifecycle events as JSON lines for external
 // tooling (the Fig. 3c timeline mechanism).
@@ -70,121 +160,109 @@ func writeChromeTrace(path string, tr *trace.Tracer) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsmtxrun: ")
-	var (
-		bench    = flag.String("bench", "", "benchmark name (see dsmtxbench -table 2); empty lists them")
-		cores    = flag.Int("cores", 32, "total cores (workers + try-commit + commit)")
-		paradigm = flag.String("paradigm", "dsmtx", "dsmtx or tls")
-		misspec  = flag.Float64("misspec", 0, "input misspeculation rate (e.g. 0.001)")
-		scale    = flag.Int("scale", 1, "problem-size multiplier")
-		seed     = flag.Uint64("seed", 42, "input generation seed")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
-		metrics  = flag.Bool("metrics", false, "print the metrics registry and per-rank stall attribution")
-		mtxTrace = flag.String("mtxtrace", "", "write the MTX lifecycle trace to this JSON-lines file")
-		faultArg = flag.String("faults", "", "deterministic fault plan, e.g. drop=0.001,crash=r1@2ms+500us (see internal/faults)")
-		faultSd  = flag.Uint64("fault-seed", 0, "override the fault plan's seed (with -faults)")
-	)
-	flag.Parse()
-
-	if *bench == "" {
-		fmt.Println(harness.RenderTable2())
-		return
-	}
-	b, err := workloads.ByName(*bench)
+	opts, err := parseFlags(os.Args[1:])
 	if err != nil {
 		log.Fatal(err)
 	}
-	in := workloads.Input{Scale: *scale, Seed: *seed, MisspecRate: *misspec}
-
-	p := workloads.DSMTX
-	if *paradigm == "tls" {
-		p = workloads.TLS
+	if err := run(opts, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
+}
 
+// run executes the configured benchmark and writes the report to stdout.
+func run(o *options, stdout io.Writer) error {
+	if o.bench == "" {
+		fmt.Fprintln(stdout, harness.RenderTable2())
+		return nil
+	}
+	b, err := workloads.ByName(o.bench)
+	if err != nil {
+		return err
+	}
+	in := workloads.Input{Scale: o.scale, Seed: o.seed, MisspecRate: o.misspec}
+
+	// The sequential reference always runs in virtual time: it is the cost
+	// model's baseline and, for the host backend, the checksum oracle.
 	seqTime, seqCheck, err := workloads.RunSequentialRef(b, in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// The tracer is shared across invocations; BindKernel stitches each
 	// invocation's virtual clock onto one monotonic timeline.
 	var tr *trace.Tracer
-	if *traceOut != "" {
+	if o.traceOut != "" {
 		tr = trace.New()
-	} else if *metrics {
+	} else if o.metrics {
 		tr = trace.NewMetricsOnly()
 	}
-	var plan *faults.Plan
-	if *faultArg != "" {
-		p, err := faults.Parse(*faultArg)
-		if err != nil {
-			log.Fatalf("-faults: %v", err)
-		}
-		if *faultSd != 0 {
-			p.Seed = *faultSd
-		}
-		plan = &p
-	} else if *faultSd != 0 {
-		log.Fatal("-fault-seed needs -faults")
-	}
 	var tune func(*core.Config)
-	if tr != nil || *mtxTrace != "" || plan != nil {
-		mtx := *mtxTrace != ""
+	if tr != nil || o.mtxTrace != "" || o.plan != nil || o.backend != core.BackendVTime {
+		mtx := o.mtxTrace != ""
 		tune = func(cfg *core.Config) {
 			cfg.Trace = mtx
 			cfg.Tracer = tr
-			cfg.Faults = plan
+			cfg.Faults = o.plan
+			cfg.Backend = o.backend
 		}
 	}
-	res, err := workloads.RunParallel(b, in, p, *cores, tune)
+	res, err := workloads.RunParallel(b, in, o.paradigm, o.cores, tune)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if *mtxTrace != "" {
-		if err := writeMTXTrace(*mtxTrace, res.Trace); err != nil {
-			log.Fatal(err)
+	if o.mtxTrace != "" {
+		if err := writeMTXTrace(o.mtxTrace, res.Trace); err != nil {
+			return err
 		}
-		fmt.Printf("mtxtrace: %d events -> %s\n", len(res.Trace), *mtxTrace)
+		fmt.Fprintf(stdout, "mtxtrace: %d events -> %s\n", len(res.Trace), o.mtxTrace)
 	}
-	if *traceOut != "" {
-		if err := writeChromeTrace(*traceOut, tr); err != nil {
-			log.Fatal(err)
+	if o.traceOut != "" {
+		if err := writeChromeTrace(o.traceOut, tr); err != nil {
+			return err
 		}
-		fmt.Printf("trace: %d events -> %s\n", len(tr.Events()), *traceOut)
+		fmt.Fprintf(stdout, "trace: %d events -> %s\n", len(tr.Events()), o.traceOut)
 	}
 
-	fmt.Printf("%s (%s), %d cores, paradigm %s\n", b.Name, b.Paradigm, *cores, p)
-	fmt.Printf("  sequential      %v\n", seqTime)
-	fmt.Printf("  parallel        %v\n", res.Elapsed)
-	fmt.Printf("  speedup         %s\n", stats.FormatSpeedup(seqTime.Seconds()/res.Elapsed.Seconds()))
-	fmt.Printf("  MTXs committed  %d (misspeculations: %d)\n", res.Committed, res.Misspecs)
-	fmt.Printf("  wire traffic    %.2f MB (%.1f MB/s)\n", float64(res.Bytes)/1e6, res.Bandwidth()/1e6)
+	if o.backend == core.BackendHost {
+		fmt.Fprintf(stdout, "%s (%s), %d cores, paradigm %s, backend host\n", b.Name, b.Paradigm, o.cores, o.paradigm)
+		fmt.Fprintf(stdout, "  sequential      %v (vtime reference)\n", seqTime)
+		fmt.Fprintf(stdout, "  parallel        %v wall clock\n", res.Elapsed)
+	} else {
+		fmt.Fprintf(stdout, "%s (%s), %d cores, paradigm %s\n", b.Name, b.Paradigm, o.cores, o.paradigm)
+		fmt.Fprintf(stdout, "  sequential      %v\n", seqTime)
+		fmt.Fprintf(stdout, "  parallel        %v\n", res.Elapsed)
+		fmt.Fprintf(stdout, "  speedup         %s\n", stats.FormatSpeedup(seqTime.Seconds()/res.Elapsed.Seconds()))
+	}
+	fmt.Fprintf(stdout, "  MTXs committed  %d (misspeculations: %d)\n", res.Committed, res.Misspecs)
+	fmt.Fprintf(stdout, "  wire traffic    %.2f MB (%.1f MB/s)\n", float64(res.Bytes)/1e6, res.Bandwidth()/1e6)
 	if tr != nil {
 		t := res.Traffic
-		fmt.Printf("  traffic classes queue %.2f MB (%d msgs), COA pages %.2f MB (%d msgs), control %.2f MB (%d msgs)\n",
+		fmt.Fprintf(stdout, "  traffic classes queue %.2f MB (%d msgs), COA pages %.2f MB (%d msgs), control %.2f MB (%d msgs)\n",
 			float64(t.QueueBytes)/1e6, t.QueueMessages,
 			float64(t.PageBytes)/1e6, t.PageMessages,
 			float64(t.ControlBytes)/1e6, t.ControlMessages)
 	}
 	if res.Misspecs > 0 {
-		fmt.Printf("  recovery        ERM %v  FLQ %v  SEQ %v  RFP %v\n", res.ERM, res.FLQ, res.SEQ, res.RFP)
+		fmt.Fprintf(stdout, "  recovery        ERM %v  FLQ %v  SEQ %v  RFP %v\n", res.ERM, res.FLQ, res.SEQ, res.RFP)
 	}
-	if plan != nil {
+	if o.plan != nil {
 		t := res.Traffic
-		fmt.Printf("  fault plan      %s\n", plan.Format())
-		fmt.Printf("  resilience      dropped %d msgs, retransmitted %d (%.2f MB), acks %d (%.2f MB)\n",
+		fmt.Fprintf(stdout, "  fault plan      %s\n", o.plan.Format())
+		fmt.Fprintf(stdout, "  resilience      dropped %d msgs, retransmitted %d (%.2f MB), acks %d (%.2f MB)\n",
 			t.DroppedMessages, t.RetransMessages, float64(t.RetransBytes)/1e6,
 			t.AckMessages, float64(t.AckBytes)/1e6)
 		if res.Crashes > 0 {
-			fmt.Printf("  crash recovery  %d crash(es) survived, re-dispatch %v\n", res.Crashes, res.Redispatch)
+			fmt.Fprintf(stdout, "  crash recovery  %d crash(es) survived, re-dispatch %v\n", res.Crashes, res.Redispatch)
 		}
 	}
 	if res.Checksum == seqCheck {
-		fmt.Printf("  output          VERIFIED (checksum %#x matches sequential)\n", res.Checksum)
+		fmt.Fprintf(stdout, "  output          VERIFIED (checksum %#x matches sequential)\n", res.Checksum)
 	} else {
-		fmt.Printf("  output          MISMATCH: parallel %#x, sequential %#x\n", res.Checksum, seqCheck)
+		fmt.Fprintf(stdout, "  output          MISMATCH: parallel %#x, sequential %#x\n", res.Checksum, seqCheck)
 	}
-	if *metrics {
-		fmt.Printf("\nStall attribution (per rank):\n%s\n", res.Stalls.Table())
-		fmt.Printf("\nStall attribution (per stage):\n%s\n", res.Stalls.StageTable())
-		fmt.Printf("\nMetrics:\n%s\n", tr.Metrics().Table())
+	if o.metrics {
+		fmt.Fprintf(stdout, "\nStall attribution (per rank):\n%s\n", res.Stalls.Table())
+		fmt.Fprintf(stdout, "\nStall attribution (per stage):\n%s\n", res.Stalls.StageTable())
+		fmt.Fprintf(stdout, "\nMetrics:\n%s\n", tr.Metrics().Table())
 	}
+	return nil
 }

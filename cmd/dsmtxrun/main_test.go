@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/workloads"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.bench != "" || o.cores != 32 || o.paradigm != workloads.DSMTX || o.backend != core.BackendVTime {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestParseFlagsBackends(t *testing.T) {
+	o, err := parseFlags([]string{"-bench", "crc32", "-backend", "host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.backend != core.BackendHost {
+		t.Fatalf("backend = %v, want host", o.backend)
+	}
+	if _, err := parseFlags([]string{"-backend", "qemu"}); err == nil {
+		t.Fatal("accepted unknown backend")
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	cases := [][]string{
+		{"stray-positional"},
+		{"-paradigm", "openmp"},
+		{"-fault-seed", "7"}, // needs -faults
+		{"-faults", "drop=notanumber"},
+		// vtime-only features on the host backend
+		{"-backend", "host", "-faults", "drop=0.01"},
+		{"-backend", "host", "-trace", "out.json"},
+		{"-backend", "host", "-metrics"},
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted invalid arguments", args)
+		}
+	}
+}
+
+func TestParseFlagsFaultPlan(t *testing.T) {
+	o, err := parseFlags([]string{"-bench", "crc32", "-faults", "drop=0.01", "-fault-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.plan == nil || o.plan.Seed != 7 {
+		t.Fatalf("plan = %+v, want seed 7", o.plan)
+	}
+}
+
+// TestRunOutputByteIdentical pins the refactored run(): the vtime report is
+// a pure function of the options, so two runs must produce identical bytes.
+func TestRunOutputByteIdentical(t *testing.T) {
+	o, err := parseFlags([]string{"-bench", "crc32", "-cores", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := run(o, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("vtime output not byte-identical:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{"crc32", "speedup", "MTXs committed", "VERIFIED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunHostBackend executes a real host-backend run end to end: the
+// checksum must verify against the vtime sequential reference, and no
+// modelled speedup is reported (wall clock is not comparable to virtual
+// time).
+func TestRunHostBackend(t *testing.T) {
+	o, err := parseFlags([]string{"-bench", "crc32", "-cores", "8", "-backend", "host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "backend host") || !strings.Contains(out, "VERIFIED") {
+		t.Errorf("host run output unexpected:\n%s", out)
+	}
+	if strings.Contains(out, "speedup") {
+		t.Errorf("host run reported a speedup:\n%s", out)
+	}
+}
+
+func TestRunListsBenchmarksWithoutBench(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "164.gzip") {
+		t.Errorf("benchmark listing missing 164.gzip:\n%s", buf.String())
+	}
+}

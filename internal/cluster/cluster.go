@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"dsmtx/internal/faults"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/sim"
 	"dsmtx/internal/trace"
 )
@@ -127,88 +128,29 @@ func (c Config) InstrTime(instructions int64) sim.Duration {
 	return sim.Duration(float64(instructions) / c.ClockGHz)
 }
 
-// MsgClass labels a message's role for bandwidth attribution: the Fig. 5a
-// harness and the metrics report split wire traffic into queue batches,
-// Copy-On-Access page transfers, and everything else (control: verdicts
-// travel in queues, but barriers, credits, start/ctrl and occupancy acks
-// are control).
-type MsgClass uint8
+// MsgClass labels a message's role for bandwidth attribution; it aliases
+// the platform-neutral type so the runtime layers above use the same values
+// on every backend.
+type MsgClass = platform.MsgClass
 
 // Message classes. The zero value is ClassControl, so untagged sends (the
 // default path) count as control traffic.
 const (
-	ClassControl MsgClass = iota
-	ClassQueue
-	ClassPage
-	numClasses
+	ClassControl = platform.ClassControl
+	ClassQueue   = platform.ClassQueue
+	ClassPage    = platform.ClassPage
 )
 
 // Message is one unit of data in flight between ranks.
-type Message struct {
-	From, To int
-	Tag      int
-	Payload  any
-	Bytes    int // modelled wire size; must be >= 0
-	Class    MsgClass
-	// Seq is the reliable-layer per-link sequence number; only meaningful
-	// when fault injection routes the message through the ack/retransmit
-	// path (zero otherwise).
-	Seq uint64
-}
+type Message = platform.Message
 
 // AnySource registers a mailbox that receives messages from every sender
 // using a given tag. Register such mailboxes before any traffic flows.
-const AnySource = -1
+const AnySource = platform.AnySource
 
 // TrafficStats accumulates modelled wire traffic for an entire run; the
-// figure-5a bandwidth numbers divide these by execution time. The per-class
-// fields are a breakdown of the same traffic: QueueBytes + PageBytes +
-// ControlBytes == Bytes (and likewise for messages).
-type TrafficStats struct {
-	Messages       uint64
-	Bytes          uint64
-	InterNodeBytes uint64
-	IntraNodeBytes uint64
-
-	QueueMessages   uint64
-	QueueBytes      uint64
-	PageMessages    uint64
-	PageBytes       uint64
-	ControlMessages uint64
-	ControlBytes    uint64
-
-	// Resilience-layer accounting, all zero when fault injection is off.
-	// Retransmissions and acks are real wire traffic, so their bytes are
-	// *also* counted in the totals and class sums above; these fields say
-	// how much of that traffic the fault layer caused. Dropped messages
-	// consumed the sender's NIC but never arrived.
-	DroppedMessages uint64
-	DroppedBytes    uint64
-	RetransMessages uint64
-	RetransBytes    uint64
-	AckMessages     uint64
-	AckBytes        uint64
-}
-
-// Add accumulates another run's traffic into t (multi-invocation totals).
-func (t *TrafficStats) Add(o TrafficStats) {
-	t.Messages += o.Messages
-	t.Bytes += o.Bytes
-	t.InterNodeBytes += o.InterNodeBytes
-	t.IntraNodeBytes += o.IntraNodeBytes
-	t.QueueMessages += o.QueueMessages
-	t.QueueBytes += o.QueueBytes
-	t.PageMessages += o.PageMessages
-	t.PageBytes += o.PageBytes
-	t.ControlMessages += o.ControlMessages
-	t.ControlBytes += o.ControlBytes
-	t.DroppedMessages += o.DroppedMessages
-	t.DroppedBytes += o.DroppedBytes
-	t.RetransMessages += o.RetransMessages
-	t.RetransBytes += o.RetransBytes
-	t.AckMessages += o.AckMessages
-	t.AckBytes += o.AckBytes
-}
+// figure-5a bandwidth numbers divide these by execution time.
+type TrafficStats = platform.TrafficStats
 
 type mailboxKey struct {
 	from int
@@ -358,7 +300,12 @@ func (e *Endpoint) Machine() *Machine { return e.m }
 
 // Mailbox returns (creating if needed) the mailbox for messages from a
 // specific source rank (or AnySource) carrying the given tag.
-func (e *Endpoint) Mailbox(from, tag int) *sim.Chan[Message] {
+func (e *Endpoint) Mailbox(from, tag int) platform.Mailbox {
+	return e.box(from, tag)
+}
+
+// box is Mailbox with the concrete channel type, for internal delivery.
+func (e *Endpoint) box(from, tag int) *sim.Chan[Message] {
 	key := mailboxKey{from, tag}
 	box, ok := e.boxes[key]
 	if !ok {
@@ -381,7 +328,7 @@ func (e *Endpoint) deliver(msg Message) {
 		box.Push(msg)
 		return
 	}
-	e.Mailbox(msg.From, msg.Tag).Push(msg)
+	e.box(msg.From, msg.Tag).Push(msg)
 }
 
 // Send injects a message into the network; it does not charge CPU time (the
@@ -409,8 +356,8 @@ func (e *Endpoint) SendClass(to, tag int, payload any, bytes int, class MsgClass
 
 // Recv blocks p until a message from the given source (or AnySource) with
 // the given tag arrives, and returns it.
-func (e *Endpoint) Recv(p *sim.Proc, from, tag int) Message {
-	msg, ok := e.Mailbox(from, tag).Recv(p)
+func (e *Endpoint) Recv(p platform.Proc, from, tag int) Message {
+	msg, ok := e.box(from, tag).Recv(p)
 	if !ok {
 		panic("cluster: mailbox closed")
 	}
@@ -419,5 +366,5 @@ func (e *Endpoint) Recv(p *sim.Proc, from, tag int) Message {
 
 // TryRecv returns a pending message without blocking.
 func (e *Endpoint) TryRecv(from, tag int) (Message, bool) {
-	return e.Mailbox(from, tag).TryRecv()
+	return e.box(from, tag).TryRecv()
 }

@@ -3,11 +3,12 @@ package core
 import (
 	"fmt"
 
-	"dsmtx/internal/cluster"
+	"sync/atomic"
+
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
-	"dsmtx/internal/sim"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
@@ -19,7 +20,7 @@ import (
 type cuNode struct {
 	sys   *System
 	rank  int
-	proc  *sim.Proc
+	proc  platform.Proc
 	comm  *mpi.Comm
 	img   *mem.Image
 	arena *uva.Arena
@@ -31,31 +32,31 @@ type cuNode struct {
 
 	routes   map[uint64]int
 	epoch    uint64
-	pollTime sim.Time
+	pollTime platform.Duration
 	iter     uint64
 	result   Result
-	resumed  sim.Time // time of last recovery resume, 0 if none pending RFP
+	resumed  platform.Time // time of last recovery resume, 0 if none pending RFP
 
 	// Stall attribution: pollTime split by what the poll was waiting for
 	// (worker store streams vs try-commit verdicts), plus recovery-window
 	// accounting. rfpStart anchors the RFP span in tracer time.
-	stallStarve  sim.Time
-	stallVerdict sim.Time
-	recWall      sim.Time
-	recAdv       sim.Time
-	recBlk       sim.Time
-	rfpStart     sim.Time
+	stallStarve  platform.Duration
+	stallVerdict platform.Duration
+	recWall      platform.Duration
+	recAdv       platform.Duration
+	recBlk       platform.Duration
+	rfpStart     platform.Time
 
 	// Crash-fault machinery, allocated only under a crash plan (sys.hbOn):
 	// hbBox/rejoinBox collect any-source heartbeats and restart
 	// announcements; lastHeard[w] is worker w's newest sign of life; the
 	// red* fields account crash re-dispatch windows for stall attribution.
-	hbBox     *sim.Chan[cluster.Message]
-	rejoinBox *sim.Chan[cluster.Message]
-	lastHeard []sim.Time
-	redWall   sim.Time
-	redAdv    sim.Time
-	redBlk    sim.Time
+	hbBox     platform.Mailbox
+	rejoinBox platform.Mailbox
+	lastHeard []platform.Time
+	redWall   platform.Duration
+	redAdv    platform.Duration
+	redBlk    platform.Duration
 
 	// Misspeculation cause counters (nil when uninstrumented).
 	cMissWorker   *trace.Counter
@@ -70,13 +71,13 @@ func newCUNode(s *System) *cuNode {
 // deferred handler in commitEpoch converts it into a crash recovery.
 type crashSignal struct{ rank int }
 
-func (c *cuNode) run(p *sim.Proc) {
+func (c *cuNode) run(p platform.Proc) {
 	c.proc = p
 	c.comm = c.sys.world.Attach(c.rank, p)
 	c.comm.SetTracer(c.sys.tr, c.rank)
 	c.bind()
 
-	seq := &SeqCtx{cfg: c.sys.cfg, proc: p, img: c.img, arena: c.arena}
+	seq := &SeqCtx{cfg: c.sys.cfg, proc: p, img: c.img, arena: c.arena, instr: c.sys.instrTime}
 	c.sys.prog.Setup(seq)
 	// Publish the invocation-entry snapshot for Copy-On-Access service,
 	// then open the parallel section: workers must not touch memory before
@@ -124,9 +125,9 @@ func (c *cuNode) bind() {
 	c.cMissConflict = c.sys.tr.Metrics().Counter("misspec.conflict")
 	if c.sys.hbOn {
 		ep := c.comm.Endpoint()
-		c.hbBox = ep.Mailbox(cluster.AnySource, tagHeartbeat)
-		c.rejoinBox = ep.Mailbox(cluster.AnySource, tagRejoin)
-		c.lastHeard = make([]sim.Time, c.sys.cfg.Workers())
+		c.hbBox = ep.Mailbox(platform.AnySource, tagHeartbeat)
+		c.rejoinBox = ep.Mailbox(platform.AnySource, tagRejoin)
+		c.lastHeard = make([]platform.Time, c.sys.cfg.Workers())
 	}
 }
 
@@ -316,7 +317,7 @@ func (c *cuNode) routeOf(s int, iter uint64) int {
 // total (pollTime) and to the caller's stall bucket: starvation when
 // waiting on worker store streams, verdict-wait when waiting on the
 // try-commit unit.
-func (c *cuNode) consumeNext(port *entryCursor, bucket *sim.Time) Entry {
+func (c *cuNode) consumeNext(port *entryCursor, bucket *platform.Duration) Entry {
 	backoff := c.sys.cfg.PollMin
 	for {
 		if e, ok := port.tryNext(); ok {
@@ -499,9 +500,12 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 // commit unit is busy committing.
 type pageServer struct {
 	sys  *System
-	proc *sim.Proc
+	proc platform.Proc
 	comm *mpi.Comm
-	snap *mem.Image
+	// snap is the served snapshot. On vtime the cooperative scheduler makes
+	// the commit unit's swap trivially atomic; on host the commit unit and
+	// the page server are separate goroutines, so publication is atomic.
+	snap atomic.Pointer[mem.Image]
 
 	// Served-request accounting (diagnostic).
 	Requests    uint64
@@ -515,18 +519,19 @@ type pageServer struct {
 func newPageServer(s *System) *pageServer { return &pageServer{sys: s} }
 
 // setSnapshot swaps the snapshot served to workers; called by the commit
-// unit at invocation start and after each recovery. The two processes share
-// the commit rank, and the cooperative scheduler makes the swap atomic.
-func (ps *pageServer) setSnapshot(snap *mem.Image) { ps.snap = snap }
+// unit at invocation start and after each recovery, always at points where
+// no page request is in flight (before tagStart, and between recovery
+// barriers B2 and B3).
+func (ps *pageServer) setSnapshot(snap *mem.Image) { ps.snap.Store(snap) }
 
-func (ps *pageServer) run(p *sim.Proc) {
+func (ps *pageServer) run(p platform.Proc) {
 	ps.proc = p
 	ps.comm = ps.sys.world.Attach(ps.sys.cfg.commitRank(), p)
-	ps.comm.Endpoint().Mailbox(cluster.AnySource, tagPageReq)
+	ps.comm.Endpoint().Mailbox(platform.AnySource, tagPageReq)
 	ps.cReq = ps.sys.tr.Metrics().Counter("coa.requests")
 	ps.cPages = ps.sys.tr.Metrics().Counter("coa.pages.served")
 	for {
-		msg := ps.comm.Endpoint().Recv(p, cluster.AnySource, tagPageReq)
+		msg := ps.comm.Endpoint().Recv(p, platform.AnySource, tagPageReq)
 		if msg.Payload == nil {
 			return // shutdown sentinel from the commit unit
 		}
@@ -536,15 +541,16 @@ func (ps *pageServer) run(p *sim.Proc) {
 		ps.cReq.Inc()
 		ps.cPages.Add(uint64(req.Count))
 		ps.proc.Advance(ps.sys.instrTime(ps.sys.cfg.PageServInstr + 60*int64(req.Count)))
+		snap := ps.snap.Load()
 		pages := make([]*mem.Page, req.Count)
 		for i := range pages {
-			pages[i] = ps.snap.CopyPage(req.Start + uva.PageID(i))
+			pages[i] = snap.CopyPage(req.Start + uva.PageID(i))
 		}
 		wire := req.Count*(uva.PageSize+8) + 56
 		if req.Grain > 0 {
 			wire = req.Grain + 56 // sub-page chunk (word-granularity ablation)
 		}
 		// RDMA put: wire time only, no per-byte CPU marshalling.
-		ps.comm.Endpoint().SendClass(msg.From, tagPageReply, pages, wire, cluster.ClassPage)
+		ps.comm.Endpoint().SendClass(msg.From, tagPageReply, pages, wire, platform.ClassPage)
 	}
 }

@@ -9,10 +9,45 @@ import (
 	"dsmtx/internal/faults"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/queue"
-	"dsmtx/internal/sim"
 	"dsmtx/internal/trace"
 )
+
+// Backend selects the execution platform a System runs on.
+type Backend int
+
+const (
+	// BackendVTime (the zero value) executes on the deterministic
+	// virtual-time simulator: modelled cluster, instruction charging,
+	// bit-identical repeat runs.
+	BackendVTime Backend = iota
+	// BackendHost executes the same protocol live on host goroutines:
+	// wall-clock time, no instruction or wire-time modelling,
+	// scheduler-dependent interleaving. Protocol outcomes (committed MTXs,
+	// checksums) match vtime; timings do not. The vtime-only subsystems —
+	// fault injection and the observability tracer — are rejected.
+	BackendHost
+)
+
+// String names the backend as the -backend CLI flag spells it.
+func (b Backend) String() string {
+	if b == BackendHost {
+		return "host"
+	}
+	return "vtime"
+}
+
+// ParseBackend converts a -backend flag value into a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "vtime":
+		return BackendVTime, nil
+	case "host":
+		return BackendHost, nil
+	}
+	return 0, fmt.Errorf("core: unknown backend %q (have vtime, host)", s)
+}
 
 // Config assembles a DSMTX system.
 type Config struct {
@@ -20,6 +55,10 @@ type Config struct {
 	// including the try-commit unit(s) and the commit unit (the x-axis of
 	// Fig. 4); the rest are workers.
 	TotalCores int
+
+	// Backend selects the execution platform: the deterministic
+	// virtual-time simulator (the default) or live host goroutines.
+	Backend Backend
 
 	// Plan is the parallelization scheme laid out over the workers.
 	Plan pipeline.Plan
@@ -71,8 +110,8 @@ type Config struct {
 
 	// PollMin/PollMax bound the adaptive backoff used at blocking points
 	// (the runtime polls so that control messages interrupt waits).
-	PollMin sim.Duration
-	PollMax sim.Duration
+	PollMin platform.Duration
+	PollMax platform.Duration
 
 	// Trace records per-MTX activity of every unit (System.Trace) for
 	// execution-model timelines (Fig. 3c).
@@ -93,8 +132,8 @@ type Config struct {
 	// false positive can take to trigger a (survivable) spurious
 	// recovery, so it trades detection delay against sensitivity to long
 	// legitimate stalls.
-	HeartbeatInterval sim.Duration
-	HeartbeatTimeout  sim.Duration
+	HeartbeatInterval platform.Duration
+	HeartbeatTimeout  platform.Duration
 
 	// Tracer, if non-nil, attaches the virtual-time observability layer:
 	// per-rank timeline spans (subTX, validate, commit, COA, recovery
@@ -105,8 +144,9 @@ type Config struct {
 	Tracer *trace.Tracer
 
 	// Horizon aborts the simulation if virtual time exceeds it (a safety
-	// net for runtime bugs); 0 means none.
-	Horizon sim.Duration
+	// net for runtime bugs); 0 means none. The host backend ignores it
+	// (bound wall time with test or command timeouts instead).
+	Horizon platform.Duration
 }
 
 // DefaultConfig returns a configuration matching the paper's platform with
@@ -128,11 +168,11 @@ func DefaultConfig(totalCores int, plan pipeline.Plan) Config {
 		PageServInstr:    300,
 		PageFaultInstr:   400,
 		ProtectInstr:     30,
-		PollMin:          100 * sim.Nanosecond,
-		PollMax:          1600 * sim.Nanosecond,
+		PollMin:          100 * platform.Nanosecond,
+		PollMax:          1600 * platform.Nanosecond,
 
-		HeartbeatInterval: 20 * sim.Microsecond,
-		HeartbeatTimeout:  500 * sim.Microsecond,
+		HeartbeatInterval: 20 * platform.Microsecond,
+		HeartbeatTimeout:  500 * platform.Microsecond,
 	}
 }
 
@@ -165,6 +205,20 @@ func (c Config) Validate() error {
 	}
 	if c.PollMin <= 0 || c.PollMax < c.PollMin {
 		return fmt.Errorf("core: bad poll bounds [%v, %v]", c.PollMin, c.PollMax)
+	}
+	if c.Backend != BackendVTime && c.Backend != BackendHost {
+		return fmt.Errorf("core: unknown backend %d", c.Backend)
+	}
+	if c.Backend == BackendHost {
+		// The fault-injection and observability subsystems are built on the
+		// virtual-time kernel (timers, deterministic rolls, the traced
+		// clock); the host backend runs the bare protocol.
+		if !c.Faults.Empty() {
+			return fmt.Errorf("core: the host backend does not support fault injection (vtime only)")
+		}
+		if c.Tracer != nil {
+			return fmt.Errorf("core: the host backend does not support the tracer (vtime only)")
+		}
 	}
 	if !c.Faults.Empty() {
 		if err := c.Faults.Validate(); err != nil {

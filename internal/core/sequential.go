@@ -4,19 +4,22 @@ import (
 	"fmt"
 
 	"dsmtx/internal/mem"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/sim"
 	"dsmtx/internal/uva"
 )
 
-// RunSequential executes a program single-threaded on one simulated core:
-// Setup, then SeqIter for each of n iterations in order, then Finalize.
+// RunSequential executes a program single-threaded on one simulated core
+// (always in virtual time, regardless of Config.Backend — the reference
+// cost model is the simulator's): Setup, then SeqIter for each of n
+// iterations in order, then Finalize.
 // This is the baseline all speedups are measured against — the original
 // sequential program, with the same per-operation cost model and no runtime
 // overheads.
 //
 // initial, if non-nil, seeds memory (for chaining invocations); the final
 // image is returned alongside the elapsed virtual time.
-func RunSequential(cfg Config, prog Program, n uint64, initial *mem.Image) (sim.Time, *mem.Image, error) {
+func RunSequential(cfg Config, prog Program, n uint64, initial *mem.Image) (platform.Duration, *mem.Image, error) {
 	kernel := sim.NewKernel()
 	img := initial
 	if img == nil {

@@ -2,12 +2,16 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"dsmtx/internal/cluster"
 	"dsmtx/internal/faults"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
+	"dsmtx/internal/platform"
+	"dsmtx/internal/platform/host"
+	"dsmtx/internal/platform/vtime"
 	"dsmtx/internal/queue"
 	"dsmtx/internal/sim"
 	"dsmtx/internal/trace"
@@ -61,29 +65,31 @@ type ctrlMsg struct {
 // recoverySignal unwinds worker/try-commit stacks to their main loops.
 type recoverySignal struct{}
 
-// Result summarizes one parallel execution.
+// Result summarizes one parallel execution. Durations are platform-neutral:
+// virtual nanoseconds on the vtime backend, wall-clock nanoseconds on host
+// (where the busy/poll accounting is zero — host processes are not charged).
 type Result struct {
-	Elapsed   sim.Time
+	Elapsed   platform.Duration
 	Committed uint64 // MTXs committed (including recovery re-executions)
 	Misspecs  uint64
 	// Recovery phase totals across all misspeculations (Fig. 6).
-	ERM sim.Time // enter recovery mode: detection to first barrier
-	FLQ sim.Time // flush queues + re-protect
-	SEQ sim.Time // sequential re-execution of the aborted iteration
-	RFP sim.Time // refill pipeline: resume to first post-recovery commit
+	ERM platform.Duration // enter recovery mode: detection to first barrier
+	FLQ platform.Duration // flush queues + re-protect
+	SEQ platform.Duration // sequential re-execution of the aborted iteration
+	RFP platform.Duration // refill pipeline: resume to first post-recovery commit
 	// Crash-fault resilience totals (zero without a fault plan): worker
 	// crashes survived, and the wall time of commit-unit crash recovery
 	// (detection through pipeline restart — the re-dispatch cost).
 	Crashes    uint64
-	Redispatch sim.Time
+	Redispatch platform.Duration
 	// Traffic is the machine-wide wire traffic of the run.
-	Traffic cluster.TrafficStats
-	Events  uint64 // simulation events (diagnostic)
+	Traffic platform.TrafficStats
+	Events  uint64 // simulation events (diagnostic; zero on host)
 	// Busy-time accounting (diagnostic): virtual time each unit spent
 	// computing vs polling empty queues.
-	CUBusy, CUPoll, TCBusy, TCPoll, PageSrvBusy sim.Time
-	WorkerBusyMax                               sim.Time
-	WorkerBusyAvg                               sim.Time
+	CUBusy, CUPoll, TCBusy, TCPoll, PageSrvBusy platform.Duration
+	WorkerBusyMax                               platform.Duration
+	WorkerBusyAvg                               platform.Duration
 	PageRequests, PagesServed                   uint64
 }
 
@@ -101,8 +107,13 @@ func (r Result) Bandwidth() float64 {
 // unit, a commit unit and a page server wired together by batched queues on
 // a simulated cluster.
 type System struct {
-	cfg    Config
-	prog   Program
+	cfg  Config
+	prog Program
+	// plat is the execution platform every protocol component runs against.
+	// kernel and mach are the vtime backend's underlying simulator stack,
+	// kept for the vtime-only subsystems (faults, tracing, heartbeat
+	// timers); both are nil on the host backend.
+	plat   platform.Platform
 	kernel *sim.Kernel
 	mach   *cluster.Machine
 	world  *mpi.World
@@ -131,8 +142,10 @@ type System struct {
 
 	initialImage *mem.Image
 
-	// events collects the execution trace when cfg.Trace is set.
-	events []TraceEvent
+	// events collects the execution trace when cfg.Trace is set; traceMu
+	// serializes appends on the host backend (see System.trace).
+	traceMu sync.Mutex
+	events  []TraceEvent
 
 	// tr is cfg.Tracer (nil = observability disabled); stalls is the
 	// per-rank stall attribution assembled after Run.
@@ -179,23 +192,31 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 	if err := s.analyzePlan(); err != nil {
 		return nil, err
 	}
-	s.kernel = sim.NewKernel()
 	// The commit unit's node doubles as page server; it gets the head
 	// node's fat pipe (see cluster.Config.HeadNode).
 	if s.cfg.Cluster.HeadNode < 0 {
 		s.cfg.Cluster.HeadNode = s.cfg.Cluster.NodeOf(s.cfg.commitRank())
 	}
-	s.mach = cluster.New(s.kernel, s.cfg.Cluster)
-	if !cfg.Faults.Empty() {
-		inj, err := faults.Compile(*cfg.Faults)
-		if err != nil {
-			return nil, err
+	if cfg.Backend == BackendHost {
+		// Live goroutines under the same protocol. Validate already
+		// rejected the vtime-only subsystems (faults, tracer); the cluster
+		// topology still drives rank placement for traffic attribution.
+		s.plat = host.New(s.cfg.Cluster.Ranks(), s.cfg.Cluster.NodeOf)
+	} else {
+		s.kernel = sim.NewKernel()
+		s.mach = cluster.New(s.kernel, s.cfg.Cluster)
+		if !cfg.Faults.Empty() {
+			inj, err := faults.Compile(*cfg.Faults)
+			if err != nil {
+				return nil, err
+			}
+			s.inj = inj
+			s.hbOn = inj.HasCrashes()
+			s.mach.EnableFaults(inj)
 		}
-		s.inj = inj
-		s.hbOn = inj.HasCrashes()
-		s.mach.EnableFaults(inj)
+		s.plat = vtime.New(s.kernel, s.mach)
 	}
-	s.world = mpi.NewWorld(s.mach, cfg.MPICost)
+	s.world = mpi.NewWorld(s.plat, cfg.MPICost)
 	s.buildQueues()
 	for r := 0; r < cfg.TotalCores; r++ {
 		s.allRanks = append(s.allRanks, r)
@@ -355,14 +376,24 @@ func (s *System) prevPool(tid int) int {
 // applyDilation installs the fault plan's straggler multiplier (if any) on
 // the process executing rank. Dilation stretches compute quanta only — wire
 // time and queue latency are modelled elsewhere — which is exactly how a
-// slow core (thermal throttling, co-tenant interference) presents.
-func (s *System) applyDilation(p *sim.Proc, rank int) {
+// slow core (thermal throttling, co-tenant interference) presents. Fault
+// plans exist only on the vtime backend, so the process is a *sim.Proc.
+func (s *System) applyDilation(p platform.Proc, rank int) {
 	if s.inj == nil {
 		return
 	}
 	if d := s.inj.DilationFor(rank); d != nil {
-		p.SetDilation(d)
+		p.(*sim.Proc).SetDilation(d)
 	}
+}
+
+// spawnRank starts a named protocol process on the platform, applying any
+// straggler dilation configured for its rank.
+func (s *System) spawnRank(name string, rank int, body func(platform.Proc)) {
+	s.plat.Spawn(name, func(p platform.Proc) {
+		s.applyDilation(p, rank)
+		body(p)
+	})
 }
 
 // startHeartbeats launches the liveness daemon of the crash-fault model: a
@@ -420,27 +451,29 @@ func (s *System) Run() (Result, error) {
 		s.workers = append(s.workers, newWorkerNode(s, w))
 	}
 	// Spawn order: receivers of early traffic must bind mailboxes in their
-	// spawn bodies before any delivery event fires; all spawns are enqueued
-	// ahead of any send, so order here is just cosmetic.
-	s.applyDilation(s.kernel.Spawn("commit", s.cu.run), s.cfg.commitRank())
+	// spawn bodies before any delivery event fires; on vtime all spawns are
+	// enqueued ahead of any send, so order here is just cosmetic. On host,
+	// goroutines start immediately and registration can race delivery — the
+	// host endpoint's any-source migration makes that safe.
+	s.spawnRank("commit", s.cfg.commitRank(), s.cu.run)
 	for j, tc := range s.tcs {
-		s.applyDilation(s.kernel.Spawn(fmt.Sprintf("trycommit%d", j), tc.run), tc.rank)
+		s.spawnRank(fmt.Sprintf("trycommit%d", j), tc.rank, tc.run)
 	}
 	// The page server shares the commit rank's core, so a straggler window
 	// on that rank slows it too.
-	s.applyDilation(s.kernel.Spawn("pagesrv", s.srv.run), s.cfg.commitRank())
+	s.spawnRank("pagesrv", s.cfg.commitRank(), s.srv.run)
 	for _, w := range s.workers {
 		w := w
-		s.applyDilation(s.kernel.Spawn(fmt.Sprintf("worker%d", w.tid), w.run), w.rank)
+		s.spawnRank(fmt.Sprintf("worker%d", w.tid), w.rank, w.run)
 	}
 	s.startHeartbeats()
-	if err := s.kernel.Run(s.cfg.Horizon); err != nil {
+	if err := s.plat.Run(s.cfg.Horizon); err != nil {
 		return Result{}, fmt.Errorf("core: %s on %d cores: %w", s.cfg.Plan.Name, s.cfg.TotalCores, err)
 	}
 	res := s.cu.result
-	res.Elapsed = s.kernel.Now()
-	res.Traffic = s.mach.Stats()
-	res.Events = s.kernel.Events()
+	res.Elapsed = s.plat.Now()
+	res.Traffic = s.plat.Traffic()
+	res.Events = s.plat.Events()
 	res.CUBusy = s.cu.proc.Advanced() - s.cu.pollTime
 	res.CUPoll = s.cu.pollTime
 	for _, tc := range s.tcs {
@@ -450,7 +483,7 @@ func (s *System) Run() (Result, error) {
 	res.PageSrvBusy = s.srv.proc.Advanced()
 	res.PageRequests = s.srv.Requests
 	res.PagesServed = s.srv.PagesServed
-	var sum sim.Time
+	var sum platform.Duration
 	for _, w := range s.workers {
 		busy := w.proc.Advanced() - w.pollTime
 		sum += busy
@@ -458,7 +491,7 @@ func (s *System) Run() (Result, error) {
 			res.WorkerBusyMax = busy
 		}
 	}
-	res.WorkerBusyAvg = sum / sim.Time(len(s.workers))
+	res.WorkerBusyAvg = sum / platform.Duration(len(s.workers))
 	s.buildStallReport()
 	// Recycle worker and try-commit page frames: their speculative images
 	// are dead once the run ends (only the commit unit's memory is exposed
@@ -551,8 +584,8 @@ func (s *System) CommitImage() *mem.Image {
 
 // WorkerBusy reports each worker's non-poll busy time after Run, indexed
 // by tid (diagnostic).
-func (s *System) WorkerBusy() []sim.Time {
-	out := make([]sim.Time, len(s.workers))
+func (s *System) WorkerBusy() []platform.Duration {
+	out := make([]platform.Duration, len(s.workers))
 	for i, w := range s.workers {
 		out[i] = w.proc.Advanced() - w.pollTime
 	}
@@ -562,8 +595,10 @@ func (s *System) WorkerBusy() []sim.Time {
 // Layout exposes the worker layout (examples and tests use it).
 func (s *System) Layout() pipeline.Layout { return s.layout }
 
-// instrTime converts instructions to time under the cluster clock.
-func (s *System) instrTime(n int64) sim.Duration { return s.cfg.Cluster.InstrTime(n) }
+// instrTime converts instructions to time under the execution platform
+// (modelled clock cycles on vtime; zero on host, where the instructions
+// already cost real time).
+func (s *System) instrTime(n int64) platform.Duration { return s.plat.InstrTime(n) }
 
 // SeqCtx is the execution context for sequential code on the commit unit:
 // Setup, SeqIter, Commit and Finalize — and for the pure sequential
@@ -571,20 +606,31 @@ func (s *System) instrTime(n int64) sim.Duration { return s.cfg.Cluster.InstrTim
 // authoritative image.
 type SeqCtx struct {
 	cfg   Config
-	proc  *sim.Proc
+	proc  platform.Proc
 	img   *mem.Image
 	arena *uva.Arena
+	// instr converts instructions to platform time; nil means the cluster
+	// clock (the pure sequential reference, which always runs in vtime).
+	instr func(int64) platform.Duration
+}
+
+// instrTime converts an instruction count to this context's platform time.
+func (c *SeqCtx) instrTime(n int64) platform.Duration {
+	if c.instr != nil {
+		return c.instr(n)
+	}
+	return c.cfg.Cluster.InstrTime(n)
 }
 
 // Load reads a word from committed memory.
 func (c *SeqCtx) Load(addr uva.Addr) uint64 {
-	c.proc.Advance(c.cfg.Cluster.InstrTime(c.cfg.LoadInstr))
+	c.proc.Advance(c.instrTime(c.cfg.LoadInstr))
 	return c.img.Load(addr)
 }
 
 // Store writes a word to committed memory.
 func (c *SeqCtx) Store(addr uva.Addr, v uint64) {
-	c.proc.Advance(c.cfg.Cluster.InstrTime(c.cfg.StoreInstr))
+	c.proc.Advance(c.instrTime(c.cfg.StoreInstr))
 	c.img.Store(addr, v)
 }
 
@@ -604,7 +650,7 @@ func (c *SeqCtx) AllocWords(n int) uva.Addr { return c.arena.AllocWords(n) }
 func (c *SeqCtx) Free(addr uva.Addr) { c.arena.Free(addr) }
 
 // Compute charges n instructions of work to the commit unit.
-func (c *SeqCtx) Compute(n int64) { c.proc.Advance(c.cfg.Cluster.InstrTime(n)) }
+func (c *SeqCtx) Compute(n int64) { c.proc.Advance(c.instrTime(n)) }
 
 // LoadBytes reads a block from committed memory, charging bulk cost.
 func (c *SeqCtx) LoadBytes(addr uva.Addr, n int) []byte {

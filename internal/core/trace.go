@@ -1,6 +1,6 @@
 package core
 
-import "dsmtx/internal/sim"
+import "dsmtx/internal/platform"
 
 // Execution tracing (Fig. 3(c)): when Config.Trace is set, the runtime
 // records every unit's per-MTX activity — worker subTX executions,
@@ -33,19 +33,24 @@ func (k TraceKind) String() string {
 	return "invalid"
 }
 
-// TraceEvent is one recorded activity interval.
+// TraceEvent is one recorded activity interval. Times are virtual on the
+// vtime backend and wall-clock on host.
 type TraceEvent struct {
 	Kind       TraceKind
 	MTX        uint64
 	Stage      int // pipeline stage for TraceSubTX; -1 otherwise
 	Tid        int // worker tid for TraceSubTX; -1 otherwise
-	Start, End sim.Time
+	Start, End platform.Time
 }
 
-// trace appends an event if tracing is on.
+// trace appends an event if tracing is on. The mutex only matters on the
+// host backend, where recording processes are concurrent goroutines; on
+// vtime it is uncontended by construction.
 func (s *System) trace(e TraceEvent) {
 	if s.cfg.Trace {
+		s.traceMu.Lock()
 		s.events = append(s.events, e)
+		s.traceMu.Unlock()
 	}
 }
 

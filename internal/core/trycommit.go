@@ -3,12 +3,11 @@ package core
 import (
 	"fmt"
 
-	"dsmtx/internal/cluster"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/queue"
-	"dsmtx/internal/sim"
 	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
@@ -24,9 +23,9 @@ type tcNode struct {
 	sys     *System
 	shard   int
 	rank    int
-	proc    *sim.Proc
+	proc    platform.Proc
 	comm    *mpi.Comm
-	ctrlBox *sim.Chan[cluster.Message] // cached (commit rank, tagCtrl) mailbox
+	ctrlBox platform.Mailbox // cached (commit rank, tagCtrl) mailbox
 	view    *mem.Image
 
 	in      []*entryCursor // per worker tid
@@ -37,14 +36,14 @@ type tcNode struct {
 
 	routes      map[uint64]int // iter -> pool index of routed stage
 	epoch       uint64
-	pollTime    sim.Time
+	pollTime    platform.Duration
 	nextIter    uint64
 	pendingCtrl *ctrlMsg
 
 	// Recovery-window accounting for stall attribution.
-	recWall sim.Time
-	recAdv  sim.Time
-	recBlk  sim.Time
+	recWall platform.Duration
+	recAdv  platform.Duration
+	recBlk  platform.Duration
 
 	// Validated counts, for tests.
 	Checked   uint64
@@ -55,7 +54,7 @@ func newTCNode(s *System, shard int) *tcNode {
 	return &tcNode{sys: s, shard: shard, rank: s.cfg.tryCommitRank(shard), routes: make(map[uint64]int)}
 }
 
-func (t *tcNode) run(p *sim.Proc) {
+func (t *tcNode) run(p platform.Proc) {
 	t.proc = p
 	t.comm = t.sys.world.Attach(t.rank, p)
 	t.comm.SetTracer(t.sys.tr, t.rank)

@@ -4,13 +4,12 @@ import (
 	"fmt"
 	"sort"
 
-	"dsmtx/internal/cluster"
 	"dsmtx/internal/faults"
 	"dsmtx/internal/mem"
 	"dsmtx/internal/mpi"
 	"dsmtx/internal/pipeline"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/queue"
-	"dsmtx/internal/sim"
 	"dsmtx/internal/trace"
 	"dsmtx/internal/uva"
 )
@@ -24,9 +23,9 @@ type workerNode struct {
 	rank    int
 	stage   int
 	poolIdx int
-	proc    *sim.Proc
+	proc    platform.Proc
 	comm    *mpi.Comm
-	ctrlBox *sim.Chan[cluster.Message] // cached (commit rank, tagCtrl) mailbox
+	ctrlBox platform.Mailbox // cached (commit rank, tagCtrl) mailbox
 	img     *mem.Image
 	arena   *uva.Arena
 
@@ -52,16 +51,16 @@ type workerNode struct {
 	routesIn map[uint64]int // iter -> srcTid
 
 	coa        coaClient
-	pollTime   sim.Time
+	pollTime   platform.Duration
 	sinceFlush int
 
 	// Stall attribution: pollTime split by cause, plus recovery-window
 	// accounting (wall time, and the advanced/blocked shares inside it).
-	stallStarve sim.Time // consumeNext polling an empty upstream queue
-	stallBack   sim.Time // occupancy-routing waits (downstream saturated)
-	recWall     sim.Time
-	recAdv      sim.Time
-	recBlk      sim.Time
+	stallStarve platform.Duration // consumeNext polling an empty upstream queue
+	stallBack   platform.Duration // occupancy-routing waits (downstream saturated)
+	recWall     platform.Duration
+	recAdv      platform.Duration
+	recBlk      platform.Duration
 
 	// Crash-fault machinery, active only when the plan schedules crashes
 	// (sys.hbOn): crashes is this rank's sorted schedule with crashIdx the
@@ -72,9 +71,9 @@ type workerNode struct {
 	crashes      []faults.Crash
 	crashIdx     int
 	pendingCrash *faults.Crash
-	crashWall    sim.Time
-	crashAdv     sim.Time
-	crashBlk     sim.Time
+	crashWall    platform.Duration
+	crashAdv     platform.Duration
+	crashBlk     platform.Duration
 
 	epoch       uint64
 	epochBase   uint64 // first iteration of the current epoch
@@ -99,7 +98,7 @@ func newWorkerNode(s *System, tid int) *workerNode {
 	}
 }
 
-func (w *workerNode) run(p *sim.Proc) {
+func (w *workerNode) run(p platform.Proc) {
 	w.proc = p
 	w.comm = w.sys.world.Attach(w.rank, p)
 	w.comm.SetTracer(w.sys.tr, w.rank)
@@ -197,7 +196,7 @@ func (w *workerNode) bind() {
 		w.routedPool = w.sys.layout.Assign[w.sys.routedStage]
 		w.outstanding = make([]int, len(w.routedPool))
 		if w.sys.cfg.Plan.Occupancy {
-			ep.Mailbox(cluster.AnySource, tagOccAck)
+			ep.Mailbox(platform.AnySource, tagOccAck)
 		}
 	}
 }
@@ -230,7 +229,7 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 		var pg *mem.Page
 		wire := 0
 		for off := 0; off < uva.PageSize; off += g {
-			ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: 1, Grain: g}, 24, cluster.ClassPage)
+			ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: 1, Grain: g}, 24, platform.ClassPage)
 			msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
 			pg = msg.Payload.([]*mem.Page)[0]
 			wire += msg.Bytes
@@ -271,7 +270,7 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 	// InfiniBand): a fixed per-operation CPU cost, wire time on the NIC,
 	// and no per-byte marshalling.
 	ep := comm.Endpoint()
-	ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: count}, 24, cluster.ClassPage)
+	ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: count}, 24, platform.ClassPage)
 	msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
 	pages := msg.Payload.([]*mem.Page)
 	for i := 1; i < len(pages); i++ {
@@ -476,7 +475,7 @@ func (w *workerNode) chooseRoute(iter uint64) {
 		backoff := w.sys.cfg.PollMin
 		for {
 			for {
-				msg, ok := w.comm.TryRecv(cluster.AnySource, tagOccAck)
+				msg, ok := w.comm.TryRecv(platform.AnySource, tagOccAck)
 				if !ok {
 					break
 				}

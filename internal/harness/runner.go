@@ -11,7 +11,7 @@ import (
 	"dsmtx/internal/core"
 	"dsmtx/internal/expsched"
 	"dsmtx/internal/faults"
-	"dsmtx/internal/sim"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/workloads"
 )
 
@@ -153,10 +153,10 @@ func normScale(scale int) int {
 // pointRecord is a point's serializable result; exactly one field group
 // is populated, per Kind.
 type pointRecord struct {
-	Result   *resultRecord `json:"result,omitempty"`    // parallel
-	SeqTime  sim.Time      `json:"seq_time,omitempty"`  // seq
-	SeqCheck uint64        `json:"seq_check,omitempty"` // seq
-	MBps     float64       `json:"mbps,omitempty"`      // micro
+	Result   *resultRecord     `json:"result,omitempty"`    // parallel
+	SeqTime  platform.Duration `json:"seq_time,omitempty"`  // seq
+	SeqCheck uint64            `json:"seq_check,omitempty"` // seq
+	MBps     float64           `json:"mbps,omitempty"`      // micro
 }
 
 // resultRecord mirrors the cacheable subset of workloads.Result. Traced
@@ -164,20 +164,20 @@ type pointRecord struct {
 // PointSpec), so Stalls and Trace are always empty here and the
 // reconstruction below is lossless.
 type resultRecord struct {
-	Elapsed   sim.Time `json:"elapsed"`
-	Checksum  uint64   `json:"checksum"`
-	Committed uint64   `json:"committed"`
-	Misspecs  uint64   `json:"misspecs"`
-	ERM       sim.Time `json:"erm"`
-	FLQ       sim.Time `json:"flq"`
-	SEQ       sim.Time `json:"seq"`
-	RFP       sim.Time `json:"rfp"`
-	Bytes     uint64   `json:"bytes"`
-	Events    uint64   `json:"events"`
+	Elapsed   platform.Duration `json:"elapsed"`
+	Checksum  uint64            `json:"checksum"`
+	Committed uint64            `json:"committed"`
+	Misspecs  uint64            `json:"misspecs"`
+	ERM       platform.Duration `json:"erm"`
+	FLQ       platform.Duration `json:"flq"`
+	SEQ       platform.Duration `json:"seq"`
+	RFP       platform.Duration `json:"rfp"`
+	Bytes     uint64            `json:"bytes"`
+	Events    uint64            `json:"events"`
 	// Crash-resilience totals; zero for fault-free points.
-	Crashes    uint64               `json:"crashes,omitempty"`
-	Redispatch sim.Time             `json:"redispatch,omitempty"`
-	Traffic    cluster.TrafficStats `json:"traffic"`
+	Crashes    uint64                `json:"crashes,omitempty"`
+	Redispatch platform.Duration     `json:"redispatch,omitempty"`
+	Traffic    platform.TrafficStats `json:"traffic"`
 }
 
 func recordFromResult(res workloads.Result) *resultRecord {
@@ -324,7 +324,7 @@ func (r *Runner) runPoint(spec PointSpec) (workloads.Result, error) {
 }
 
 // runSequential is the Runner-mediated replacement for RunSequentialRef.
-func (r *Runner) runSequential(b *workloads.Benchmark, in workloads.Input, knob string) (sim.Time, uint64, error) {
+func (r *Runner) runSequential(b *workloads.Benchmark, in workloads.Input, knob string) (platform.Duration, uint64, error) {
 	rec, _, err := r.resolve(seqSpec(b.Name, in, knob))
 	if err != nil {
 		return 0, 0, err
@@ -368,8 +368,8 @@ func (r *Runner) Prefetch(specs []PointSpec) error {
 // any kernel/runtime/workload change invalidates every entry.
 var simSourceDirs = []string{
 	"internal/cluster", "internal/core", "internal/faults", "internal/mem",
-	"internal/mpi", "internal/pipeline", "internal/queue", "internal/sim",
-	"internal/tlsrt", "internal/uva", "internal/workloads",
+	"internal/mpi", "internal/pipeline", "internal/platform", "internal/queue",
+	"internal/sim", "internal/tlsrt", "internal/uva", "internal/workloads",
 }
 
 // recordSchema versions the pointRecord layout; bump it when the record

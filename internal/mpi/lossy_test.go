@@ -15,7 +15,7 @@ func lossyWorld(t *testing.T, k *sim.Kernel, plan faults.Plan) *World {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Machine().EnableFaults(inj)
+	mach(w).EnableFaults(inj)
 	return w
 }
 
@@ -67,7 +67,7 @@ func TestLossyLinkPreservesMPISemantics(t *testing.T) {
 	if released != 4 {
 		t.Fatalf("%d ranks left the barrier, want 4", released)
 	}
-	if s := w.Machine().Stats(); s.RetransMessages == 0 {
+	if s := mach(w).Stats(); s.RetransMessages == 0 {
 		t.Fatalf("plan never forced a retransmission: %+v", s)
 	}
 }

@@ -19,8 +19,7 @@ package mpi
 import (
 	"fmt"
 
-	"dsmtx/internal/cluster"
-	"dsmtx/internal/sim"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/trace"
 )
 
@@ -50,46 +49,52 @@ func DefaultCost() Cost {
 	}
 }
 
-// World is an MPI world: size ranks over a cluster machine.
+// World is an MPI world: size ranks over an execution platform.
 type World struct {
-	m    *cluster.Machine
+	p    platform.Platform
 	cost Cost
 }
 
-// NewWorld wraps a machine with MPI call-cost accounting.
-func NewWorld(m *cluster.Machine, cost Cost) *World {
-	return &World{m: m, cost: cost}
+// NewWorld wraps a platform with MPI call-cost accounting.
+func NewWorld(p platform.Platform, cost Cost) *World {
+	return &World{p: p, cost: cost}
 }
 
 // Size reports the number of ranks.
-func (w *World) Size() int { return w.m.Config().Ranks() }
+func (w *World) Size() int { return w.p.Ranks() }
 
-// Machine exposes the underlying cluster machine.
-func (w *World) Machine() *cluster.Machine { return w.m }
+// Platform exposes the underlying execution platform.
+func (w *World) Platform() platform.Platform { return w.p }
+
+// InstrTime converts an instruction count to platform time (zero on
+// backends without instruction charging).
+func (w *World) InstrTime(instructions int64) platform.Duration {
+	return w.p.InstrTime(instructions)
+}
 
 // Comm binds one rank's endpoint to the process executing it. All blocking
 // calls must be made by that process.
 type Comm struct {
 	w     *World
-	ep    *cluster.Endpoint
-	p     *sim.Proc
+	ep    platform.Endpoint
+	p     platform.Proc
 	tr    *trace.Tracer
 	track int
 }
 
 // Attach creates the communicator for rank, executed by process p.
-func (w *World) Attach(rank int, p *sim.Proc) *Comm {
-	return &Comm{w: w, ep: w.m.Endpoint(rank), p: p}
+func (w *World) Attach(rank int, p platform.Proc) *Comm {
+	return &Comm{w: w, ep: w.p.Endpoint(rank), p: p}
 }
 
 // Rank reports this communicator's rank.
 func (c *Comm) Rank() int { return c.ep.Rank() }
 
-// Proc returns the simulation process bound to this communicator.
-func (c *Comm) Proc() *sim.Proc { return c.p }
+// Proc returns the platform process bound to this communicator.
+func (c *Comm) Proc() platform.Proc { return c.p }
 
-// Endpoint exposes the raw cluster endpoint (for mailbox registration).
-func (c *Comm) Endpoint() *cluster.Endpoint { return c.ep }
+// Endpoint exposes the raw platform endpoint (for mailbox registration).
+func (c *Comm) Endpoint() platform.Endpoint { return c.ep }
 
 // SetTracer attaches a tracer: blocking receives that actually wait record
 // SpanRecvWait on the given track. A nil tracer (the default) keeps every
@@ -101,7 +106,7 @@ func (c *Comm) SetTracer(tr *trace.Tracer, track int) {
 
 func (c *Comm) charge(instr int64, bytes int) {
 	total := instr + int64(float64(bytes)*c.w.cost.PerByte)
-	c.p.Advance(c.w.m.Config().InstrTime(total))
+	c.p.Advance(c.w.p.InstrTime(total))
 }
 
 // Send performs a blocking standard-mode send: the caller pays the call
@@ -113,7 +118,7 @@ func (c *Comm) Send(to, tag int, payload any, bytes int) {
 
 // SendClass is Send with an explicit traffic class for bandwidth
 // attribution (accounting only — cost and timing are identical to Send).
-func (c *Comm) SendClass(to, tag int, payload any, bytes int, class cluster.MsgClass) {
+func (c *Comm) SendClass(to, tag int, payload any, bytes int, class platform.MsgClass) {
 	c.charge(c.w.cost.Send, bytes)
 	c.ep.SendClass(to, tag, payload, bytes, class)
 }
@@ -147,9 +152,9 @@ func (r *Request) Wait() {
 	r.c.charge(r.c.w.cost.Wait, 0)
 }
 
-// Recv blocks until a message with the given source (or cluster.AnySource)
+// Recv blocks until a message with the given source (or platform.AnySource)
 // and tag arrives, then pays the receive overhead and returns it.
-func (c *Comm) Recv(from, tag int) cluster.Message {
+func (c *Comm) Recv(from, tag int) platform.Message {
 	start := c.tr.Now()
 	msg := c.ep.Recv(c.p, from, tag)
 	if c.tr.Enabled() && c.tr.Now() > start {
@@ -163,7 +168,7 @@ func (c *Comm) Recv(from, tag int) cluster.Message {
 
 // TryRecv receives a pending matching message without blocking; the receive
 // overhead is charged only on success.
-func (c *Comm) TryRecv(from, tag int) (cluster.Message, bool) {
+func (c *Comm) TryRecv(from, tag int) (platform.Message, bool) {
 	msg, ok := c.ep.TryRecv(from, tag)
 	if ok {
 		c.charge(c.w.cost.Recv, msg.Bytes)
@@ -174,7 +179,7 @@ func (c *Comm) TryRecv(from, tag int) (cluster.Message, bool) {
 // TryRecvBox is TryRecv against a mailbox handle obtained from
 // Endpoint().Mailbox — poll-heavy paths cache the handle to skip the
 // per-call (source, tag) map lookup.
-func (c *Comm) TryRecvBox(box *sim.Chan[cluster.Message]) (cluster.Message, bool) {
+func (c *Comm) TryRecvBox(box platform.Mailbox) (platform.Message, bool) {
 	msg, ok := box.TryRecv()
 	if ok {
 		c.charge(c.w.cost.Recv, msg.Bytes)
@@ -204,7 +209,7 @@ func (c *Comm) Barrier(ranks []int) {
 	}
 	if c.Rank() == root {
 		for i := 0; i < len(ranks)-1; i++ {
-			c.Recv(cluster.AnySource, tagBarrierArrive)
+			c.Recv(platform.AnySource, tagBarrierArrive)
 		}
 		for _, r := range ranks {
 			if r != root {
@@ -220,7 +225,7 @@ func (c *Comm) Barrier(ranks []int) {
 // RegisterBarrierMailboxes must be called by the barrier root before any
 // participant can arrive, so any-source arrivals route correctly.
 func (c *Comm) RegisterBarrierMailboxes() {
-	c.ep.Mailbox(cluster.AnySource, tagBarrierArrive)
+	c.ep.Mailbox(platform.AnySource, tagBarrierArrive)
 }
 
 // String aids debugging.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dsmtx/internal/cluster"
+	"dsmtx/internal/platform/vtime"
 	"dsmtx/internal/sim"
 )
 
@@ -11,7 +12,12 @@ func testWorld(k *sim.Kernel) *World {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.CoresPerNode = 2
-	return NewWorld(cluster.New(k, cfg), DefaultCost())
+	return NewWorld(vtime.New(k, cluster.New(k, cfg)), DefaultCost())
+}
+
+// mach recovers the simulated machine behind a vtime-backed test world.
+func mach(w *World) *cluster.Machine {
+	return w.Platform().(*vtime.Platform).Machine()
 }
 
 func TestSendChargesOverhead(t *testing.T) {
@@ -28,7 +34,7 @@ func TestSendChargesOverhead(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 500 instructions + 2 per-byte instructions at 3 GHz ≈ 167 ns.
-	want := w.Machine().Config().InstrTime(502)
+	want := mach(w).Config().InstrTime(502)
 	if txDone != want {
 		t.Fatalf("send completed at %v, want %v", txDone, want)
 	}
@@ -48,7 +54,7 @@ func TestRecvChargesOverheadAfterArrival(t *testing.T) {
 	if err := k.Run(0); err != nil {
 		t.Fatal(err)
 	}
-	cfg := w.Machine().Config()
+	cfg := mach(w).Config()
 	// Arrival = send cost + wire; then the receiver pays its own overhead.
 	wantMin := cfg.InstrTime(502) + cfg.InterNodeLatency + cfg.InstrTime(1290)
 	if rxDone < wantMin {

@@ -1,0 +1,362 @@
+// Package host executes the DSMTX runtime live on host threads: every
+// platform process is a real goroutine, the clock is the wall clock, and
+// messages move through sync-based mailboxes with no modelled latency,
+// bandwidth, or instruction cost. The protocol above is identical to the
+// vtime backend — same speculation, forwarding, validation, commit, and
+// recovery paths — but interleaving is whatever the Go scheduler produces,
+// so only protocol outcomes (committed MTX counts, output checksums) are
+// reproducible, not timings.
+//
+// Deliberately unmodelled here: NIC serialization and latency (sends
+// deliver immediately), per-instruction CPU charges (InstrTime is zero —
+// real instructions already cost real time), and the vtime-only subsystems
+// (fault injection, tracing, heartbeat timers), which core.Config.Validate
+// rejects for this backend.
+package host
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsmtx/internal/platform"
+)
+
+// sleepFloor is the shortest Advance the OS timer can honor usefully; below
+// it (poll backoffs are 100 ns–1.6 µs) Advance yields the processor instead
+// of sleeping, keeping poll loops responsive without busy-burning a core.
+const sleepFloor = 100 * platform.Microsecond
+
+// killSentinel unwinds a blocked process goroutine after another process
+// has failed, so Run can return instead of deadlocking.
+type killSentinel struct{}
+
+// Platform is a live-goroutine execution world.
+type Platform struct {
+	ranks  int
+	nodeOf func(int) int
+	start  time.Time
+	eps    []*endpoint
+	wg     sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   platform.TrafficStats
+
+	failed  atomic.Bool
+	failMu  sync.Mutex
+	failure error
+}
+
+// New builds a host platform with the given number of rank endpoints.
+// nodeOf assigns ranks to nodes for traffic attribution only (there is no
+// placement-dependent timing on host); nil places every rank on node 0.
+func New(ranks int, nodeOf func(int) int) *Platform {
+	if ranks < 1 {
+		panic(fmt.Sprintf("host: ranks = %d, need >= 1", ranks))
+	}
+	if nodeOf == nil {
+		nodeOf = func(int) int { return 0 }
+	}
+	h := &Platform{ranks: ranks, nodeOf: nodeOf, start: time.Now()}
+	h.eps = make([]*endpoint, ranks)
+	for r := range h.eps {
+		h.eps[r] = &endpoint{h: h, rank: r, boxes: make(map[mbKey]*mailbox)}
+	}
+	return h
+}
+
+// Name identifies the backend.
+func (h *Platform) Name() string { return "host" }
+
+// Ranks reports the number of endpoints.
+func (h *Platform) Ranks() int { return h.ranks }
+
+// NodeOf reports the node a rank is attributed to.
+func (h *Platform) NodeOf(rank int) int { return h.nodeOf(rank) }
+
+// Endpoint returns the communication endpoint for a rank.
+func (h *Platform) Endpoint(rank int) platform.Endpoint { return h.endpoint(rank) }
+
+func (h *Platform) endpoint(rank int) *endpoint {
+	if rank < 0 || rank >= len(h.eps) {
+		panic(fmt.Sprintf("host: rank %d out of range [0,%d)", rank, len(h.eps)))
+	}
+	return h.eps[rank]
+}
+
+// InstrTime is zero on host: the instructions were really executed, so
+// their cost is already in the wall clock.
+func (h *Platform) InstrTime(int64) platform.Duration { return 0 }
+
+// Spawn starts fn on its own goroutine immediately. A panic other than the
+// internal unwind sentinel records the first failure and wakes every
+// blocked process so Run can return it.
+func (h *Platform) Spawn(name string, fn func(p platform.Proc)) {
+	h.wg.Add(1)
+	p := &proc{h: h, name: name}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(killSentinel); !killed {
+					h.fail(fmt.Errorf("host: process %q panicked: %v\n%s", name, r, debug.Stack()))
+				}
+			}
+			h.wg.Done()
+		}()
+		fn(p)
+	}()
+}
+
+// Run waits for every spawned process to finish. The horizon is ignored:
+// wall time has no calendar to bound (callers wanting a wall-clock cap use
+// test or command timeouts).
+func (h *Platform) Run(platform.Duration) error {
+	h.wg.Wait()
+	h.failMu.Lock()
+	defer h.failMu.Unlock()
+	return h.failure
+}
+
+// Now reports wall-clock nanoseconds since the platform was created.
+func (h *Platform) Now() platform.Time { return platform.Time(time.Since(h.start)) }
+
+// Events is zero: there is no event calendar on host.
+func (h *Platform) Events() uint64 { return 0 }
+
+// Traffic returns a snapshot of accumulated wire traffic. Message and byte
+// counts are real; there is no dropped/retransmit accounting (delivery is
+// reliable and immediate).
+func (h *Platform) Traffic() platform.TrafficStats {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	return h.stats
+}
+
+// Concurrent is true: processes are real goroutines, so shared runtime
+// state must be synchronized.
+func (h *Platform) Concurrent() bool { return true }
+
+// fail records the first failure and wakes every blocked receiver; their
+// Recv panics with the unwind sentinel, draining the WaitGroup.
+func (h *Platform) fail(err error) {
+	h.failMu.Lock()
+	if h.failure == nil {
+		h.failure = err
+	}
+	h.failMu.Unlock()
+	h.failed.Store(true)
+	for _, e := range h.eps {
+		e.mu.Lock()
+		for _, b := range e.boxes {
+			b.cond.Broadcast()
+		}
+		e.mu.Unlock()
+	}
+}
+
+func (h *Platform) account(msg platform.Message) {
+	h.statsMu.Lock()
+	h.stats.Messages++
+	h.stats.Bytes += uint64(msg.Bytes)
+	switch msg.Class {
+	case platform.ClassQueue:
+		h.stats.QueueMessages++
+		h.stats.QueueBytes += uint64(msg.Bytes)
+	case platform.ClassPage:
+		h.stats.PageMessages++
+		h.stats.PageBytes += uint64(msg.Bytes)
+	default:
+		h.stats.ControlMessages++
+		h.stats.ControlBytes += uint64(msg.Bytes)
+	}
+	if h.nodeOf(msg.From) == h.nodeOf(msg.To) {
+		h.stats.IntraNodeBytes += uint64(msg.Bytes)
+	} else {
+		h.stats.InterNodeBytes += uint64(msg.Bytes)
+	}
+	h.statsMu.Unlock()
+}
+
+// proc is a live goroutine's platform handle.
+type proc struct {
+	h    *Platform
+	name string
+}
+
+// Advance spends d of wall time. Zero and negative durations (every
+// instruction charge on host) return immediately; short positive ones —
+// poll backoffs — yield the processor; long ones sleep. The failure check
+// unwinds poll loops that would otherwise spin after another process died.
+func (p *proc) Advance(d platform.Duration) {
+	if p.h.failed.Load() {
+		panic(killSentinel{})
+	}
+	if d <= 0 {
+		return
+	}
+	if d < sleepFloor {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(time.Duration(d))
+}
+
+// Yield lets other goroutines run.
+func (p *proc) Yield() { runtime.Gosched() }
+
+// Now reports wall-clock time since the platform started.
+func (p *proc) Now() platform.Time { return p.h.Now() }
+
+// Advanced is zero: host processes have no charged busy time.
+func (p *proc) Advanced() platform.Duration { return 0 }
+
+// Blocked is zero: host processes have no accounted blocking time.
+func (p *proc) Blocked() platform.Duration { return 0 }
+
+// Name reports the process name given at Spawn.
+func (p *proc) Name() string { return p.name }
+
+type mbKey struct{ from, tag int }
+
+// endpoint is one rank's mailbox set. A single per-endpoint mutex guards
+// the box map and every box's buffer, which makes delivery-box selection
+// and the any-source migration in boxLocked atomic with respect to each
+// other.
+type endpoint struct {
+	h     *Platform
+	rank  int
+	mu    sync.Mutex
+	boxes map[mbKey]*mailbox
+}
+
+// mailbox is one (source, tag) receive queue; cond shares the endpoint
+// mutex.
+type mailbox struct {
+	e    *endpoint
+	cond sync.Cond
+	buf  []platform.Message
+	// auto marks a box created by delivery before any receiver registered
+	// it; any-source registration may fold such boxes in (see boxLocked).
+	auto bool
+}
+
+// Rank reports this endpoint's rank.
+func (e *endpoint) Rank() int { return e.rank }
+
+// Node reports the node this endpoint is attributed to.
+func (e *endpoint) Node() int { return e.h.nodeOf(e.rank) }
+
+// Mailbox returns (creating if needed) the mailbox for (from, tag).
+func (e *endpoint) Mailbox(from, tag int) platform.Mailbox {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.boxLocked(from, tag, false)
+}
+
+// boxLocked returns or creates the (from, tag) box; e.mu must be held.
+// Unlike vtime — where registration always happens before traffic because
+// startup is cooperative — a host sender can race a receiver's any-source
+// registration, parking early messages in auto-created exact boxes. When a
+// receiver registers the any-source box for a tag, those stray boxes are
+// drained into it and deleted, so neither the queued messages nor future
+// sends from the same source can strand behind an exact match.
+func (e *endpoint) boxLocked(from, tag int, auto bool) *mailbox {
+	key := mbKey{from, tag}
+	if b, ok := e.boxes[key]; ok {
+		if !auto {
+			b.auto = false
+		}
+		return b
+	}
+	b := &mailbox{e: e, auto: auto}
+	b.cond.L = &e.mu
+	if from == platform.AnySource {
+		for k, eb := range e.boxes {
+			if k.tag == tag && eb.auto {
+				b.buf = append(b.buf, eb.buf...)
+				delete(e.boxes, k)
+			}
+		}
+	}
+	e.boxes[key] = b
+	return b
+}
+
+// deliver routes a message exactly like the vtime endpoint: exact box if
+// registered, else the any-source box for the tag, else a fresh exact box.
+func (e *endpoint) deliver(msg platform.Message) {
+	e.mu.Lock()
+	var b *mailbox
+	if eb, ok := e.boxes[mbKey{msg.From, msg.Tag}]; ok {
+		b = eb
+	} else if ab, ok := e.boxes[mbKey{platform.AnySource, msg.Tag}]; ok {
+		b = ab
+	} else {
+		b = e.boxLocked(msg.From, msg.Tag, true)
+	}
+	b.buf = append(b.buf, msg)
+	b.cond.Signal()
+	e.mu.Unlock()
+}
+
+// Send injects a message; delivery is immediate and reliable.
+func (e *endpoint) Send(to, tag int, payload any, bytes int) {
+	e.SendClass(to, tag, payload, bytes, platform.ClassControl)
+}
+
+// SendClass is Send with an explicit traffic class.
+func (e *endpoint) SendClass(to, tag int, payload any, bytes int, class platform.MsgClass) {
+	if bytes < 0 {
+		panic("host: negative message size")
+	}
+	msg := platform.Message{From: e.rank, To: to, Tag: tag, Payload: payload, Bytes: bytes, Class: class}
+	e.h.account(msg)
+	e.h.endpoint(to).deliver(msg)
+}
+
+// Recv blocks until a matching message arrives.
+func (e *endpoint) Recv(p platform.Proc, from, tag int) platform.Message {
+	msg, ok := e.Mailbox(from, tag).Recv(p)
+	if !ok {
+		panic("host: mailbox closed")
+	}
+	return msg
+}
+
+// TryRecv returns a pending matching message without blocking.
+func (e *endpoint) TryRecv(from, tag int) (platform.Message, bool) {
+	return e.Mailbox(from, tag).TryRecv()
+}
+
+// Recv dequeues a message, blocking until one arrives. It unwinds with the
+// kill sentinel if the platform has failed, so a dead peer cannot leave
+// this process parked forever.
+func (b *mailbox) Recv(platform.Proc) (platform.Message, bool) {
+	b.e.mu.Lock()
+	for len(b.buf) == 0 {
+		if b.e.h.failed.Load() {
+			b.e.mu.Unlock()
+			panic(killSentinel{})
+		}
+		b.cond.Wait()
+	}
+	msg := b.buf[0]
+	b.buf = b.buf[1:]
+	b.e.mu.Unlock()
+	return msg, true
+}
+
+// TryRecv dequeues a pending message without blocking.
+func (b *mailbox) TryRecv() (platform.Message, bool) {
+	b.e.mu.Lock()
+	defer b.e.mu.Unlock()
+	if len(b.buf) == 0 {
+		return platform.Message{}, false
+	}
+	msg := b.buf[0]
+	b.buf = b.buf[1:]
+	return msg, true
+}

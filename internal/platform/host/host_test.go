@@ -1,0 +1,103 @@
+package host
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dsmtx/internal/platform"
+)
+
+// TestSendRecv moves a message between two live processes through the
+// blocking mailbox path.
+func TestSendRecv(t *testing.T) {
+	h := New(2, nil)
+	h.Spawn("sender", func(p platform.Proc) {
+		h.Endpoint(0).Send(1, 7, "hello", 5)
+	})
+	var got platform.Message
+	h.Spawn("receiver", func(p platform.Proc) {
+		got = h.Endpoint(1).Recv(p, 0, 7)
+	})
+	if err := h.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != "hello" || got.From != 0 || got.Tag != 7 || got.Bytes != 5 {
+		t.Fatalf("received %+v", got)
+	}
+}
+
+// TestAnySourceMigration pins the registration race the vtime backend
+// cannot have: a message delivered before any receiver registered its tag
+// parks in an auto-created exact box, and a later any-source registration
+// must fold that box in rather than strand the message.
+func TestAnySourceMigration(t *testing.T) {
+	h := New(2, nil)
+	// Deliver first: creates the auto box for (0, tag 3) on rank 1.
+	h.Endpoint(0).Send(1, 3, "early", 5)
+	// Register any-source afterwards; the early message must migrate.
+	msg, ok := h.Endpoint(1).TryRecv(platform.AnySource, 3)
+	if !ok || msg.Payload != "early" {
+		t.Fatalf("any-source receive after early delivery: %+v ok=%v", msg, ok)
+	}
+	// Future sends from the same source route to the any-source box too.
+	h.Endpoint(0).Send(1, 3, "late", 4)
+	msg, ok = h.Endpoint(1).TryRecv(platform.AnySource, 3)
+	if !ok || msg.Payload != "late" {
+		t.Fatalf("any-source receive after migration: %+v ok=%v", msg, ok)
+	}
+}
+
+// TestFailureUnwindsBlockedRecv kills one process and requires Run to
+// return its error instead of deadlocking on the peer parked in Recv.
+func TestFailureUnwindsBlockedRecv(t *testing.T) {
+	h := New(2, nil)
+	h.Spawn("victim", func(p platform.Proc) {
+		h.Endpoint(1).Recv(p, 0, 1) // no sender: blocks until failure
+	})
+	h.Spawn("crasher", func(p platform.Proc) {
+		panic(errors.New("boom"))
+	})
+	err := h.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Run returned %v, want the crasher's panic", err)
+	}
+}
+
+// TestTrafficAccounting checks class and node attribution of sent bytes.
+func TestTrafficAccounting(t *testing.T) {
+	h := New(4, func(rank int) int { return rank / 2 }) // ranks 0,1 on node 0
+	h.Endpoint(0).SendClass(1, 1, nil, 100, platform.ClassQueue)
+	h.Endpoint(0).SendClass(2, 1, nil, 40, platform.ClassPage)
+	h.Endpoint(3).Send(0, 2, nil, 7)
+	s := h.Traffic()
+	if s.Messages != 3 || s.Bytes != 147 {
+		t.Fatalf("messages %d bytes %d, want 3/147", s.Messages, s.Bytes)
+	}
+	if s.QueueBytes != 100 || s.PageBytes != 40 || s.ControlBytes != 7 {
+		t.Fatalf("class bytes queue %d page %d control %d", s.QueueBytes, s.PageBytes, s.ControlBytes)
+	}
+	if s.IntraNodeBytes != 100 || s.InterNodeBytes != 47 {
+		t.Fatalf("intra %d inter %d, want 100/47", s.IntraNodeBytes, s.InterNodeBytes)
+	}
+}
+
+// TestPlatformShape pins the host backend's contract constants.
+func TestPlatformShape(t *testing.T) {
+	h := New(3, nil)
+	if !h.Concurrent() {
+		t.Error("host must report Concurrent")
+	}
+	if h.Name() != "host" {
+		t.Errorf("name %q", h.Name())
+	}
+	if h.InstrTime(1_000_000) != 0 {
+		t.Error("host must not charge instruction time")
+	}
+	if h.Ranks() != 3 || h.NodeOf(2) != 0 {
+		t.Errorf("ranks %d nodeOf(2) %d", h.Ranks(), h.NodeOf(2))
+	}
+	if h.Events() != 0 {
+		t.Error("host has no event calendar")
+	}
+}

@@ -1,0 +1,226 @@
+// Package platform defines the execution-platform abstraction the DSMTX
+// runtime runs against: a clock, processes, message endpoints with
+// per-(source, tag) mailboxes, and instruction-cost charging. The protocol
+// layers above — core, queue, mpi, the COA page path — speak only these
+// interfaces, so the same runtime executes either in deterministic virtual
+// time (platform/vtime, a thin adapter over the sim + cluster stack) or
+// live on host threads (platform/host, real goroutines and wall-clock
+// time). The paper's contribution is the runtime protocol, not the
+// simulator; this package is the seam that keeps them separable.
+//
+// The package also owns the vocabulary both worlds share: Time/Duration,
+// Message, MsgClass, and TrafficStats. sim and cluster alias these types
+// (type Time = platform.Time, ...), so existing code and golden outputs are
+// unchanged — the vtime backend is bit-identical to the pre-platform stack
+// by construction.
+package platform
+
+import "fmt"
+
+// Time is a point on the platform clock in nanoseconds from the start of
+// the run: virtual nanoseconds under vtime, wall-clock nanoseconds under
+// host.
+type Time int64
+
+// Duration aliases Time for readability when a length of time is meant.
+type Duration = Time
+
+// Convenient time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// String renders the time using the largest sensible unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// MsgClass labels a message's role for bandwidth attribution: the Fig. 5a
+// harness and the metrics report split wire traffic into queue batches,
+// Copy-On-Access page transfers, and everything else (control: verdicts
+// travel in queues, but barriers, credits, start/ctrl and occupancy acks
+// are control).
+type MsgClass uint8
+
+// Message classes. The zero value is ClassControl, so untagged sends (the
+// default path) count as control traffic.
+const (
+	ClassControl MsgClass = iota
+	ClassQueue
+	ClassPage
+)
+
+// Message is one unit of data in flight between ranks.
+type Message struct {
+	From, To int
+	Tag      int
+	Payload  any
+	Bytes    int // modelled wire size; must be >= 0
+	Class    MsgClass
+	// Seq is the reliable-layer per-link sequence number; only meaningful
+	// when fault injection routes the message through the ack/retransmit
+	// path (zero otherwise).
+	Seq uint64
+}
+
+// AnySource registers a mailbox that receives messages from every sender
+// using a given tag. Register such mailboxes before any traffic flows.
+const AnySource = -1
+
+// TrafficStats accumulates wire traffic for an entire run; the figure-5a
+// bandwidth numbers divide these by execution time. The per-class fields
+// are a breakdown of the same traffic: QueueBytes + PageBytes +
+// ControlBytes == Bytes (and likewise for messages).
+type TrafficStats struct {
+	Messages       uint64
+	Bytes          uint64
+	InterNodeBytes uint64
+	IntraNodeBytes uint64
+
+	QueueMessages   uint64
+	QueueBytes      uint64
+	PageMessages    uint64
+	PageBytes       uint64
+	ControlMessages uint64
+	ControlBytes    uint64
+
+	// Resilience-layer accounting, all zero when fault injection is off.
+	// Retransmissions and acks are real wire traffic, so their bytes are
+	// *also* counted in the totals and class sums above; these fields say
+	// how much of that traffic the fault layer caused. Dropped messages
+	// consumed the sender's NIC but never arrived.
+	DroppedMessages uint64
+	DroppedBytes    uint64
+	RetransMessages uint64
+	RetransBytes    uint64
+	AckMessages     uint64
+	AckBytes        uint64
+}
+
+// Add accumulates another run's traffic into t (multi-invocation totals).
+func (t *TrafficStats) Add(o TrafficStats) {
+	t.Messages += o.Messages
+	t.Bytes += o.Bytes
+	t.InterNodeBytes += o.InterNodeBytes
+	t.IntraNodeBytes += o.IntraNodeBytes
+	t.QueueMessages += o.QueueMessages
+	t.QueueBytes += o.QueueBytes
+	t.PageMessages += o.PageMessages
+	t.PageBytes += o.PageBytes
+	t.ControlMessages += o.ControlMessages
+	t.ControlBytes += o.ControlBytes
+	t.DroppedMessages += o.DroppedMessages
+	t.DroppedBytes += o.DroppedBytes
+	t.RetransMessages += o.RetransMessages
+	t.RetransBytes += o.RetransBytes
+	t.AckMessages += o.AckMessages
+	t.AckBytes += o.AckBytes
+}
+
+// Proc is the handle a runtime process uses to spend time and identify
+// itself. Under vtime it is a *sim.Proc (cooperative, virtual clock);
+// under host it is a live goroutine's handle (Advance yields or sleeps,
+// busy/blocked accounting is zero).
+type Proc interface {
+	// Advance spends d of platform time: virtual time under vtime; under
+	// host, small durations yield the processor and large ones sleep.
+	// Non-positive durations yield without advancing the clock.
+	Advance(d Duration)
+	// Yield lets other runnable work proceed before resuming.
+	Yield()
+	// Now reports the current platform time.
+	Now() Time
+	// Advanced reports total time spent in Advance — busy time. Host
+	// processes report zero (there is no charged compute on host).
+	Advanced() Duration
+	// Blocked reports total time spent parked in blocking waits. Host
+	// processes report zero.
+	Blocked() Duration
+	// Name reports the process name given at Spawn.
+	Name() string
+}
+
+// Mailbox is a handle to one (source, tag) receive queue; poll-heavy paths
+// cache it to skip the per-call map lookup.
+type Mailbox interface {
+	// Recv dequeues a message, blocking p until one is available. ok is
+	// false only if the mailbox is closed and drained.
+	Recv(p Proc) (Message, bool)
+	// TryRecv dequeues a pending message without blocking.
+	TryRecv() (Message, bool)
+}
+
+// Endpoint is one rank's attachment to the interconnect. Mailboxes are
+// keyed by (source, tag); register any-source mailboxes with
+// Mailbox(AnySource, tag) before traffic with that tag flows.
+type Endpoint interface {
+	// Rank reports this endpoint's rank.
+	Rank() int
+	// Node reports the node hosting this endpoint.
+	Node() int
+	// Send injects a message; it does not charge CPU time (the mpi layer
+	// adds per-call instruction costs). Under vtime delivery happens at the
+	// modelled arrival time; under host it is immediate.
+	Send(to, tag int, payload any, bytes int)
+	// SendClass is Send with an explicit traffic class for bandwidth
+	// attribution; the class changes accounting only, never timing.
+	SendClass(to, tag int, payload any, bytes int, class MsgClass)
+	// Recv blocks p until a message from the given source (or AnySource)
+	// with the given tag arrives, and returns it.
+	Recv(p Proc, from, tag int) Message
+	// TryRecv returns a pending message without blocking.
+	TryRecv(from, tag int) (Message, bool)
+	// Mailbox returns (creating if needed) the mailbox for messages from a
+	// specific source rank (or AnySource) carrying the given tag.
+	Mailbox(from, tag int) Mailbox
+}
+
+// Platform is one execution world: a clock, a set of rank endpoints, and a
+// process scheduler. core.System drives exactly one Platform per run.
+type Platform interface {
+	// Name identifies the backend ("vtime" or "host").
+	Name() string
+	// Ranks reports the number of communication endpoints.
+	Ranks() int
+	// NodeOf reports the node hosting a rank (placement model).
+	NodeOf(rank int) int
+	// Endpoint returns the communication endpoint for a rank.
+	Endpoint(rank int) Endpoint
+	// InstrTime converts an instruction count into platform time: modelled
+	// core-clock time under vtime, zero under host (real instructions
+	// already cost real time).
+	InstrTime(instructions int64) Duration
+	// Spawn starts a new process executing fn. Under vtime the process
+	// starts when Run drives the calendar; under host the goroutine starts
+	// immediately.
+	Spawn(name string, fn func(p Proc))
+	// Run executes spawned processes to completion and returns the first
+	// process failure, if any. horizon (if positive) bounds virtual time
+	// under vtime; host ignores it.
+	Run(horizon Duration) error
+	// Now reports the current platform time.
+	Now() Time
+	// Events reports how many scheduler events have fired (zero on host).
+	Events() uint64
+	// Traffic returns a snapshot of accumulated wire traffic.
+	Traffic() TrafficStats
+	// Concurrent reports whether processes run truly concurrently (host) —
+	// shared runtime state then needs synchronization — or in strict
+	// cooperative alternation (vtime).
+	Concurrent() bool
+}

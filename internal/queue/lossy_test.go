@@ -19,7 +19,7 @@ func TestBatchesSurviveLossyLink(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.Machine().EnableFaults(inj)
+		mach(w).EnableFaults(inj)
 		cfg := DefaultConfig()
 		cfg.Window = window
 		q := New[uint64](w, "q", 0, 1, 100, cfg, nil)
@@ -45,7 +45,7 @@ func TestBatchesSurviveLossyLink(t *testing.T) {
 				t.Fatalf("window %d: got[%d] = %d", window, i, got[i])
 			}
 		}
-		if s := w.Machine().Stats(); s.RetransMessages == 0 {
+		if s := mach(w).Stats(); s.RetransMessages == 0 {
 			t.Fatalf("window %d: no retransmissions at 10%% drop: %+v", window, s)
 		}
 	}

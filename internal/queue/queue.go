@@ -28,9 +28,8 @@ package queue
 import (
 	"fmt"
 
-	"dsmtx/internal/cluster"
 	"dsmtx/internal/mpi"
-	"dsmtx/internal/sim"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/trace"
 )
 
@@ -146,7 +145,7 @@ type SendStats struct {
 type SendPort[T any] struct {
 	q         *Queue[T]
 	comm      *mpi.Comm
-	creditBox *sim.Chan[cluster.Message] // cached credit mailbox (Window > 0)
+	creditBox platform.Mailbox // cached credit mailbox (Window > 0)
 	epoch     uint64
 	pending   batch[T]
 	credits   int
@@ -169,7 +168,7 @@ func (q *Queue[T]) Sender(comm *mpi.Comm) *SendPort[T] {
 // Produce appends v to the pending batch, flushing if the batch is full.
 func (s *SendPort[T]) Produce(v T) {
 	cfg := s.q.cfg
-	s.comm.Proc().Advance(s.q.world.Machine().Config().InstrTime(cfg.ProduceInstr))
+	s.comm.Proc().Advance(s.q.world.InstrTime(cfg.ProduceInstr))
 	s.pending.items = append(s.pending.items, v)
 	s.pending.bytes += s.q.size(v)
 	s.stats.Items++
@@ -191,7 +190,7 @@ func (s *SendPort[T]) Flush() {
 	}
 	b := batch[T]{epoch: s.epoch, items: s.pending.items, bytes: s.pending.bytes}
 	wire := b.bytes + batchHeaderBytes
-	s.comm.SendClass(s.q.dst, s.q.tag, b, wire, cluster.ClassQueue)
+	s.comm.SendClass(s.q.dst, s.q.tag, b, wire, platform.ClassQueue)
 	s.stats.Batches++
 	s.stats.Bytes += uint64(wire)
 	s.q.hFlushFill.Observe(int64(len(b.items)))
@@ -215,7 +214,7 @@ func (s *SendPort[T]) acquireCredit() {
 	s.credits--
 }
 
-func (s *SendPort[T]) noteCredit(msg cluster.Message) {
+func (s *SendPort[T]) noteCredit(msg platform.Message) {
 	if msg.Payload.(uint64) == s.epoch {
 		s.credits++
 	}
@@ -242,7 +241,7 @@ func (s *SendPort[T]) PendingItems() int { return len(s.pending.items) }
 type RecvPort[T any] struct {
 	q     *Queue[T]
 	comm  *mpi.Comm
-	box   *sim.Chan[cluster.Message] // cached mailbox handle for the poll path
+	box   platform.Mailbox // cached mailbox handle for the poll path
 	epoch uint64
 	cur   []T
 	items uint64
@@ -260,7 +259,7 @@ func (q *Queue[T]) Receiver(comm *mpi.Comm) *RecvPort[T] {
 // returns it. Stale-epoch batches are discarded silently.
 func (r *RecvPort[T]) Consume() T {
 	cfg := r.q.cfg
-	r.comm.Proc().Advance(r.q.world.Machine().Config().InstrTime(cfg.ConsumeInstr))
+	r.comm.Proc().Advance(r.q.world.InstrTime(cfg.ConsumeInstr))
 	for len(r.cur) == 0 {
 		msg := r.comm.Recv(r.q.src, r.q.tag)
 		r.admit(msg)
@@ -283,7 +282,7 @@ func (r *RecvPort[T]) TryConsume() (T, bool) {
 		r.admit(msg)
 	}
 	cfg := r.q.cfg
-	r.comm.Proc().Advance(r.q.world.Machine().Config().InstrTime(cfg.ConsumeInstr))
+	r.comm.Proc().Advance(r.q.world.InstrTime(cfg.ConsumeInstr))
 	v := r.cur[0]
 	r.cur = r.cur[1:]
 	r.items++
@@ -307,7 +306,7 @@ func (r *RecvPort[T]) TryConsumeBatch() ([]T, bool) {
 		r.admit(msg)
 	}
 	cfg := r.q.cfg
-	r.comm.Proc().Advance(r.q.world.Machine().Config().InstrTime(cfg.ConsumeInstr * int64(len(r.cur))))
+	r.comm.Proc().Advance(r.q.world.InstrTime(cfg.ConsumeInstr * int64(len(r.cur))))
 	out := r.cur
 	r.cur = nil
 	r.items += uint64(len(out))
@@ -315,7 +314,7 @@ func (r *RecvPort[T]) TryConsumeBatch() ([]T, bool) {
 	return out, true
 }
 
-func (r *RecvPort[T]) admit(msg cluster.Message) {
+func (r *RecvPort[T]) admit(msg platform.Message) {
 	b := msg.Payload.(batch[T])
 	if b.epoch != r.epoch {
 		return // stale speculative state from before a recovery

@@ -6,6 +6,7 @@ import (
 
 	"dsmtx/internal/cluster"
 	"dsmtx/internal/mpi"
+	"dsmtx/internal/platform/vtime"
 	"dsmtx/internal/sim"
 )
 
@@ -13,7 +14,12 @@ func newWorld(k *sim.Kernel) *mpi.World {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.CoresPerNode = 2
-	return mpi.NewWorld(cluster.New(k, cfg), mpi.DefaultCost())
+	return mpi.NewWorld(vtime.New(k, cluster.New(k, cfg)), mpi.DefaultCost())
+}
+
+// mach recovers the simulated machine behind a vtime-backed test world.
+func mach(w *mpi.World) *cluster.Machine {
+	return w.Platform().(*vtime.Platform).Machine()
 }
 
 // run wires a producer proc at rank 0 and consumer proc at rank 1 around a

@@ -1,5 +1,7 @@
 package sim
 
+import "dsmtx/internal/platform"
+
 // Chan is a FIFO channel between simulation processes.
 //
 // With capacity > 0, Send blocks while the buffer is full; with capacity 0
@@ -52,14 +54,17 @@ func (c *Chan[T]) Push(v T) {
 }
 
 // Recv dequeues a value, blocking p until one is available. ok is false only
-// if the channel is closed and drained.
-func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+// if the channel is closed and drained. The receiver must be a *Proc of this
+// channel's kernel; the platform.Proc parameter lets Chan[platform.Message]
+// satisfy platform.Mailbox directly.
+func (c *Chan[T]) Recv(p platform.Proc) (v T, ok bool) {
+	pp := p.(*Proc)
 	for len(c.buf) == 0 {
 		if c.closed {
 			return v, false
 		}
-		c.recvQ = append(c.recvQ, p)
-		p.park("recv " + c.name)
+		c.recvQ = append(c.recvQ, pp)
+		pp.park("recv " + c.name)
 	}
 	v = c.buf[0]
 	c.buf = c.buf[1:]

@@ -18,39 +18,25 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"dsmtx/internal/platform"
 )
 
 // Time is a point in virtual time, measured in virtual nanoseconds from the
-// start of the run.
-type Time int64
+// start of the run. It aliases the platform-neutral clock type, so values
+// flow unconverted between the simulator and the runtime layers above.
+type Time = platform.Time
 
 // Duration aliases Time for readability when a length of time is meant.
 type Duration = Time
 
 // Convenient virtual-time units.
 const (
-	Nanosecond  Duration = 1
-	Microsecond Duration = 1000 * Nanosecond
-	Millisecond Duration = 1000 * Microsecond
-	Second      Duration = 1000 * Millisecond
+	Nanosecond  = platform.Nanosecond
+	Microsecond = platform.Microsecond
+	Millisecond = platform.Millisecond
+	Second      = platform.Second
 )
-
-// String renders the time using the largest sensible unit.
-func (t Time) String() string {
-	switch {
-	case t >= Second:
-		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
-	case t >= Millisecond:
-		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
-	case t >= Microsecond:
-		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
-	default:
-		return fmt.Sprintf("%dns", int64(t))
-	}
-}
-
-// Seconds reports t as floating-point seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // ErrDeadlock is returned (wrapped) by Run when live processes remain but no
 // event can ever wake them.

@@ -14,7 +14,10 @@
 //
 // An MTX with one subTX degenerates to a single-threaded transaction, so
 // the DSMTX runtime supports TLS directly: this package provides the TLS
-// plan shape and documents the conventions TLS programs follow.
+// plan shape and documents the conventions TLS programs follow. The plan
+// carries no execution-platform assumptions — TLS programs run on
+// whichever backend (vtime or host) the core.Config selects, like any
+// other plan.
 package tlsrt
 
 import "dsmtx/internal/pipeline"

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"testing"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/faults"
+)
+
+// The host backend runs the same DSMTX protocol as the vtime simulator but
+// on live goroutines with nondeterministic interleaving. Protocol outcomes
+// must nonetheless be backend-invariant: misspeculations come from the
+// input's deterministic per-iteration misspec set (not from timing), and
+// Copy-On-Access pages are served from the invocation-entry snapshot, so
+// the values any iteration observes — and hence the committed state — do
+// not depend on scheduling. These tests pin that equivalence: both backends
+// must reproduce the sequential reference checksum with identical committed
+// MTX counts. They are part of the -race gate in verify.sh, which also
+// makes them the data-race audit of the host execution path.
+
+// checkBackendEquivalence runs one benchmark on both backends at the same
+// core count and cross-checks them against the sequential reference.
+func checkBackendEquivalence(t *testing.T, name string, in Input, cores int) {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqCheck, err := RunSequentialRef(b, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := RunParallel(b, in, DSMTX, cores, nil)
+	if err != nil {
+		t.Fatalf("vtime: %v", err)
+	}
+	hres, err := RunParallel(b, in, DSMTX, cores, func(cfg *core.Config) {
+		cfg.Backend = core.BackendHost
+	})
+	if err != nil {
+		t.Fatalf("host: %v", err)
+	}
+	if vres.Checksum != seqCheck {
+		t.Errorf("vtime checksum %#x != sequential %#x", vres.Checksum, seqCheck)
+	}
+	if hres.Checksum != seqCheck {
+		t.Errorf("host checksum %#x != sequential %#x", hres.Checksum, seqCheck)
+	}
+	if hres.Committed != vres.Committed {
+		t.Errorf("committed MTXs differ: host %d, vtime %d", hres.Committed, vres.Committed)
+	}
+	if hres.Misspecs != vres.Misspecs {
+		t.Errorf("misspeculations differ: host %d, vtime %d", hres.Misspecs, vres.Misspecs)
+	}
+	if hres.Elapsed <= 0 {
+		t.Errorf("host elapsed %v, want > 0 wall time", hres.Elapsed)
+	}
+	if in.MisspecRate > 0 && hres.Misspecs == 0 {
+		t.Errorf("misspec rate %v produced no misspeculations; recovery path not exercised", in.MisspecRate)
+	}
+}
+
+func TestBackendEquivalenceCRC32(t *testing.T) {
+	// MisspecRate forces real misspeculation/recovery cycles — four-phase
+	// recovery (barriers, queue flush, SEQ re-execution, snapshot refresh)
+	// runs live on goroutines and must still converge to the same state.
+	checkBackendEquivalence(t, "crc32", Input{Scale: 1, Seed: 42, MisspecRate: 0.02}, 8)
+}
+
+func TestBackendEquivalenceBlackscholes(t *testing.T) {
+	checkBackendEquivalence(t, "blackscholes", Input{Scale: 1, Seed: 42}, 8)
+}
+
+func TestBackendEquivalenceGzip(t *testing.T) {
+	// A pipelined (multi-stage) plan: exercises cross-stage forwarding and
+	// route records over the host mailboxes.
+	checkBackendEquivalence(t, "164.gzip", Input{Scale: 1, Seed: 42}, 11)
+}
+
+// TestHostBackendRejectsVTimeOnlyFeatures pins the validation boundary:
+// the fault and tracing subsystems are built on the virtual-time kernel.
+func TestHostBackendRejectsVTimeOnlyFeatures(t *testing.T) {
+	b, err := ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := b.NewDSMTX(Input{Scale: 1, Seed: 42}, 0)
+	cfg := core.DefaultConfig(8, prog.Plan())
+	cfg.Backend = core.BackendHost
+	cfg.Faults = &faults.Plan{Seed: 1, DropRate: 0.1}
+	if _, err := core.NewSystem(cfg, prog, nil); err == nil {
+		t.Fatal("host backend accepted a fault plan")
+	}
+}

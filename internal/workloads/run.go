@@ -3,10 +3,9 @@ package workloads
 import (
 	"fmt"
 
-	"dsmtx/internal/cluster"
 	"dsmtx/internal/core"
 	"dsmtx/internal/mem"
-	"dsmtx/internal/sim"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/trace"
 )
 
@@ -27,23 +26,25 @@ func (p Paradigm) String() string {
 }
 
 // Result aggregates a benchmark execution across its invocations.
+// Durations are virtual nanoseconds under the vtime backend and wall-clock
+// nanoseconds under host.
 type Result struct {
-	Elapsed   sim.Time
+	Elapsed   platform.Duration
 	Checksum  uint64
 	Committed uint64
 	Misspecs  uint64
-	ERM, FLQ  sim.Time
-	SEQ, RFP  sim.Time
+	ERM, FLQ  platform.Duration
+	SEQ, RFP  platform.Duration
 	Bytes     uint64 // total wire traffic
 	Events    uint64
 	// Crash-fault resilience totals (zero without a fault plan): worker
 	// crashes survived and the wall time spent re-dispatching after them.
 	Crashes    uint64
-	Redispatch sim.Time
+	Redispatch platform.Duration
 	// Traffic breaks the wire total down by message class (queue batches,
 	// Copy-On-Access pages, control); its Bytes field equals the Bytes
 	// total above.
-	Traffic cluster.TrafficStats
+	Traffic platform.TrafficStats
 	// Stalls aggregates per-rank stall attribution across invocations when
 	// the run was tuned with a core.Config.Tracer; empty otherwise.
 	Stalls trace.StallReport
@@ -115,15 +116,15 @@ func RunParallel(b *Benchmark, in Input, paradigm Paradigm, cores int, tune func
 // RunSequentialRef executes the benchmark's sequential reference (the
 // original single-threaded program with the same cost model) and reports
 // its elapsed virtual time and output checksum.
-func RunSequentialRef(b *Benchmark, in Input) (sim.Time, uint64, error) {
+func RunSequentialRef(b *Benchmark, in Input) (platform.Duration, uint64, error) {
 	return RunSequentialTuned(b, in, nil)
 }
 
 // RunSequentialTuned is RunSequentialRef with a configuration hook, so
 // machine-model comparisons (e.g. the §7 manycore) can measure their
 // sequential baseline on the same machine as the parallel run.
-func RunSequentialTuned(b *Benchmark, in Input, tune func(*core.Config)) (sim.Time, uint64, error) {
-	var total sim.Time
+func RunSequentialTuned(b *Benchmark, in Input, tune func(*core.Config)) (platform.Duration, uint64, error) {
+	var total platform.Duration
 	var img *mem.Image
 	var check uint64
 	invocations := b.Invocations

@@ -25,4 +25,10 @@ go test -race -short ./internal/expsched/ ./internal/harness/ ./internal/workloa
 # Fault plans are compiled once and then read concurrently by every rank of
 # every parallel point, so the injector must stay race-clean.
 go test -race ./internal/faults/
+# The host backend runs the whole DSMTX protocol on live goroutines; the
+# platform tests and the backend-equivalence tests (vtime and host must both
+# reproduce the sequential checksum with equal committed counts) are the
+# data-race audit of the runtime itself.
+go test -race ./internal/platform/... ./cmd/dsmtxrun/
+go test -race ./internal/workloads/ -run TestBackendEquivalence
 echo "verify: OK"
