@@ -82,7 +82,7 @@ func (c *cuNode) run(p platform.Proc) {
 	// Publish the invocation-entry snapshot for Copy-On-Access service,
 	// then open the parallel section: workers must not touch memory before
 	// the sequential state exists.
-	c.sys.srv.setSnapshot(c.img.Snapshot())
+	c.sys.publishSnapshots(c.img)
 	for w := 0; w < c.sys.cfg.Workers(); w++ {
 		c.comm.Send(w, tagStart, nil, 8)
 	}
@@ -103,8 +103,10 @@ func (c *cuNode) run(p platform.Proc) {
 	if f, ok := c.sys.prog.(Finalizer); ok {
 		f.Finalize(seq)
 	}
-	// Shut the page server down so the simulation can drain.
-	c.comm.Endpoint().Send(c.rank, tagPageReq, nil, 8)
+	// Shut the page-server shards down so the simulation can drain.
+	for shard := range c.sys.srvs {
+		c.comm.Endpoint().Send(c.rank, c.sys.cfg.pageReqTag(shard), nil, 8)
+	}
 }
 
 func (c *cuNode) bind() {
@@ -408,9 +410,9 @@ func (c *cuNode) recoverCrash(seq *SeqCtx, rank int) {
 
 	c.comm.Barrier(c.sys.allRanks) // B2: queues flushed
 
-	// No SEQ re-execution — nothing misspeculated. Refresh the COA snapshot
+	// No SEQ re-execution — nothing misspeculated. Refresh the COA snapshots
 	// so the restarted worker pages in committed state.
-	c.sys.srv.setSnapshot(c.img.Snapshot())
+	c.sys.publishSnapshots(c.img)
 
 	c.comm.Barrier(c.sys.allRanks) // B3: resume parallel execution
 
@@ -472,7 +474,7 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	if committer, ok := c.sys.prog.(Committer); ok {
 		committer.Commit(seq, failed)
 	}
-	c.sys.srv.setSnapshot(c.img.Snapshot())
+	c.sys.publishSnapshots(c.img)
 	seqDone := c.proc.Now()
 	c.result.SEQ += seqDone - flqDone
 	c.sys.tr.Span(trace.SpanSEQ, c.rank, trFLQ, failed, 0, 0)
@@ -495,19 +497,26 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 }
 
 // pageServer serves Copy-On-Access page requests from the invocation-entry
-// snapshot of the commit unit's memory. It shares the commit unit's rank
-// (and NIC) but runs as its own process so page service continues while the
-// commit unit is busy committing.
+// snapshot of the commit unit's memory. Every shard shares the commit
+// unit's rank (and NIC) but runs as its own process so page service
+// continues while the commit unit is busy committing. With
+// Config.PageServShards > 1 (host only) each shard owns a block-interleaved
+// partition of the page space and listens on its own request tag, so
+// concurrent worker faults stop serializing through one goroutine.
 type pageServer struct {
-	sys  *System
-	proc platform.Proc
-	comm *mpi.Comm
-	// snap is the served snapshot. On vtime the cooperative scheduler makes
-	// the commit unit's swap trivially atomic; on host the commit unit and
-	// the page server are separate goroutines, so publication is atomic.
+	sys   *System
+	shard int
+	proc  platform.Proc
+	comm  *mpi.Comm
+	// snap is this shard's served snapshot. On vtime the cooperative
+	// scheduler makes the commit unit's swap trivially atomic; on host the
+	// commit unit and the page servers are separate goroutines, so
+	// publication is atomic. Each shard gets its own snapshot image (frames
+	// shared copy-on-write): a snapshot's internal lookup caches mutate on
+	// reads, so concurrent shards must not share one.
 	snap atomic.Pointer[mem.Image]
 
-	// Served-request accounting (diagnostic).
+	// Served-request accounting (diagnostic; read after Run joins).
 	Requests    uint64
 	PagesServed uint64
 
@@ -516,7 +525,7 @@ type pageServer struct {
 	cPages *trace.Counter
 }
 
-func newPageServer(s *System) *pageServer { return &pageServer{sys: s} }
+func newPageServer(s *System, shard int) *pageServer { return &pageServer{sys: s, shard: shard} }
 
 // setSnapshot swaps the snapshot served to workers; called by the commit
 // unit at invocation start and after each recovery, always at points where
@@ -525,13 +534,14 @@ func newPageServer(s *System) *pageServer { return &pageServer{sys: s} }
 func (ps *pageServer) setSnapshot(snap *mem.Image) { ps.snap.Store(snap) }
 
 func (ps *pageServer) run(p platform.Proc) {
+	tag := ps.sys.cfg.pageReqTag(ps.shard)
 	ps.proc = p
 	ps.comm = ps.sys.world.Attach(ps.sys.cfg.commitRank(), p)
-	ps.comm.Endpoint().Mailbox(platform.AnySource, tagPageReq)
+	ps.comm.Endpoint().Mailbox(platform.AnySource, tag)
 	ps.cReq = ps.sys.tr.Metrics().Counter("coa.requests")
 	ps.cPages = ps.sys.tr.Metrics().Counter("coa.pages.served")
 	for {
-		msg := ps.comm.Endpoint().Recv(p, platform.AnySource, tagPageReq)
+		msg := ps.comm.Endpoint().Recv(p, platform.AnySource, tag)
 		if msg.Payload == nil {
 			return // shutdown sentinel from the commit unit
 		}

@@ -108,6 +108,15 @@ type Config struct {
 	PageFaultInstr int64 // worker-side fault handling per COA miss
 	ProtectInstr   int64 // re-arming protection per resident page in recovery
 
+	// PageServShards is the number of page-server processes serving
+	// Copy-On-Access requests, each owning a block-interleaved partition of
+	// the page space with its own published snapshot. 0 (the default)
+	// resolves to 1 on vtime and pageShardsHostDefault on host; vtime
+	// rejects explicit values above 1 (the modelled platform, like the
+	// paper's, has one page server per commit unit — sharding exists so
+	// concurrent host workers stop contending on a single server goroutine).
+	PageServShards int
+
 	// PollMin/PollMax bound the adaptive backoff used at blocking points
 	// (the runtime polls so that control messages interrupt waits).
 	PollMin platform.Duration
@@ -214,11 +223,21 @@ func (c Config) Validate() error {
 		// virtual-time kernel (timers, deterministic rolls, the traced
 		// clock); the host backend runs the bare protocol.
 		if !c.Faults.Empty() {
-			return fmt.Errorf("core: the host backend does not support fault injection (vtime only)")
+			return fmt.Errorf("core: Config.Faults: fault injection is built on the virtual-time kernel; unsupported on the host backend")
 		}
 		if c.Tracer != nil {
-			return fmt.Errorf("core: the host backend does not support the tracer (vtime only)")
+			return fmt.Errorf("core: Config.Tracer: the observability tracer is built on the virtual-time kernel; unsupported on the host backend")
 		}
+	}
+	if c.PageServShards < 0 {
+		return fmt.Errorf("core: Config.PageServShards = %d, need >= 0", c.PageServShards)
+	}
+	if c.Backend == BackendVTime && c.PageServShards > 1 {
+		return fmt.Errorf("core: Config.PageServShards = %d: the vtime backend models a single page server (sharding is host-only)", c.PageServShards)
+	}
+	if base := tagPageShardBase + c.PageServShards; base >= tagQueueBase {
+		return fmt.Errorf("core: Config.PageServShards = %d exhausts the control tag space (max %d)",
+			c.PageServShards, tagQueueBase-tagPageShardBase-1)
 	}
 	if !c.Faults.Empty() {
 		if err := c.Faults.Validate(); err != nil {
@@ -266,11 +285,50 @@ func (c Config) tcShardOf(addr uva.Addr) int {
 // Control-plane message tags (queue tags are allocated from tagQueueBase).
 const (
 	tagCtrl      = 1 // commit unit -> workers/try-commit: recovery broadcast
-	tagPageReq   = 2 // any -> page server
+	tagPageReq   = 2 // any -> page server (shard 0)
 	tagPageReply = 3 // page server -> requester
 	tagOccAck    = 4 // parallel worker -> routing worker: iteration done
 	tagStart     = 5 // commit unit -> all: Setup done, parallel section open
 	tagHeartbeat = 6 // worker -> commit unit: liveness beacon (crash plans only)
 	tagRejoin    = 7 // restarted worker -> commit unit: crashed, need recovery
-	tagQueueBase = 100
+	// tagPageShardBase + s is page-server shard s's request tag for s >= 1;
+	// shard 0 keeps tagPageReq so a single-shard system (all of vtime) is
+	// byte-identical to the pre-sharding layout.
+	tagPageShardBase = 7
+	tagQueueBase     = 100
 )
+
+// pageShardsHostDefault is the auto shard count on the host backend: enough
+// to keep page service off the critical path of a concurrent worker pool
+// without spawning a goroutine per core.
+const pageShardsHostDefault = 4
+
+// pageShardBlock is the shard-interleave granularity in pages: the page
+// space is dealt to shards in 64-page (256 KiB) blocks, so prefetch runs
+// (COAPrefetch pages) almost never straddle shards while neighbouring
+// working sets still spread across them.
+const pageShardBlock = 64
+
+// pageShards resolves the configured shard count (>= 1).
+func (c Config) pageShards() int {
+	if c.PageServShards > 0 {
+		return c.PageServShards
+	}
+	if c.Backend == BackendHost {
+		return pageShardsHostDefault
+	}
+	return 1
+}
+
+// pageReqTag is the request tag addressed to page-server shard s.
+func (c Config) pageReqTag(s int) int {
+	if s == 0 {
+		return tagPageReq
+	}
+	return tagPageShardBase + s
+}
+
+// pageShardOf maps a page to the shard that owns it.
+func (c Config) pageShardOf(id uva.PageID) int {
+	return int((uint64(id) / pageShardBlock) % uint64(c.pageShards()))
+}

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"sync"
 
 	"dsmtx/internal/cluster"
@@ -122,7 +126,7 @@ type System struct {
 	workers []*workerNode
 	tcs     []*tcNode
 	cu      *cuNode
-	srv     *pageServer
+	srvs    []*pageServer // page-server shards (always 1 on vtime)
 
 	// Queue registry, keyed by endpoint tids.
 	edgeQ    map[[2]int]*queue.Queue[Entry]
@@ -388,12 +392,34 @@ func (s *System) applyDilation(p platform.Proc, rank int) {
 }
 
 // spawnRank starts a named protocol process on the platform, applying any
-// straggler dilation configured for its rank.
+// straggler dilation configured for its rank. On the host backend the
+// goroutine carries pprof labels (rank, role) so -cpuprofile output
+// attributes samples per rank role; vtime processes are cooperative
+// goroutines of one scheduler, where per-proc labels would only mislead.
 func (s *System) spawnRank(name string, rank int, body func(platform.Proc)) {
+	if s.plat.Concurrent() {
+		role := strings.TrimRight(name, "0123456789")
+		labels := pprof.Labels("dsmtx-rank", strconv.Itoa(rank), "dsmtx-role", role)
+		s.plat.Spawn(name, func(p platform.Proc) {
+			pprof.Do(context.Background(), labels, func(context.Context) { body(p) })
+		})
+		return
+	}
 	s.plat.Spawn(name, func(p platform.Proc) {
 		s.applyDilation(p, rank)
 		body(p)
 	})
+}
+
+// publishSnapshots hands each page-server shard its own copy-on-write
+// snapshot of the commit image. One Snapshot call per shard — not one
+// shared image — because a snapshot's internal lookup caches mutate on
+// reads; the underlying page frames are shared copy-on-write, so the extra
+// snapshots cost one page-table copy each, not a memory copy.
+func (s *System) publishSnapshots(img *mem.Image) {
+	for _, ps := range s.srvs {
+		ps.setSnapshot(img.Snapshot())
+	}
 }
 
 // startHeartbeats launches the liveness daemon of the crash-fault model: a
@@ -446,7 +472,9 @@ func (s *System) Run() (Result, error) {
 	for j := 0; j < s.cfg.tcUnits(); j++ {
 		s.tcs = append(s.tcs, newTCNode(s, j))
 	}
-	s.srv = newPageServer(s)
+	for sh := 0; sh < s.cfg.pageShards(); sh++ {
+		s.srvs = append(s.srvs, newPageServer(s, sh))
+	}
 	for w := 0; w < s.cfg.Workers(); w++ {
 		s.workers = append(s.workers, newWorkerNode(s, w))
 	}
@@ -459,9 +487,16 @@ func (s *System) Run() (Result, error) {
 	for j, tc := range s.tcs {
 		s.spawnRank(fmt.Sprintf("trycommit%d", j), tc.rank, tc.run)
 	}
-	// The page server shares the commit rank's core, so a straggler window
-	// on that rank slows it too.
-	s.spawnRank("pagesrv", s.cfg.commitRank(), s.srv.run)
+	// Page servers share the commit rank's core, so a straggler window on
+	// that rank slows them too. Shard 0 keeps the pre-sharding name so vtime
+	// process naming (and hence event ordering) is unchanged.
+	for sh, ps := range s.srvs {
+		name := "pagesrv"
+		if sh > 0 {
+			name = fmt.Sprintf("pagesrv%d", sh)
+		}
+		s.spawnRank(name, s.cfg.commitRank(), ps.run)
+	}
 	for _, w := range s.workers {
 		w := w
 		s.spawnRank(fmt.Sprintf("worker%d", w.tid), w.rank, w.run)
@@ -480,9 +515,11 @@ func (s *System) Run() (Result, error) {
 		res.TCBusy += tc.proc.Advanced() - tc.pollTime
 		res.TCPoll += tc.pollTime
 	}
-	res.PageSrvBusy = s.srv.proc.Advanced()
-	res.PageRequests = s.srv.Requests
-	res.PagesServed = s.srv.PagesServed
+	for _, ps := range s.srvs {
+		res.PageSrvBusy += ps.proc.Advanced()
+		res.PageRequests += ps.Requests
+		res.PagesServed += ps.PagesServed
+	}
 	var sum platform.Duration
 	for _, w := range s.workers {
 		busy := w.proc.Advanced() - w.pollTime
@@ -560,13 +597,19 @@ func (s *System) buildStallReport() {
 		Crashed:     c.redWall,
 		Blocked:     c.proc.Blocked() - c.recBlk - c.redBlk,
 	})
-	s.stalls.Add(trace.StallRow{
-		Track:   s.pageSrvTrack(),
-		Label:   "pagesrv",
-		Stage:   "pagesrv",
-		Busy:    s.srv.proc.Advanced(),
-		Blocked: s.srv.proc.Blocked(),
-	})
+	for sh, ps := range s.srvs {
+		label := "pagesrv"
+		if sh > 0 {
+			label = fmt.Sprintf("pagesrv%d", sh)
+		}
+		s.stalls.Add(trace.StallRow{
+			Track:   s.pageSrvTrack() + sh,
+			Label:   label,
+			Stage:   "pagesrv",
+			Busy:    ps.proc.Advanced(),
+			Blocked: ps.proc.Blocked(),
+		})
+	}
 }
 
 // StallReport exposes the per-rank stall attribution assembled by Run;

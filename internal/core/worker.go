@@ -221,6 +221,10 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 	cfg := sys.cfg
 	spanStart := sys.tr.Now()
 	comm.Proc().Advance(sys.instrTime(cfg.PageFaultInstr))
+	// Requests go to the page-server shard owning the faulted page; replies
+	// all come back on tagPageReply (one outstanding request per worker, so
+	// shard replies never interleave).
+	reqTag := cfg.pageReqTag(cfg.pageShardOf(id))
 	if g := cfg.COAGrainBytes; g > 0 && g < uva.PageSize {
 		// Sub-page COA: populate the faulted page one chunk at a time,
 		// paying a full round trip per chunk — the cost §4.2 avoids by
@@ -229,7 +233,7 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 		var pg *mem.Page
 		wire := 0
 		for off := 0; off < uva.PageSize; off += g {
-			ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: 1, Grain: g}, 24, platform.ClassPage)
+			ep.SendClass(cfg.commitRank(), reqTag, pageReq{Start: id, Count: 1, Grain: g}, 24, platform.ClassPage)
 			msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
 			pg = msg.Payload.([]*mem.Page)[0]
 			wire += msg.Bytes
@@ -258,9 +262,13 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 	}
 	count := 1
 	owner := uva.PageAddr(id).Owner()
+	shard := cfg.pageShardOf(id)
 	for count < want {
 		next := id + uva.PageID(count)
-		if uva.PageAddr(next).Owner() != owner || img.Has(next) {
+		// A prefetch run must stay within one owner region and one page-
+		// server shard (each shard serves only its own partition); the
+		// 64-page interleave blocks make shard truncation rare.
+		if uva.PageAddr(next).Owner() != owner || cfg.pageShardOf(next) != shard || img.Has(next) {
 			break
 		}
 		count++
@@ -270,7 +278,7 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 	// InfiniBand): a fixed per-operation CPU cost, wire time on the NIC,
 	// and no per-byte marshalling.
 	ep := comm.Endpoint()
-	ep.SendClass(cfg.commitRank(), tagPageReq, pageReq{Start: id, Count: count}, 24, platform.ClassPage)
+	ep.SendClass(cfg.commitRank(), reqTag, pageReq{Start: id, Count: count}, 24, platform.ClassPage)
 	msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
 	pages := msg.Payload.([]*mem.Page)
 	for i := 1; i < len(pages); i++ {

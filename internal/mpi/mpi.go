@@ -187,6 +187,18 @@ func (c *Comm) TryRecvBox(box platform.Mailbox) (platform.Message, bool) {
 	return msg, ok
 }
 
+// TryRecvBoxBatch drains every message pending on a mailbox handle into
+// `into` and returns the extended slice, charging the per-receive overhead
+// for each message taken. One call replaces a TryRecvBox poll loop: on the
+// host backend the mailbox hands over its whole ring backlog at once.
+func (c *Comm) TryRecvBoxBatch(box platform.Mailbox, into []platform.Message) []platform.Message {
+	msgs := box.TryRecvBatch(into)
+	for i := len(into); i < len(msgs); i++ {
+		c.charge(c.w.cost.Recv, msgs[i].Bytes)
+	}
+	return msgs
+}
+
 // Barrier tags must not collide with application tags; reserve a high range.
 const (
 	tagBarrierArrive  = 1 << 30

@@ -1,11 +1,11 @@
 // Package host executes the DSMTX runtime live on host threads: every
 // platform process is a real goroutine, the clock is the wall clock, and
-// messages move through sync-based mailboxes with no modelled latency,
-// bandwidth, or instruction cost. The protocol above is identical to the
-// vtime backend — same speculation, forwarding, validation, commit, and
-// recovery paths — but interleaving is whatever the Go scheduler produces,
-// so only protocol outcomes (committed MTX counts, output checksums) are
-// reproducible, not timings.
+// messages move through lock-free ring mailboxes (see ring.go) with no
+// modelled latency, bandwidth, or instruction cost. The protocol above is
+// identical to the vtime backend — same speculation, forwarding, validation,
+// commit, and recovery paths — but interleaving is whatever the Go scheduler
+// produces, so only protocol outcomes (committed MTX counts, output
+// checksums) are reproducible, not timings.
 //
 // Deliberately unmodelled here: NIC serialization and latency (sends
 // deliver immediately), per-instruction CPU charges (InstrTime is zero —
@@ -42,12 +42,11 @@ type Platform struct {
 	eps    []*endpoint
 	wg     sync.WaitGroup
 
-	statsMu sync.Mutex
-	stats   platform.TrafficStats
-
-	failed  atomic.Bool
-	failMu  sync.Mutex
-	failure error
+	failed   atomic.Bool
+	down     chan struct{} // closed on first failure; unparks blocked receivers
+	downOnce sync.Once
+	failMu   sync.Mutex
+	failure  error
 }
 
 // New builds a host platform with the given number of rank endpoints.
@@ -60,7 +59,7 @@ func New(ranks int, nodeOf func(int) int) *Platform {
 	if nodeOf == nil {
 		nodeOf = func(int) int { return 0 }
 	}
-	h := &Platform{ranks: ranks, nodeOf: nodeOf, start: time.Now()}
+	h := &Platform{ranks: ranks, nodeOf: nodeOf, start: time.Now(), down: make(chan struct{})}
 	h.eps = make([]*endpoint, ranks)
 	for r := range h.eps {
 		h.eps[r] = &endpoint{h: h, rank: r, boxes: make(map[mbKey]*mailbox)}
@@ -126,21 +125,34 @@ func (h *Platform) Now() platform.Time { return platform.Time(time.Since(h.start
 // Events is zero: there is no event calendar on host.
 func (h *Platform) Events() uint64 { return 0 }
 
-// Traffic returns a snapshot of accumulated wire traffic. Message and byte
+// Traffic sums the per-endpoint counters into a snapshot. Message and byte
 // counts are real; there is no dropped/retransmit accounting (delivery is
 // reliable and immediate).
 func (h *Platform) Traffic() platform.TrafficStats {
-	h.statsMu.Lock()
-	defer h.statsMu.Unlock()
-	return h.stats
+	var t platform.TrafficStats
+	for _, e := range h.eps {
+		s := &e.stats
+		t.Messages += s.messages.Load()
+		t.Bytes += s.bytes.Load()
+		t.QueueMessages += s.queueMsgs.Load()
+		t.QueueBytes += s.queueBytes.Load()
+		t.PageMessages += s.pageMsgs.Load()
+		t.PageBytes += s.pageBytes.Load()
+		t.ControlMessages += s.ctrlMsgs.Load()
+		t.ControlBytes += s.ctrlBytes.Load()
+		t.IntraNodeBytes += s.intraBytes.Load()
+		t.InterNodeBytes += s.interBytes.Load()
+	}
+	return t
 }
 
 // Concurrent is true: processes are real goroutines, so shared runtime
 // state must be synchronized.
 func (h *Platform) Concurrent() bool { return true }
 
-// fail records the first failure and wakes every blocked receiver; their
-// Recv panics with the unwind sentinel, draining the WaitGroup.
+// fail records the first failure and closes the down channel; every parked
+// receiver's select wakes, re-checks failed, and panics with the unwind
+// sentinel, draining the WaitGroup.
 func (h *Platform) fail(err error) {
 	h.failMu.Lock()
 	if h.failure == nil {
@@ -148,36 +160,7 @@ func (h *Platform) fail(err error) {
 	}
 	h.failMu.Unlock()
 	h.failed.Store(true)
-	for _, e := range h.eps {
-		e.mu.Lock()
-		for _, b := range e.boxes {
-			b.cond.Broadcast()
-		}
-		e.mu.Unlock()
-	}
-}
-
-func (h *Platform) account(msg platform.Message) {
-	h.statsMu.Lock()
-	h.stats.Messages++
-	h.stats.Bytes += uint64(msg.Bytes)
-	switch msg.Class {
-	case platform.ClassQueue:
-		h.stats.QueueMessages++
-		h.stats.QueueBytes += uint64(msg.Bytes)
-	case platform.ClassPage:
-		h.stats.PageMessages++
-		h.stats.PageBytes += uint64(msg.Bytes)
-	default:
-		h.stats.ControlMessages++
-		h.stats.ControlBytes += uint64(msg.Bytes)
-	}
-	if h.nodeOf(msg.From) == h.nodeOf(msg.To) {
-		h.stats.IntraNodeBytes += uint64(msg.Bytes)
-	} else {
-		h.stats.InterNodeBytes += uint64(msg.Bytes)
-	}
-	h.statsMu.Unlock()
+	h.downOnce.Do(func() { close(h.down) })
 }
 
 // proc is a live goroutine's platform handle.
@@ -221,26 +204,35 @@ func (p *proc) Name() string { return p.name }
 
 type mbKey struct{ from, tag int }
 
-// endpoint is one rank's mailbox set. A single per-endpoint mutex guards
-// the box map and every box's buffer, which makes delivery-box selection
-// and the any-source migration in boxLocked atomic with respect to each
-// other.
+// epStats is one endpoint's sender-side traffic accounting. Plain atomics:
+// sends from different ranks touch different endpoints, so the old global
+// stats mutex would have been the last cross-rank serialization point on
+// the send path.
+type epStats struct {
+	messages   atomic.Uint64
+	bytes      atomic.Uint64
+	queueMsgs  atomic.Uint64
+	queueBytes atomic.Uint64
+	pageMsgs   atomic.Uint64
+	pageBytes  atomic.Uint64
+	ctrlMsgs   atomic.Uint64
+	ctrlBytes  atomic.Uint64
+	intraBytes atomic.Uint64
+	interBytes atomic.Uint64
+}
+
+// endpoint is one rank's mailbox set. The RWMutex guards only the box map:
+// delivery takes the read lock (many senders in parallel) and enqueues into
+// the lock-free mailbox while still holding it, so an any-source migration
+// (write lock) can never fold a box while a delivery into it is in flight —
+// the message is either in the box before the fold drains it, or routed
+// after the fold sees the new any-source box.
 type endpoint struct {
 	h     *Platform
 	rank  int
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	boxes map[mbKey]*mailbox
-}
-
-// mailbox is one (source, tag) receive queue; cond shares the endpoint
-// mutex.
-type mailbox struct {
-	e    *endpoint
-	cond sync.Cond
-	buf  []platform.Message
-	// auto marks a box created by delivery before any receiver registered
-	// it; any-source registration may fold such boxes in (see boxLocked).
-	auto bool
+	stats epStats
 }
 
 // Rank reports this endpoint's rank.
@@ -256,13 +248,14 @@ func (e *endpoint) Mailbox(from, tag int) platform.Mailbox {
 	return e.boxLocked(from, tag, false)
 }
 
-// boxLocked returns or creates the (from, tag) box; e.mu must be held.
-// Unlike vtime — where registration always happens before traffic because
-// startup is cooperative — a host sender can race a receiver's any-source
-// registration, parking early messages in auto-created exact boxes. When a
-// receiver registers the any-source box for a tag, those stray boxes are
-// drained into it and deleted, so neither the queued messages nor future
-// sends from the same source can strand behind an exact match.
+// boxLocked returns or creates the (from, tag) box; e.mu must be held for
+// writing. Unlike vtime — where registration always happens before traffic
+// because startup is cooperative — a host sender can race a receiver's
+// any-source registration, parking early messages in auto-created exact
+// boxes. When a receiver registers the any-source box for a tag, those
+// stray boxes are drained into it and deleted, so neither the queued
+// messages nor future sends from the same source can strand behind an
+// exact match.
 func (e *endpoint) boxLocked(from, tag int, auto bool) *mailbox {
 	key := mbKey{from, tag}
 	if b, ok := e.boxes[key]; ok {
@@ -271,12 +264,11 @@ func (e *endpoint) boxLocked(from, tag int, auto bool) *mailbox {
 		}
 		return b
 	}
-	b := &mailbox{e: e, auto: auto}
-	b.cond.L = &e.mu
+	b := newMailbox(e, auto)
 	if from == platform.AnySource {
 		for k, eb := range e.boxes {
 			if k.tag == tag && eb.auto {
-				b.buf = append(b.buf, eb.buf...)
+				eb.drainInto(b)
 				delete(e.boxes, k)
 			}
 		}
@@ -287,18 +279,31 @@ func (e *endpoint) boxLocked(from, tag int, auto bool) *mailbox {
 
 // deliver routes a message exactly like the vtime endpoint: exact box if
 // registered, else the any-source box for the tag, else a fresh exact box.
+// The fast path — box already exists — runs under the read lock only.
 func (e *endpoint) deliver(msg platform.Message) {
+	e.mu.RLock()
+	b, ok := e.boxes[mbKey{msg.From, msg.Tag}]
+	if !ok {
+		b, ok = e.boxes[mbKey{platform.AnySource, msg.Tag}]
+	}
+	if ok {
+		b.enqueue(msg)
+		e.mu.RUnlock()
+		return
+	}
+	e.mu.RUnlock()
+	// No box yet: take the write lock and re-resolve — a racing receiver
+	// may have registered (or another delivery auto-created) a box in the
+	// gap, and enqueueing into a stale choice would strand the message.
 	e.mu.Lock()
-	var b *mailbox
-	if eb, ok := e.boxes[mbKey{msg.From, msg.Tag}]; ok {
-		b = eb
-	} else if ab, ok := e.boxes[mbKey{platform.AnySource, msg.Tag}]; ok {
-		b = ab
-	} else {
+	b, ok = e.boxes[mbKey{msg.From, msg.Tag}]
+	if !ok {
+		b, ok = e.boxes[mbKey{platform.AnySource, msg.Tag}]
+	}
+	if !ok {
 		b = e.boxLocked(msg.From, msg.Tag, true)
 	}
-	b.buf = append(b.buf, msg)
-	b.cond.Signal()
+	b.enqueue(msg)
 	e.mu.Unlock()
 }
 
@@ -313,8 +318,30 @@ func (e *endpoint) SendClass(to, tag int, payload any, bytes int, class platform
 		panic("host: negative message size")
 	}
 	msg := platform.Message{From: e.rank, To: to, Tag: tag, Payload: payload, Bytes: bytes, Class: class}
-	e.h.account(msg)
+	e.account(msg)
 	e.h.endpoint(to).deliver(msg)
+}
+
+func (e *endpoint) account(msg platform.Message) {
+	s := &e.stats
+	s.messages.Add(1)
+	s.bytes.Add(uint64(msg.Bytes))
+	switch msg.Class {
+	case platform.ClassQueue:
+		s.queueMsgs.Add(1)
+		s.queueBytes.Add(uint64(msg.Bytes))
+	case platform.ClassPage:
+		s.pageMsgs.Add(1)
+		s.pageBytes.Add(uint64(msg.Bytes))
+	default:
+		s.ctrlMsgs.Add(1)
+		s.ctrlBytes.Add(uint64(msg.Bytes))
+	}
+	if e.h.nodeOf(msg.From) == e.h.nodeOf(msg.To) {
+		s.intraBytes.Add(uint64(msg.Bytes))
+	} else {
+		s.interBytes.Add(uint64(msg.Bytes))
+	}
 }
 
 // Recv blocks until a matching message arrives.
@@ -329,34 +356,4 @@ func (e *endpoint) Recv(p platform.Proc, from, tag int) platform.Message {
 // TryRecv returns a pending matching message without blocking.
 func (e *endpoint) TryRecv(from, tag int) (platform.Message, bool) {
 	return e.Mailbox(from, tag).TryRecv()
-}
-
-// Recv dequeues a message, blocking until one arrives. It unwinds with the
-// kill sentinel if the platform has failed, so a dead peer cannot leave
-// this process parked forever.
-func (b *mailbox) Recv(platform.Proc) (platform.Message, bool) {
-	b.e.mu.Lock()
-	for len(b.buf) == 0 {
-		if b.e.h.failed.Load() {
-			b.e.mu.Unlock()
-			panic(killSentinel{})
-		}
-		b.cond.Wait()
-	}
-	msg := b.buf[0]
-	b.buf = b.buf[1:]
-	b.e.mu.Unlock()
-	return msg, true
-}
-
-// TryRecv dequeues a pending message without blocking.
-func (b *mailbox) TryRecv() (platform.Message, bool) {
-	b.e.mu.Lock()
-	defer b.e.mu.Unlock()
-	if len(b.buf) == 0 {
-		return platform.Message{}, false
-	}
-	msg := b.buf[0]
-	b.buf = b.buf[1:]
-	return msg, true
 }

@@ -1,0 +1,257 @@
+// Lock-free mailbox for the host backend.
+//
+// Each (source, tag) mailbox is a bounded Vyukov-style ring buffer — multi-
+// producer because several sender goroutines (and any-source aggregation)
+// can target one box, single-consumer because a mailbox belongs to exactly
+// one receiving rank. The common case — deliver, poll, drain — touches only
+// atomics: no mutex, no cond, no channel operation. Two slow paths preserve
+// the old mutex mailbox's semantics:
+//
+//   - Overflow. The protocol assumes unbounded mailboxes (queue Window=0
+//     means any number of batches may be in flight), so a full ring must not
+//     block or drop. Producers that find the ring full append to a small
+//     mutex-guarded overflow list and set ovSet; while ovSet is up, every
+//     producer spills, so ring entries never overtake older overflow
+//     entries. The consumer folds overflow back in — after one more ring
+//     drain under the same lock, which orders any ring entries published
+//     before a spill ahead of the spilled ones — and clears the flag.
+//
+//   - Parking. A receiver in blocking Recv spins through a bounded budget of
+//     polls (yielding the processor between attempts), then parks on a
+//     1-token wake channel. Producers notify only when they observe the
+//     parked flag — the empty→nonempty transition with a waiting consumer —
+//     so a busy consumer costs senders one atomic load, not a futex wake.
+//     The platform's down channel, closed on failure, unparks every blocked
+//     receiver so a dead peer cannot strand the rest.
+package host
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dsmtx/internal/platform"
+)
+
+const (
+	// ringBits sizes the lock-free buffer: 2^8 = 256 messages per mailbox
+	// before producers spill to the overflow list. Queue batches are capped
+	// well below this, so spills happen only under extreme receiver lag.
+	ringBits = 8
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+
+	// spinBudget is how many empty polls a blocking Recv tolerates before
+	// parking. Each iteration yields the processor, so the budget bounds
+	// scheduler pressure, not burned cycles.
+	spinBudget = 64
+)
+
+// cell is one ring slot. seq is the Vyukov sequence: slot i%ringSize is
+// writable for ticket i when seq == i, readable when seq == i+1, and free
+// for the next lap once the consumer stores i+ringSize.
+type cell struct {
+	seq atomic.Uint64
+	msg platform.Message
+}
+
+// mailbox is one (source, tag) receive queue.
+type mailbox struct {
+	e *endpoint
+	// auto marks a box created by delivery before any receiver registered
+	// it; any-source registration may fold such boxes in (see boxLocked).
+	auto bool
+
+	head  atomic.Uint64 // next ticket to consume; written only by the consumer
+	tail  atomic.Uint64 // next ticket to produce; CAS-claimed by producers
+	cells [ringSize]cell
+
+	ovMu     sync.Mutex
+	ovSet    atomic.Bool
+	overflow []platform.Message
+
+	// waiting is set by the consumer just before it parks on wake; a
+	// producer that clears it sends the single wake token.
+	waiting atomic.Bool
+	wake    chan struct{}
+}
+
+func newMailbox(e *endpoint, auto bool) *mailbox {
+	b := &mailbox{e: e, auto: auto, wake: make(chan struct{}, 1)}
+	for i := range b.cells {
+		b.cells[i].seq.Store(uint64(i))
+	}
+	return b
+}
+
+// enqueue delivers one message. It never blocks: a full ring spills to the
+// overflow list. Safe for any number of concurrent producers.
+func (b *mailbox) enqueue(msg platform.Message) {
+	if b.ovSet.Load() {
+		// Once one producer has spilled, all producers spill until the
+		// consumer drains the list; otherwise a fresh ring entry could be
+		// consumed ahead of an older overflow entry from the same sender.
+		b.spill(msg)
+		return
+	}
+	pos := b.tail.Load()
+	for {
+		c := &b.cells[pos&ringMask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if b.tail.CompareAndSwap(pos, pos+1) {
+				c.msg = msg
+				c.seq.Store(pos + 1)
+				b.notify()
+				return
+			}
+			pos = b.tail.Load()
+		case seq < pos:
+			// The consumer is a full lap behind this ticket: ring full.
+			b.spill(msg)
+			return
+		default:
+			// Another producer advanced tail past us; retry at the front.
+			pos = b.tail.Load()
+		}
+	}
+}
+
+func (b *mailbox) spill(msg platform.Message) {
+	b.ovMu.Lock()
+	b.overflow = append(b.overflow, msg)
+	b.ovSet.Store(true)
+	b.ovMu.Unlock()
+	b.notify()
+}
+
+// notify wakes a parked consumer. While the consumer is running (the common
+// case) this is one atomic load.
+func (b *mailbox) notify() {
+	if b.waiting.Load() && b.waiting.CompareAndSwap(true, false) {
+		select {
+		case b.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// tryDequeue pops the oldest available message. Single-consumer only.
+func (b *mailbox) tryDequeue() (platform.Message, bool) {
+	pos := b.head.Load()
+	c := &b.cells[pos&ringMask]
+	if c.seq.Load() == pos+1 {
+		msg := c.msg
+		c.msg = platform.Message{}
+		c.seq.Store(pos + ringSize)
+		b.head.Store(pos + 1)
+		return msg, true
+	}
+	if b.ovSet.Load() {
+		return b.unspill()
+	}
+	return platform.Message{}, false
+}
+
+// unspill consumes from the overflow list. Acquiring ovMu synchronizes with
+// every producer that spilled, which makes their earlier ring publications
+// visible — so one more ring check under the lock keeps per-producer FIFO:
+// a producer's ring entries are always consumed before its spilled ones.
+func (b *mailbox) unspill() (platform.Message, bool) {
+	b.ovMu.Lock()
+	pos := b.head.Load()
+	c := &b.cells[pos&ringMask]
+	if c.seq.Load() == pos+1 {
+		msg := c.msg
+		c.msg = platform.Message{}
+		c.seq.Store(pos + ringSize)
+		b.head.Store(pos + 1)
+		b.ovMu.Unlock()
+		return msg, true
+	}
+	if len(b.overflow) == 0 {
+		b.ovSet.Store(false)
+		b.ovMu.Unlock()
+		return platform.Message{}, false
+	}
+	msg := b.overflow[0]
+	b.overflow[0] = platform.Message{}
+	b.overflow = b.overflow[1:]
+	if len(b.overflow) == 0 {
+		b.overflow = nil
+		b.ovSet.Store(false)
+	}
+	b.ovMu.Unlock()
+	return msg, true
+}
+
+// Recv dequeues a message, spinning through the budget and then parking
+// until one arrives. It unwinds with the kill sentinel if the platform has
+// failed, so a dead peer cannot leave this process parked forever.
+func (b *mailbox) Recv(platform.Proc) (platform.Message, bool) {
+	h := b.e.h
+	for i := 0; i < spinBudget; i++ {
+		if msg, ok := b.tryDequeue(); ok {
+			return msg, true
+		}
+		if h.failed.Load() {
+			panic(killSentinel{})
+		}
+		runtime.Gosched()
+	}
+	for {
+		// Publish intent to park, then re-check: a producer that enqueued
+		// after our last poll either sees waiting and sends the token, or
+		// published its message before our store — this final tryDequeue
+		// finds it. Either way no wakeup is lost.
+		b.waiting.Store(true)
+		if msg, ok := b.tryDequeue(); ok {
+			b.waiting.Store(false)
+			select {
+			case <-b.wake: // drop a token raced in by a producer
+			default:
+			}
+			return msg, true
+		}
+		if h.failed.Load() {
+			b.waiting.Store(false)
+			panic(killSentinel{})
+		}
+		select {
+		case <-b.wake:
+		case <-h.down:
+		}
+	}
+}
+
+// TryRecv dequeues a pending message without blocking.
+func (b *mailbox) TryRecv() (platform.Message, bool) {
+	return b.tryDequeue()
+}
+
+// TryRecvBatch appends every immediately available message to into and
+// returns the extended slice. One call drains the whole ring (and any
+// overflow), replacing a poll-per-message loop on the consumer side.
+func (b *mailbox) TryRecvBatch(into []platform.Message) []platform.Message {
+	for {
+		msg, ok := b.tryDequeue()
+		if !ok {
+			return into
+		}
+		into = append(into, msg)
+	}
+}
+
+// drainInto moves every queued message into dst in order. The caller must
+// hold the endpoint write lock, which excludes concurrent producers; auto
+// boxes never had a consumer, so the single-consumer rule holds too.
+func (b *mailbox) drainInto(dst *mailbox) {
+	for {
+		msg, ok := b.tryDequeue()
+		if !ok {
+			return
+		}
+		dst.enqueue(msg)
+	}
+}

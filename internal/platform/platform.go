@@ -163,6 +163,12 @@ type Mailbox interface {
 	Recv(p Proc) (Message, bool)
 	// TryRecv dequeues a pending message without blocking.
 	TryRecv() (Message, bool)
+	// TryRecvBatch appends every immediately available message to into and
+	// returns the extended slice, never blocking. Batch consumers (queue
+	// drains) use it to take a whole backlog in one call: on host this
+	// empties the lock-free ring without per-message synchronization; on
+	// vtime it is a TryRecv loop.
+	TryRecvBatch(into []Message) []Message
 }
 
 // Endpoint is one rank's attachment to the interconnect. Mailboxes are

@@ -17,13 +17,17 @@ import (
 type Platform struct {
 	k *sim.Kernel
 	m *cluster.Machine
+	// cfg caches the machine's immutable configuration: InstrTime sits on
+	// every mpi charge path, and going through Machine.Config() would copy
+	// the whole struct per call.
+	cfg cluster.Config
 }
 
 // New wraps an existing kernel and machine. Callers that need the vtime-only
 // subsystems (fault injection, tracing, heartbeat timers) keep their own
 // references to k and m; the runtime protocol sees only the platform.
 func New(k *sim.Kernel, m *cluster.Machine) *Platform {
-	return &Platform{k: k, m: m}
+	return &Platform{k: k, m: m, cfg: m.Config()}
 }
 
 // Kernel returns the underlying simulation kernel.
@@ -46,7 +50,7 @@ func (v *Platform) Endpoint(rank int) platform.Endpoint { return v.m.Endpoint(ra
 
 // InstrTime charges instructions at the machine's modelled clock rate.
 func (v *Platform) InstrTime(instructions int64) platform.Duration {
-	return v.m.Config().InstrTime(instructions)
+	return v.cfg.InstrTime(instructions)
 }
 
 // Spawn creates a simulation process; it starts when Run drives the

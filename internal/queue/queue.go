@@ -239,12 +239,18 @@ func (s *SendPort[T]) PendingItems() int { return len(s.pending.items) }
 
 // RecvPort is the consumer's end.
 type RecvPort[T any] struct {
-	q     *Queue[T]
-	comm  *mpi.Comm
-	box   platform.Mailbox // cached mailbox handle for the poll path
-	epoch uint64
-	cur   []T
-	items uint64
+	q    *Queue[T]
+	comm *mpi.Comm
+	box  platform.Mailbox // cached mailbox handle for the poll path
+	// batched marks a concurrent platform (host): several batches can be
+	// pending at once, so TryConsumeBatch drains the whole mailbox backlog
+	// in one call instead of admitting one message per call. On vtime the
+	// per-message path is kept so the charge sequence stays bit-identical.
+	batched bool
+	msgBuf  []platform.Message // reusable drain buffer (batched only)
+	epoch   uint64
+	cur     []T
+	items   uint64
 }
 
 // Receiver binds the consuming process to the queue.
@@ -252,7 +258,11 @@ func (q *Queue[T]) Receiver(comm *mpi.Comm) *RecvPort[T] {
 	if comm.Rank() != q.dst {
 		panic(fmt.Sprintf("queue %s: Receiver rank %d, want %d", q.name, comm.Rank(), q.dst))
 	}
-	return &RecvPort[T]{q: q, comm: comm, box: comm.Endpoint().Mailbox(q.src, q.tag)}
+	return &RecvPort[T]{
+		q: q, comm: comm,
+		box:     comm.Endpoint().Mailbox(q.src, q.tag),
+		batched: q.world.Platform().Concurrent(),
+	}
 }
 
 // Consume blocks until a value of the current epoch is available and
@@ -298,6 +308,14 @@ func (r *RecvPort[T]) TryConsume() (T, bool) {
 // returned slice is the port's internal buffer: it is valid until the next
 // operation on the port and must not be retained.
 func (r *RecvPort[T]) TryConsumeBatch() ([]T, bool) {
+	if r.batched {
+		if len(r.cur) == 0 {
+			r.drainAll()
+		}
+		if len(r.cur) == 0 {
+			return nil, false
+		}
+	}
 	for len(r.cur) == 0 {
 		msg, ok := r.comm.TryRecvBox(r.box)
 		if !ok {
@@ -314,12 +332,28 @@ func (r *RecvPort[T]) TryConsumeBatch() ([]T, bool) {
 	return out, true
 }
 
+// drainAll takes every batch pending on the mailbox in one ring drain and
+// concatenates the current-epoch items; stale batches discard as in admit,
+// and credits (if windowed) are acknowledged per batch.
+func (r *RecvPort[T]) drainAll() {
+	r.msgBuf = r.comm.TryRecvBoxBatch(r.box, r.msgBuf[:0])
+	for i := range r.msgBuf {
+		r.admit(r.msgBuf[i])
+		r.msgBuf[i] = platform.Message{} // drop the payload reference
+	}
+}
+
 func (r *RecvPort[T]) admit(msg platform.Message) {
 	b := msg.Payload.(batch[T])
 	if b.epoch != r.epoch {
 		return // stale speculative state from before a recovery
 	}
-	r.cur = b.items
+	if len(r.cur) == 0 {
+		r.cur = b.items
+	} else {
+		// Batched drain admitted more than one batch this call.
+		r.cur = append(r.cur, b.items...)
+	}
 	r.q.hDrain.Observe(int64(len(b.items)))
 	r.q.tr.Instant(trace.InstDrain, r.comm.Rank(), 0, int64(len(b.items)), 0)
 	if r.q.cfg.Window > 0 {

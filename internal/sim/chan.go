@@ -83,6 +83,19 @@ func (c *Chan[T]) TryRecv() (v T, ok bool) {
 	return v, true
 }
 
+// TryRecvBatch appends every buffered value to into and returns the
+// extended slice, never blocking. It exists to satisfy platform.Mailbox;
+// blocked senders are woken just as by repeated TryRecv.
+func (c *Chan[T]) TryRecvBatch(into []T) []T {
+	for {
+		v, ok := c.TryRecv()
+		if !ok {
+			return into
+		}
+		into = append(into, v)
+	}
+}
+
 // Drain discards all buffered values and returns how many were dropped.
 // Waiting senders are woken so they can re-attempt their sends.
 func (c *Chan[T]) Drain() int {

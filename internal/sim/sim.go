@@ -327,12 +327,23 @@ func (p *Proc) Now() Time { return p.k.now }
 
 // park suspends the process until something schedules it again. The caller
 // must already have registered the process somewhere it can be woken from.
+//
+// Instead of handing control back to the kernel loop (two channel
+// handshakes per process switch: parker→kernel, kernel→next), the parking
+// goroutine takes the driving seat itself: it pops calendar events in
+// exactly the (t, seq) order the kernel loop would, runs fn events inline,
+// and hands the seat directly to the next process (one handshake) — or to
+// itself with no handshake at all, the common case when a poll backoff
+// expires or an inline delivery wakes this very process. Event order, clock
+// movement and the event count are bit-for-bit identical to kernel-driven
+// dispatch; only which goroutine executes the pop changes. The kernel loop
+// still owns startup, termination, deadlock detection and the horizon: the
+// driver hands the seat back to it whenever one of those conditions holds.
 func (p *Proc) park(reason string) {
 	p.state = procBlocked
 	p.blockedOn = reason
 	t0 := p.k.now
-	p.k.yield <- struct{}{}
-	<-p.resume
+	p.drive()
 	if p.k.killing {
 		panic(killSentinel{})
 	}
@@ -341,6 +352,42 @@ func (p *Proc) park(reason string) {
 		// Advance parks are busy time (already in advanced); everything
 		// else is a genuine blocking wait.
 		p.blocked += p.k.now - t0
+	}
+}
+
+// drive dispatches calendar events on the parked process's goroutine until
+// this process is resumed (return) or the kernel loop must take over
+// (stop/failure, empty calendar, horizon reached — hand the seat back and
+// wait for resume).
+func (p *Proc) drive() {
+	k := p.k
+	for {
+		if k.stopped || k.killing || k.failure != nil || len(k.events) == 0 ||
+			(k.horizon > 0 && k.events[0].t > k.horizon) {
+			k.yield <- struct{}{}
+			<-p.resume
+			return
+		}
+		e := k.events.popMin()
+		if e.dead != nil && *e.dead {
+			continue
+		}
+		k.now = e.t
+		k.nEvents++
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		if e.p.state == procDone {
+			continue
+		}
+		e.p.state = procRunning
+		if e.p == p {
+			return
+		}
+		e.p.resume <- struct{}{}
+		<-p.resume
+		return
 	}
 }
 
@@ -365,8 +412,9 @@ func (p *Proc) Advance(d Duration) {
 	// resume event — so bump the clock in place and keep running. Event
 	// order is bit-for-bit unchanged; only the park/resume goroutine
 	// handshake (the dominant host cost per Advance) is skipped. Strict
-	// alternation makes the direct clock/heap access safe: the kernel is
-	// parked in <-yield for as long as this process runs.
+	// alternation makes the direct clock/heap access safe: the driving seat
+	// (kernel or another process) is parked for as long as this process
+	// runs.
 	if !k.stopped && !k.killing &&
 		(len(k.events) == 0 || k.events[0].t > k.now+d) &&
 		(k.horizon <= 0 || k.now+d <= k.horizon) {

@@ -23,6 +23,9 @@ import (
 	"runtime"
 	"strconv"
 	"time"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/workloads"
 )
 
 // Measurement is one benchmark's host-side result.
@@ -50,13 +53,26 @@ type Sweep struct {
 	Warm SweepRun `json:"warm"`
 }
 
+// HostSpeedupRow is one wall-clock comparison of the host backend against
+// the sequential reference: the same benchmark computation, run once
+// single-threaded and once through the live-goroutine DSMTX protocol.
+// Speedup = seq_ms / host_ms; see the README note on reading these rows.
+type HostSpeedupRow struct {
+	Bench   string  `json:"bench"`
+	Ranks   int     `json:"ranks"`
+	HostMs  float64 `json:"host_ms"`
+	SeqMs   float64 `json:"seq_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
 // Entry is one labelled benchmark run (typically one per PR).
 type Entry struct {
-	Label      string                 `json:"label"`
-	Date       string                 `json:"date"`
-	GoVersion  string                 `json:"go_version,omitempty"`
-	Benchmarks map[string]Measurement `json:"benchmarks"`
-	Sweep      *Sweep                 `json:"sweep,omitempty"`
+	Label       string                 `json:"label"`
+	Date        string                 `json:"date"`
+	GoVersion   string                 `json:"go_version,omitempty"`
+	Benchmarks  map[string]Measurement `json:"benchmarks"`
+	Sweep       *Sweep                 `json:"sweep,omitempty"`
+	HostSpeedup []HostSpeedupRow       `json:"host_speedup,omitempty"`
 }
 
 // File is the whole BENCH_host.json document.
@@ -127,6 +143,62 @@ func measureSweep(parallel int) (*Sweep, error) {
 	return &s, nil
 }
 
+// measureHostSpeedup runs gzip and crc32 once sequentially and once on the
+// host backend at each rank count, in-process, and reports best-of-reps
+// wall clocks. These are end-to-end runtime measurements (protocol,
+// mailboxes, page service), not a claim about application-level scaling:
+// the sequential reference carries the simulator's cost-accounting and the
+// host run carries full protocol overhead.
+func measureHostSpeedup(reps int) ([]HostSpeedupRow, error) {
+	var rows []HostSpeedupRow
+	for _, name := range []string{"164.gzip", "crc32"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		in := workloads.DefaultInput()
+		seq := time.Duration(-1)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, _, err := workloads.RunSequentialRef(b, in); err != nil {
+				return nil, fmt.Errorf("%s sequential: %v", name, err)
+			}
+			if d := time.Since(t0); seq < 0 || d < seq {
+				seq = d
+			}
+		}
+		for _, ranks := range []int{32, 96} {
+			host := time.Duration(-1)
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				res, err := workloads.RunParallel(b, in, workloads.DSMTX, ranks, func(cfg *core.Config) {
+					cfg.Backend = core.BackendHost
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s host %d ranks: %v", name, ranks, err)
+				}
+				if res.Committed == 0 {
+					return nil, fmt.Errorf("%s host %d ranks: no commits", name, ranks)
+				}
+				if d := time.Since(t0); host < 0 || d < host {
+					host = d
+				}
+			}
+			rows = append(rows, HostSpeedupRow{
+				Bench:   name,
+				Ranks:   ranks,
+				HostMs:  float64(host.Microseconds()) / 1000,
+				SeqMs:   float64(seq.Microseconds()) / 1000,
+				Speedup: seq.Seconds() / host.Seconds(),
+			})
+			log.Printf("speedup: %s ranks=%d host=%.1fms seq=%.1fms speedup=%.2fx",
+				name, ranks, float64(host.Microseconds())/1000, float64(seq.Microseconds())/1000,
+				seq.Seconds()/host.Seconds())
+		}
+	}
+	return rows, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchhost: ")
@@ -136,6 +208,7 @@ func main() {
 		out       = flag.String("out", "BENCH_host.json", "results file")
 		keep      = flag.Bool("keep-label", false, "abort instead of replacing an existing entry with the same label")
 		parallel  = flag.Int("sweep-parallel", runtime.GOMAXPROCS(0), "worker count for the dsmtxbench sweep (0 disables the sweep)")
+		speedReps = flag.Int("speedup-reps", 3, "repetitions (best-of) for the host-vs-sequential speedup rows (0 disables them)")
 	)
 	flag.Parse()
 
@@ -168,6 +241,14 @@ func main() {
 	}
 	if len(entry.Benchmarks) == 0 {
 		log.Fatal("no BenchmarkHost results parsed")
+	}
+
+	if *speedReps > 0 {
+		rows, err := measureHostSpeedup(*speedReps)
+		if err != nil {
+			log.Fatalf("host speedup: %v", err)
+		}
+		entry.HostSpeedup = rows
 	}
 
 	if *parallel > 0 {

@@ -31,4 +31,11 @@ go test -race ./internal/faults/
 # data-race audit of the runtime itself.
 go test -race ./internal/platform/... ./cmd/dsmtxrun/
 go test -race ./internal/workloads/ -run TestBackendEquivalence
+# The lock-free mailbox rings and the sharded page service behave differently
+# under different scheduler pressure: GOMAXPROCS=2 forces heavy contention and
+# parking (producers outnumber cores), GOMAXPROCS=8 maximises true parallelism.
+# Pinning both in CI surfaces interleaving-dependent bugs here rather than on a
+# loaded box.
+GOMAXPROCS=2 go test -race -count=1 ./internal/workloads/ -run TestBackendEquivalence
+GOMAXPROCS=8 go test -race -count=1 ./internal/workloads/ -run TestBackendEquivalence
 echo "verify: OK"
