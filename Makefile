@@ -3,9 +3,11 @@
 # `make trace-demo` produces and validates a sample Perfetto timeline;
 # `make resilience-demo` runs a faulted configuration and validates its
 # timeline (crash/re-dispatch spans included); `make host-demo` runs one
-# benchmark live on the host execution backend and checks its checksum.
+# benchmark live on the host execution backend and checks its checksum;
+# `make host-trace-demo` does the same with the wall-clock tracer attached
+# and validates the exported timeline.
 
-.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo
+.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo host-trace-demo
 
 verify:
 	./verify.sh
@@ -31,6 +33,14 @@ trace-demo:
 # The timeout bounds the run: the host backend has no virtual-time horizon.
 host-demo:
 	timeout 60 go run ./cmd/dsmtxrun -bench crc32 -cores 8 -misspec 0.02 -backend host | tee /dev/stderr | grep -q VERIFIED
+
+# Same live host run with the wall-clock tracer attached: the exported
+# Chrome trace must carry the "clock":"wall" marker, per-track monotone
+# timestamps, and only vocabulary names — tracecheck enforces all three.
+host-trace-demo:
+	timeout 60 go run ./cmd/dsmtxrun -bench crc32 -cores 8 -misspec 0.02 -backend host \
+		-trace host-trace-demo.json | tee /dev/stderr | grep -q VERIFIED
+	go run ./tools/tracecheck host-trace-demo.json
 
 # Run crc32 under message loss plus a mid-run worker crash, verify the
 # output checksum against the sequential reference, and validate the trace:

@@ -11,13 +11,18 @@
 //	dsmtxrun -bench 164.gzip -cores 32 -faults drop=0.001,crash=r1@2ms+500us
 //	dsmtxrun -bench crc32 -cores 32 -faults drop=0.01 -fault-seed 7
 //	dsmtxrun -bench crc32 -cores 8 -backend host
+//	dsmtxrun -bench crc32 -cores 8 -backend host -trace host.json -metrics
+//	dsmtxrun -bench 164.gzip -cores 32 -backend host -metrics-addr 127.0.0.1:9090
 //
 // The -backend flag selects the execution platform: "vtime" (the default)
 // runs on the deterministic virtual-time simulator with the paper's cost
 // model; "host" runs the same protocol live on host goroutines, measuring
 // wall-clock time. The host backend verifies the identical checksum but
-// models no instruction or wire costs, so no speedup is reported, and the
-// vtime-only flags (-trace, -metrics, -faults) are rejected.
+// models no instruction or wire costs, so no speedup is reported. Tracing
+// and metrics work on both backends (host spans carry wall-clock
+// timestamps and add delivery-layer instrumentation); only -faults is
+// vtime-only. -metrics-addr serves the live metrics registry as JSON at
+// /metrics while the run executes.
 //
 // Results go to stdout; errors go to stderr.
 package main
@@ -28,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"dsmtx/internal/core"
@@ -40,17 +47,18 @@ import (
 
 // options are the parsed, validated command-line settings.
 type options struct {
-	bench    string
-	cores    int
-	paradigm workloads.Paradigm
-	backend  core.Backend
-	misspec  float64
-	scale    int
-	seed     uint64
-	traceOut string
-	metrics  bool
-	mtxTrace string
-	plan     *faults.Plan
+	bench       string
+	cores       int
+	paradigm    workloads.Paradigm
+	backend     core.Backend
+	misspec     float64
+	scale       int
+	seed        uint64
+	traceOut    string
+	metrics     bool
+	metricsAddr string
+	mtxTrace    string
+	plan        *faults.Plan
 }
 
 // parseFlags parses and validates args (without the program name).
@@ -66,6 +74,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.Uint64Var(&o.seed, "seed", 42, "input generation seed")
 	fs.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event JSON timeline (Perfetto-loadable) to this file")
 	fs.BoolVar(&o.metrics, "metrics", false, "print the metrics registry and per-rank stall attribution")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve a live JSON metrics snapshot at http://ADDR/metrics during the run (e.g. 127.0.0.1:9090)")
 	fs.StringVar(&o.mtxTrace, "mtxtrace", "", "write the MTX lifecycle trace to this JSON-lines file")
 	faultArg := fs.String("faults", "", "deterministic fault plan, e.g. drop=0.001,crash=r1@2ms+500us (see internal/faults)")
 	faultSd := fs.Uint64("fault-seed", 0, "override the fault plan's seed (with -faults)")
@@ -103,16 +112,10 @@ func parseFlags(args []string) (*options, error) {
 		return nil, fmt.Errorf("-fault-seed needs -faults")
 	}
 
-	if o.backend == core.BackendHost {
-		// These subsystems are built on the virtual-time kernel.
-		switch {
-		case o.plan != nil:
-			return nil, fmt.Errorf("-faults requires -backend vtime")
-		case o.traceOut != "":
-			return nil, fmt.Errorf("-trace requires -backend vtime")
-		case o.metrics:
-			return nil, fmt.Errorf("-metrics requires -backend vtime")
-		}
+	if o.backend == core.BackendHost && o.plan != nil {
+		// Fault injection is built on the virtual-time kernel; tracing and
+		// metrics are backend-agnostic.
+		return nil, fmt.Errorf("-faults requires -backend vtime")
 	}
 	return o, nil
 }
@@ -157,6 +160,26 @@ func writeChromeTrace(path string, tr *trace.Tracer) error {
 	return f.Close()
 }
 
+// serveMetrics starts an HTTP listener publishing a live snapshot of the
+// tracer's metrics registry as JSON at /metrics (expvar-style; instruments
+// update atomically, so sampling mid-run is safe). It returns a shutdown
+// function; binding failures (port taken, bad address) surface immediately
+// rather than mid-run.
+func serveMetrics(addr string, tr *trace.Tracer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics-addr: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tr.Metrics().WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsmtxrun: ")
@@ -187,13 +210,21 @@ func run(o *options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	// The tracer is shared across invocations; BindKernel stitches each
-	// invocation's virtual clock onto one monotonic timeline.
+	// The tracer is shared across invocations; binding stitches each
+	// invocation's clock (virtual or wall) onto one monotonic timeline.
 	var tr *trace.Tracer
 	if o.traceOut != "" {
 		tr = trace.New()
-	} else if o.metrics {
+	} else if o.metrics || o.metricsAddr != "" {
 		tr = trace.NewMetricsOnly()
+	}
+	if o.metricsAddr != "" {
+		stop, err := serveMetrics(o.metricsAddr, tr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(stdout, "metrics: serving http://%s/metrics\n", o.metricsAddr)
 	}
 	var tune func(*core.Config)
 	if tr != nil || o.mtxTrace != "" || o.plan != nil || o.backend != core.BackendVTime {

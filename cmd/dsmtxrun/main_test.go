@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -40,12 +43,24 @@ func TestParseFlagsErrors(t *testing.T) {
 		{"-faults", "drop=notanumber"},
 		// vtime-only features on the host backend
 		{"-backend", "host", "-faults", "drop=0.01"},
-		{"-backend", "host", "-trace", "out.json"},
-		{"-backend", "host", "-metrics"},
 	}
 	for _, args := range cases {
 		if _, err := parseFlags(args); err == nil {
 			t.Errorf("parseFlags(%v) accepted invalid arguments", args)
+		}
+	}
+}
+
+// TestParseFlagsHostObservability pins the lifted restriction: tracing and
+// metrics are backend-agnostic now, so the host backend accepts them.
+func TestParseFlagsHostObservability(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "crc32", "-backend", "host", "-trace", "out.json"},
+		{"-bench", "crc32", "-backend", "host", "-metrics"},
+		{"-bench", "crc32", "-backend", "host", "-metrics-addr", "127.0.0.1:0"},
+	} {
+		if _, err := parseFlags(args); err != nil {
+			t.Errorf("parseFlags(%v): %v", args, err)
 		}
 	}
 }
@@ -104,6 +119,49 @@ func TestRunHostBackend(t *testing.T) {
 	}
 	if strings.Contains(out, "speedup") {
 		t.Errorf("host run reported a speedup:\n%s", out)
+	}
+}
+
+// TestRunHostBackendTraced runs the host backend with the wall-clock tracer
+// attached end to end: the Chrome trace must be valid JSON carrying the
+// "clock":"wall" marker, and the stall tables must grow the host delivery
+// columns.
+func TestRunHostBackendTraced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "host.json")
+	o, err := parseFlags([]string{"-bench", "crc32", "-cores", "8", "-backend", "host",
+		"-trace", path, "-metrics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "VERIFIED") {
+		t.Errorf("traced host run did not verify:\n%s", out)
+	}
+	for _, col := range []string{"park", "spill", "shard-q"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("stall tables missing host column %q:\n%s", col, out)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Clock       string           `json:"clock"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.Clock != "wall" {
+		t.Errorf("trace clock = %q, want wall", doc.Clock)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
 	}
 }
 

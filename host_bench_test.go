@@ -11,13 +11,16 @@ package dsmtx_test
 import (
 	"testing"
 
+	"dsmtx/internal/core"
+	"dsmtx/internal/trace"
 	"dsmtx/internal/workloads"
 )
 
 // hostPoint runs one Figure-4-style point (one full simulated-cluster
 // execution) per benchmark iteration, so ns/op and allocs/op describe the
-// host cost of a complete run.
-func hostPoint(b *testing.B, name string, paradigm workloads.Paradigm, cores int) {
+// host cost of a complete run. tune, if non-nil, adjusts each run's config
+// (the traced variants attach an observability tracer through it).
+func hostPoint(b *testing.B, name string, paradigm workloads.Paradigm, cores int, tune func(*core.Config)) {
 	b.Helper()
 	bench, err := workloads.ByName(name)
 	if err != nil {
@@ -27,7 +30,7 @@ func hostPoint(b *testing.B, name string, paradigm workloads.Paradigm, cores int
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := workloads.RunParallel(bench, in, paradigm, cores, nil)
+		res, err := workloads.RunParallel(bench, in, paradigm, cores, tune)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,22 +44,49 @@ func hostPoint(b *testing.B, name string, paradigm workloads.Paradigm, cores int
 // under Spec-DSWP at 32 cores — the bulk-data pipeline whose word and
 // queue traffic dominates Figure 4 sweeps.
 func BenchmarkHostGzipFigure4Point(b *testing.B) {
-	hostPoint(b, "164.gzip", workloads.DSMTX, 32)
+	hostPoint(b, "164.gzip", workloads.DSMTX, 32, nil)
 }
 
 // BenchmarkHostGzip128 is the same run at the paper's full 128 cores:
 // more processes, more queues, more polling.
 func BenchmarkHostGzip128(b *testing.B) {
-	hostPoint(b, "164.gzip", workloads.DSMTX, 128)
+	hostPoint(b, "164.gzip", workloads.DSMTX, 128, nil)
+}
+
+// BenchmarkHostGzip128Traced is BenchmarkHostGzip128 with a metrics-only
+// tracer attached: comparing its ns/op against the untraced row bounds the
+// cost of the resolved-handle instrumentation on the hot paths (the pr
+// acceptance budget is <= 5% overhead).
+func BenchmarkHostGzip128Traced(b *testing.B) {
+	hostPoint(b, "164.gzip", workloads.DSMTX, 128, func(cfg *core.Config) {
+		cfg.Tracer = trace.NewMetricsOnly()
+	})
+}
+
+// BenchmarkHostBackendGzip32 runs 164.gzip live on the host backend (real
+// goroutines, wall clock); the Traced variant adds the wall-clock tracer
+// and the delivery-layer instrumentation it enables, so the pair bounds
+// host tracing overhead end to end.
+func BenchmarkHostBackendGzip32(b *testing.B) {
+	hostPoint(b, "164.gzip", workloads.DSMTX, 32, func(cfg *core.Config) {
+		cfg.Backend = core.BackendHost
+	})
+}
+
+func BenchmarkHostBackendGzip32Traced(b *testing.B) {
+	hostPoint(b, "164.gzip", workloads.DSMTX, 32, func(cfg *core.Config) {
+		cfg.Backend = core.BackendHost
+		cfg.Tracer = trace.NewMetricsOnly()
+	})
 }
 
 // BenchmarkHostCrc32Figure4Point exercises the DSWP+[Spec-DOALL,S] shape:
 // block reads with a sequential reduction stage.
 func BenchmarkHostCrc32Figure4Point(b *testing.B) {
-	hostPoint(b, "crc32", workloads.DSMTX, 32)
+	hostPoint(b, "crc32", workloads.DSMTX, 32, nil)
 }
 
 // BenchmarkHostSwaptionsTLS exercises the TLS runtime's host path.
 func BenchmarkHostSwaptionsTLS(b *testing.B) {
-	hostPoint(b, "swaptions", workloads.TLS, 32)
+	hostPoint(b, "swaptions", workloads.TLS, 32, nil)
 }

@@ -519,10 +519,15 @@ type pageServer struct {
 	// Served-request accounting (diagnostic; read after Run joins).
 	Requests    uint64
 	PagesServed uint64
+	// depthHW is the high-water request backlog observed on this shard's
+	// mailbox (host + tracer only; the stall report's shard-q column).
+	depthHW int64
 
 	// Metric handles (nil when uninstrumented).
 	cReq   *trace.Counter
 	cPages *trace.Counter
+	gDepth *trace.Gauge
+	hServe *trace.Histogram
 }
 
 func newPageServer(s *System, shard int) *pageServer { return &pageServer{sys: s, shard: shard} }
@@ -537,14 +542,32 @@ func (ps *pageServer) run(p platform.Proc) {
 	tag := ps.sys.cfg.pageReqTag(ps.shard)
 	ps.proc = p
 	ps.comm = ps.sys.world.Attach(ps.sys.cfg.commitRank(), p)
-	ps.comm.Endpoint().Mailbox(platform.AnySource, tag)
+	box := ps.comm.Endpoint().Mailbox(platform.AnySource, tag)
 	ps.cReq = ps.sys.tr.Metrics().Counter("coa.requests")
 	ps.cPages = ps.sys.tr.Metrics().Counter("coa.pages.served")
+	tr := ps.sys.tr
+	// Host delivery instruments (the host mailbox exposes its backlog;
+	// vtime's does not, and per-shard wall latency is meaningless there).
+	var depther interface{ Depth() int }
+	if tr.Enabled() && tr.Wall() {
+		depther, _ = box.(interface{ Depth() int })
+		ps.gDepth = tr.Metrics().Gauge(fmt.Sprintf("pagesrv.shard%d.depth", ps.shard))
+		ps.hServe = tr.Metrics().Histogram(fmt.Sprintf("pagesrv.shard%d.serve.ns", ps.shard))
+	}
+	track := ps.sys.pageSrvTrack() + ps.shard
 	for {
 		msg := ps.comm.Endpoint().Recv(p, platform.AnySource, tag)
 		if msg.Payload == nil {
 			return // shutdown sentinel from the commit unit
 		}
+		if depther != nil {
+			d := int64(depther.Depth())
+			ps.gDepth.Set(d)
+			if d > ps.depthHW {
+				ps.depthHW = d
+			}
+		}
+		t0 := tr.Now()
 		req := msg.Payload.(pageReq)
 		ps.Requests++
 		ps.PagesServed += uint64(req.Count)
@@ -562,5 +585,10 @@ func (ps *pageServer) run(p platform.Proc) {
 		}
 		// RDMA put: wire time only, no per-byte CPU marshalling.
 		ps.comm.Endpoint().SendClass(msg.From, tagPageReply, pages, wire, platform.ClassPage)
+		if ps.hServe != nil {
+			end := tr.Now()
+			ps.hServe.Observe(int64(end - t0))
+			tr.Span(trace.SpanPageServe, track, t0, uint64(req.Start), int64(req.Count), int64(wire))
+		}
 	}
 }

@@ -25,8 +25,10 @@ const (
 	// BackendHost executes the same protocol live on host goroutines:
 	// wall-clock time, no instruction or wire-time modelling,
 	// scheduler-dependent interleaving. Protocol outcomes (committed MTXs,
-	// checksums) match vtime; timings do not. The vtime-only subsystems —
-	// fault injection and the observability tracer — are rejected.
+	// checksums) match vtime; timings do not. The observability tracer runs
+	// here too, bound to the monotonic wall clock with lock-free per-rank
+	// span buffers; only fault injection (built on virtual-time timers and
+	// deterministic rolls) is rejected.
 	BackendHost
 )
 
@@ -144,13 +146,22 @@ type Config struct {
 	HeartbeatInterval platform.Duration
 	HeartbeatTimeout  platform.Duration
 
-	// Tracer, if non-nil, attaches the virtual-time observability layer:
-	// per-rank timeline spans (subTX, validate, commit, COA, recovery
-	// phases), the metrics registry, and per-message-class traffic
-	// attribution. nil (the default) keeps every hot path on the
-	// uninstrumented, allocation-free fast path. Tracing never alters
-	// virtual-time outcomes: hooks only read the clock.
+	// Tracer, if non-nil, attaches the observability layer: per-rank
+	// timeline spans (subTX, validate, commit, COA, recovery phases), the
+	// metrics registry, and per-message-class traffic attribution. nil (the
+	// default) keeps every hot path on the uninstrumented, allocation-free
+	// fast path. On vtime the tracer reads the virtual clock and never
+	// alters outcomes; on host it binds to the monotonic wall clock,
+	// buffers spans in fixed per-rank lock-free rings, and additionally
+	// instruments the delivery layer (ring depth, CAS retries, spills,
+	// spin/park, page-service latency).
 	Tracer *trace.Tracer
+
+	// HostSpanBufCap caps each rank's lock-free span buffer on the host
+	// backend (events beyond the cap are dropped and counted, never
+	// blocked on). 0 means trace.DefaultSpanBufCap. vtime records into one
+	// unbounded slice and rejects explicit values.
+	HostSpanBufCap int
 
 	// Horizon aborts the simulation if virtual time exceeds it (a safety
 	// net for runtime bugs); 0 means none. The host backend ignores it
@@ -219,15 +230,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: unknown backend %d", c.Backend)
 	}
 	if c.Backend == BackendHost {
-		// The fault-injection and observability subsystems are built on the
-		// virtual-time kernel (timers, deterministic rolls, the traced
-		// clock); the host backend runs the bare protocol.
+		// Fault injection is built on the virtual-time kernel (timers,
+		// deterministic rolls); the host backend runs the bare protocol.
+		// The tracer is backend-agnostic and allowed here.
 		if !c.Faults.Empty() {
 			return fmt.Errorf("core: Config.Faults: fault injection is built on the virtual-time kernel; unsupported on the host backend")
 		}
-		if c.Tracer != nil {
-			return fmt.Errorf("core: Config.Tracer: the observability tracer is built on the virtual-time kernel; unsupported on the host backend")
-		}
+	}
+	if c.HostSpanBufCap < 0 {
+		return fmt.Errorf("core: Config.HostSpanBufCap = %d, need >= 0", c.HostSpanBufCap)
+	}
+	if c.Backend == BackendVTime && c.HostSpanBufCap > 0 {
+		return fmt.Errorf("core: Config.HostSpanBufCap: span buffers are a host-backend feature (vtime records unbounded)")
 	}
 	if c.PageServShards < 0 {
 		return fmt.Errorf("core: Config.PageServShards = %d, need >= 0", c.PageServShards)

@@ -203,7 +203,7 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 	}
 	if cfg.Backend == BackendHost {
 		// Live goroutines under the same protocol. Validate already
-		// rejected the vtime-only subsystems (faults, tracer); the cluster
+		// rejected the vtime-only subsystems (faults); the cluster
 		// topology still drives rank placement for traffic attribution.
 		s.plat = host.New(s.cfg.Cluster.Ranks(), s.cfg.Cluster.NodeOf)
 	} else {
@@ -233,17 +233,25 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 // commit unit's rank, so it gets the first id past the real ranks.
 func (s *System) pageSrvTrack() int { return s.cfg.TotalCores }
 
-// bindTracer attaches cfg.Tracer to this invocation: stitches the kernel's
-// clock into the tracer's timeline, labels one track per rank (plus the
-// page server's synthetic track), and resolves queue metric handles. A nil
+// bindTracer attaches cfg.Tracer to this invocation: stitches the
+// platform's clock into the tracer's timeline (the vtime kernel, or the
+// host's monotonic wall clock with per-rank span buffers), labels one track
+// per rank (plus the page-server shards' synthetic tracks), and resolves
+// queue metric handles. On host it also hands the tracer to the platform so
+// the delivery layer (rings, parking, spills) self-instruments. A nil
 // tracer leaves everything on the uninstrumented path.
 func (s *System) bindTracer() {
 	s.tr = s.cfg.Tracer
 	if s.tr == nil {
 		return
 	}
-	s.tr.BindKernel(s.kernel)
-	s.mach.SetTracer(s.tr)
+	if s.kernel != nil {
+		s.tr.BindKernel(s.kernel)
+		s.mach.SetTracer(s.tr)
+	} else {
+		s.tr.BindWall(s.plat, s.cfg.HostSpanBufCap)
+		s.plat.(*host.Platform).SetTracer(s.tr)
+	}
 	node := s.cfg.Cluster.NodeOf
 	for w := 0; w < s.cfg.Workers(); w++ {
 		s.tr.SetTrack(w, node(w), fmt.Sprintf("worker%d (S%d)", w, s.layout.StageOf(w)))
@@ -254,7 +262,13 @@ func (s *System) bindTracer() {
 	}
 	cuRank := s.cfg.commitRank()
 	s.tr.SetTrack(cuRank, node(cuRank), "commit")
-	s.tr.SetTrack(s.pageSrvTrack(), node(cuRank), "pagesrv")
+	for sh := 0; sh < s.cfg.pageShards(); sh++ {
+		label := "pagesrv"
+		if sh > 0 {
+			label = fmt.Sprintf("pagesrv%d", sh)
+		}
+		s.tr.SetTrack(s.pageSrvTrack()+sh, node(cuRank), label)
+	}
 	for _, q := range s.edgeQ {
 		q.Instrument(s.tr)
 	}
@@ -603,12 +617,28 @@ func (s *System) buildStallReport() {
 			label = fmt.Sprintf("pagesrv%d", sh)
 		}
 		s.stalls.Add(trace.StallRow{
-			Track:   s.pageSrvTrack() + sh,
-			Label:   label,
-			Stage:   "pagesrv",
-			Busy:    ps.proc.Advanced(),
-			Blocked: ps.proc.Blocked(),
+			Track:      s.pageSrvTrack() + sh,
+			Label:      label,
+			Stage:      "pagesrv",
+			Busy:       ps.proc.Advanced(),
+			Blocked:    ps.proc.Blocked(),
+			ShardQueue: ps.depthHW,
 		})
+	}
+	// Host runs add the delivery columns: wall time parked and overflow
+	// spills, read from each rank's endpoint (so the commit row also covers
+	// its co-located page-server shards, which share the rank's mailboxes).
+	if hp, ok := s.plat.(*host.Platform); ok {
+		s.stalls.Host = true
+		for i := range s.stalls.Rows {
+			row := &s.stalls.Rows[i]
+			if row.Track >= s.cfg.TotalCores {
+				continue
+			}
+			parkNs, _, spills := hp.RankDelivery(row.Track)
+			row.Park = sim.Time(parkNs)
+			row.Spills = spills
+		}
 	}
 }
 

@@ -157,9 +157,11 @@ func (r *Request) Wait() {
 func (c *Comm) Recv(from, tag int) platform.Message {
 	start := c.tr.Now()
 	msg := c.ep.Recv(c.p, from, tag)
-	if c.tr.Enabled() && c.tr.Now() > start {
-		// Only waits that spent virtual time get a span; instant matches
-		// would render as zero-width noise.
+	if c.tr.Enabled() && c.tr.Now() > start+c.tr.SpanFloor() {
+		// Only waits that spent time get a span; instant matches would
+		// render as zero-width noise. The floor is zero on vtime (any
+		// virtual wait is meaningful) and ~1µs on the host wall clock,
+		// where scheduler jitter would otherwise flood the span buffers.
 		c.tr.Span(trace.SpanRecvWait, c.track, start, 0, int64(tag), 0)
 	}
 	c.charge(c.w.cost.Recv, msg.Bytes)

@@ -10,8 +10,13 @@
 // Deliberately unmodelled here: NIC serialization and latency (sends
 // deliver immediately), per-instruction CPU charges (InstrTime is zero —
 // real instructions already cost real time), and the vtime-only subsystems
-// (fault injection, tracing, heartbeat timers), which core.Config.Validate
-// rejects for this backend.
+// (fault injection, heartbeat timers), which core.Config.Validate rejects
+// for this backend. Observability is supported: SetTracer attaches the
+// wall-clock tracer, instrumenting the delivery layer itself — ring
+// enqueue/dequeue, CAS retries, overflow spills, spin-vs-park outcomes,
+// wake signals, park latency — with resolved atomic metric handles, so the
+// instrumented hot path stays lock- and allocation-free and the
+// tracer-nil path is one pointer check.
 package host
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"dsmtx/internal/platform"
+	"dsmtx/internal/trace"
 )
 
 // sleepFloor is the shortest Advance the OS timer can honor usefully; below
@@ -42,11 +48,65 @@ type Platform struct {
 	eps    []*endpoint
 	wg     sync.WaitGroup
 
+	// tel is the delivery-layer instrumentation (nil = uninstrumented; hot
+	// paths pay one pointer check). Set before Spawn via SetTracer.
+	tel *telemetry
+
 	failed   atomic.Bool
 	down     chan struct{} // closed on first failure; unparks blocked receivers
 	downOnce sync.Once
 	failMu   sync.Mutex
 	failure  error
+}
+
+// telemetry holds the tracer and its resolved metric handles for the
+// delivery layer. Handles are atomic instruments resolved once here, so the
+// ring hot paths never touch the registry's name map.
+type telemetry struct {
+	tr *trace.Tracer
+
+	cEnq     *trace.Counter   // host.ring.enqueue: messages placed in a ring slot
+	cDeq     *trace.Counter   // host.ring.dequeue: messages consumed (ring or overflow)
+	cCAS     *trace.Counter   // host.ring.cas.retry: producer claim retries under contention
+	cSpill   *trace.Counter   // host.ring.spill: messages spilled to an overflow list
+	cUnspill *trace.Counter   // host.ring.unspill: messages folded back from overflow
+	cSpinHit *trace.Counter   // host.recv.spin: blocking receives satisfied within the spin budget
+	cPark    *trace.Counter   // host.recv.park: blocking receives that parked
+	cWake    *trace.Counter   // host.recv.wake: wake tokens sent to parked receivers
+	gDepth   *trace.Gauge     // host.ring.depth: ring occupancy at enqueue (max = high-water)
+	hParkNs  *trace.Histogram // host.recv.park.ns: wall time per park
+}
+
+// SetTracer attaches the wall-clock tracer to the delivery layer. Must be
+// called before Spawn (core binds it at System construction). A nil tracer
+// leaves the platform on the uninstrumented path.
+func (h *Platform) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	m := tr.Metrics()
+	h.tel = &telemetry{
+		tr:       tr,
+		cEnq:     m.Counter("host.ring.enqueue"),
+		cDeq:     m.Counter("host.ring.dequeue"),
+		cCAS:     m.Counter("host.ring.cas.retry"),
+		cSpill:   m.Counter("host.ring.spill"),
+		cUnspill: m.Counter("host.ring.unspill"),
+		cSpinHit: m.Counter("host.recv.spin"),
+		cPark:    m.Counter("host.recv.park"),
+		cWake:    m.Counter("host.recv.wake"),
+		gDepth:   m.Gauge("host.ring.depth"),
+		hParkNs:  m.Histogram("host.recv.park.ns"),
+	}
+}
+
+// RankDelivery reports a rank's endpoint-level delivery accounting: wall
+// nanoseconds parked in mailbox waits, the number of parks, and overflow
+// spills into the rank's mailboxes. All zero unless a tracer is attached.
+// Read after Run for the stall report's host columns.
+func (h *Platform) RankDelivery(rank int) (parkNs int64, parks, spills uint64) {
+	e := h.endpoint(rank)
+	return e.del.parkNs.Load(), e.del.parks.Load(), e.del.spills.Load()
 }
 
 // New builds a host platform with the given number of rank endpoints.
@@ -233,6 +293,15 @@ type endpoint struct {
 	mu    sync.RWMutex
 	boxes map[mbKey]*mailbox
 	stats epStats
+	del   epDelivery
+}
+
+// epDelivery is one endpoint's receiver-side delivery accounting, updated
+// only when a tracer is attached (see Platform.RankDelivery).
+type epDelivery struct {
+	parkNs atomic.Int64
+	parks  atomic.Uint64
+	spills atomic.Uint64
 }
 
 // Rank reports this endpoint's rank.
@@ -264,7 +333,7 @@ func (e *endpoint) boxLocked(from, tag int, auto bool) *mailbox {
 		}
 		return b
 	}
-	b := newMailbox(e, auto)
+	b := newMailbox(e, tag, auto)
 	if from == platform.AnySource {
 		for k, eb := range e.boxes {
 			if k.tag == tag && eb.auto {

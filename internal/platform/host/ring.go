@@ -29,8 +29,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsmtx/internal/platform"
+	"dsmtx/internal/sim"
+	"dsmtx/internal/trace"
 )
 
 const (
@@ -57,7 +60,8 @@ type cell struct {
 
 // mailbox is one (source, tag) receive queue.
 type mailbox struct {
-	e *endpoint
+	e   *endpoint
+	tag int // the box's message tag (delivery telemetry attribution)
 	// auto marks a box created by delivery before any receiver registered
 	// it; any-source registration may fold such boxes in (see boxLocked).
 	auto bool
@@ -76,8 +80,8 @@ type mailbox struct {
 	wake    chan struct{}
 }
 
-func newMailbox(e *endpoint, auto bool) *mailbox {
-	b := &mailbox{e: e, auto: auto, wake: make(chan struct{}, 1)}
+func newMailbox(e *endpoint, tag int, auto bool) *mailbox {
+	b := &mailbox{e: e, tag: tag, auto: auto, wake: make(chan struct{}, 1)}
 	for i := range b.cells {
 		b.cells[i].seq.Store(uint64(i))
 	}
@@ -87,6 +91,7 @@ func newMailbox(e *endpoint, auto bool) *mailbox {
 // enqueue delivers one message. It never blocks: a full ring spills to the
 // overflow list. Safe for any number of concurrent producers.
 func (b *mailbox) enqueue(msg platform.Message) {
+	tel := b.e.h.tel
 	if b.ovSet.Load() {
 		// Once one producer has spilled, all producers spill until the
 		// consumer drains the list; otherwise a fresh ring entry could be
@@ -103,8 +108,17 @@ func (b *mailbox) enqueue(msg platform.Message) {
 			if b.tail.CompareAndSwap(pos, pos+1) {
 				c.msg = msg
 				c.seq.Store(pos + 1)
+				if tel != nil {
+					tel.cEnq.Inc()
+					if d := int64(pos+1) - int64(b.head.Load()); d > 0 {
+						tel.gDepth.Set(d)
+					}
+				}
 				b.notify()
 				return
+			}
+			if tel != nil {
+				tel.cCAS.Inc()
 			}
 			pos = b.tail.Load()
 		case seq < pos:
@@ -113,6 +127,9 @@ func (b *mailbox) enqueue(msg platform.Message) {
 			return
 		default:
 			// Another producer advanced tail past us; retry at the front.
+			if tel != nil {
+				tel.cCAS.Inc()
+			}
 			pos = b.tail.Load()
 		}
 	}
@@ -121,8 +138,14 @@ func (b *mailbox) enqueue(msg platform.Message) {
 func (b *mailbox) spill(msg platform.Message) {
 	b.ovMu.Lock()
 	b.overflow = append(b.overflow, msg)
+	depth := len(b.overflow)
 	b.ovSet.Store(true)
 	b.ovMu.Unlock()
+	if tel := b.e.h.tel; tel != nil {
+		tel.cSpill.Inc()
+		b.e.del.spills.Add(1)
+		tel.tr.Instant(trace.InstRingSpill, b.e.rank, 0, int64(b.tag), int64(depth))
+	}
 	b.notify()
 }
 
@@ -130,6 +153,9 @@ func (b *mailbox) spill(msg platform.Message) {
 // case) this is one atomic load.
 func (b *mailbox) notify() {
 	if b.waiting.Load() && b.waiting.CompareAndSwap(true, false) {
+		if tel := b.e.h.tel; tel != nil {
+			tel.cWake.Inc()
+		}
 		select {
 		case b.wake <- struct{}{}:
 		default:
@@ -146,6 +172,9 @@ func (b *mailbox) tryDequeue() (platform.Message, bool) {
 		c.msg = platform.Message{}
 		c.seq.Store(pos + ringSize)
 		b.head.Store(pos + 1)
+		if tel := b.e.h.tel; tel != nil {
+			tel.cDeq.Inc()
+		}
 		return msg, true
 	}
 	if b.ovSet.Load() {
@@ -154,11 +183,29 @@ func (b *mailbox) tryDequeue() (platform.Message, bool) {
 	return platform.Message{}, false
 }
 
+// Depth reports the queued backlog: ring occupancy plus any overflow. Exact
+// for the single consumer between its own dequeues; an approximation while
+// producers race it. Core's page servers poll it for the per-shard queue
+// depth gauge.
+func (b *mailbox) Depth() int {
+	d := int(int64(b.tail.Load()) - int64(b.head.Load()))
+	if d < 0 {
+		d = 0
+	}
+	if b.ovSet.Load() {
+		b.ovMu.Lock()
+		d += len(b.overflow)
+		b.ovMu.Unlock()
+	}
+	return d
+}
+
 // unspill consumes from the overflow list. Acquiring ovMu synchronizes with
 // every producer that spilled, which makes their earlier ring publications
 // visible — so one more ring check under the lock keeps per-producer FIFO:
 // a producer's ring entries are always consumed before its spilled ones.
 func (b *mailbox) unspill() (platform.Message, bool) {
+	tel := b.e.h.tel
 	b.ovMu.Lock()
 	pos := b.head.Load()
 	c := &b.cells[pos&ringMask]
@@ -168,6 +215,9 @@ func (b *mailbox) unspill() (platform.Message, bool) {
 		c.seq.Store(pos + ringSize)
 		b.head.Store(pos + 1)
 		b.ovMu.Unlock()
+		if tel != nil {
+			tel.cDeq.Inc()
+		}
 		return msg, true
 	}
 	if len(b.overflow) == 0 {
@@ -183,6 +233,10 @@ func (b *mailbox) unspill() (platform.Message, bool) {
 		b.ovSet.Store(false)
 	}
 	b.ovMu.Unlock()
+	if tel != nil {
+		tel.cUnspill.Inc()
+		tel.cDeq.Inc()
+	}
 	return msg, true
 }
 
@@ -191,8 +245,12 @@ func (b *mailbox) unspill() (platform.Message, bool) {
 // failed, so a dead peer cannot leave this process parked forever.
 func (b *mailbox) Recv(platform.Proc) (platform.Message, bool) {
 	h := b.e.h
+	tel := h.tel
 	for i := 0; i < spinBudget; i++ {
 		if msg, ok := b.tryDequeue(); ok {
+			if tel != nil && i > 0 {
+				tel.cSpinHit.Inc()
+			}
 			return msg, true
 		}
 		if h.failed.Load() {
@@ -200,6 +258,9 @@ func (b *mailbox) Recv(platform.Proc) (platform.Message, bool) {
 		}
 		runtime.Gosched()
 	}
+	parked := false
+	var parkT0 time.Time
+	var spanT0 sim.Time
 	for {
 		// Publish intent to park, then re-check: a producer that enqueued
 		// after our last poll either sees waiting and sends the token, or
@@ -212,17 +273,41 @@ func (b *mailbox) Recv(platform.Proc) (platform.Message, bool) {
 			case <-b.wake: // drop a token raced in by a producer
 			default:
 			}
+			if parked {
+				b.endPark(parkT0, spanT0)
+			}
 			return msg, true
 		}
 		if h.failed.Load() {
 			b.waiting.Store(false)
 			panic(killSentinel{})
 		}
+		if tel != nil && !parked {
+			parked = true
+			tel.cPark.Inc()
+			b.e.del.parks.Add(1)
+			parkT0 = time.Now()
+			spanT0 = tel.tr.Now()
+		}
 		select {
 		case <-b.wake:
 		case <-h.down:
 		}
 	}
+}
+
+// endPark closes out one park episode: wall time spent parked feeds the
+// park-latency histogram, the endpoint's stall attribution, and (when spans
+// are on) a recv.park span on the rank's track.
+func (b *mailbox) endPark(parkT0 time.Time, spanT0 sim.Time) {
+	tel := b.e.h.tel
+	if tel == nil {
+		return
+	}
+	d := time.Since(parkT0).Nanoseconds()
+	tel.hParkNs.Observe(d)
+	b.e.del.parkNs.Add(d)
+	tel.tr.Span(trace.SpanRecvPark, b.e.rank, spanT0, 0, int64(b.tag), 0)
 }
 
 // TryRecv dequeues a pending message without blocking.

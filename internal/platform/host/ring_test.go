@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dsmtx/internal/platform"
+	"dsmtx/internal/trace"
 )
 
 func testBox(t *testing.T) *mailbox {
@@ -172,6 +173,99 @@ func TestRingMultiProducerStress(t *testing.T) {
 	}
 	if msg, ok := box.TryRecv(); ok {
 		t.Fatalf("stray message after full consumption: %+v", msg)
+	}
+}
+
+// TestRingSpillCountersStorm drives an 8-producer overflow storm into one
+// unconsumed mailbox with the delivery telemetry attached, then drains it
+// single-threaded. The counters must be exact — every message is either a
+// ring enqueue or a spill, every spill is eventually unspilled, every
+// message is dequeued exactly once — and the once-spilled-always-spill rule
+// must keep per-producer FIFO order across the ring/overflow boundary.
+// Under -race this doubles as the data-race audit of the counter hooks.
+func TestRingSpillCountersStorm(t *testing.T) {
+	const producers = 8
+	perProducer := 4000
+	if testing.Short() {
+		perProducer = 500
+	}
+	h := New(producers+1, nil)
+	tr := trace.NewMetricsOnly()
+	h.SetTracer(tr)
+	box := h.Endpoint(producers).Mailbox(platform.AnySource, 5)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for src := 0; src < producers; src++ {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ep := h.Endpoint(src)
+			for i := 0; i < perProducer; i++ {
+				ep.Send(producers, 5, nil, i)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	// No consumer ran, so all but ringSize messages must have spilled.
+	total := uint64(producers * perProducer)
+	m := tr.Metrics()
+	if spills := m.Counter("host.ring.spill").Value(); spills < total-ringSize {
+		t.Fatalf("spills = %d, want >= %d (ring holds only %d)", spills, total-ringSize, ringSize)
+	}
+
+	nextFrom := make([]int, producers)
+	for n := uint64(0); n < total; n++ {
+		msg, ok := box.TryRecv()
+		if !ok {
+			t.Fatalf("backlog dry after %d of %d messages", n, total)
+		}
+		if msg.Bytes != nextFrom[msg.From] {
+			t.Fatalf("source %d delivered %d, want %d: spill broke per-producer FIFO",
+				msg.From, msg.Bytes, nextFrom[msg.From])
+		}
+		nextFrom[msg.From]++
+	}
+	if msg, ok := box.TryRecv(); ok {
+		t.Fatalf("stray message after full drain: %+v", msg)
+	}
+
+	enq := m.Counter("host.ring.enqueue").Value()
+	deq := m.Counter("host.ring.dequeue").Value()
+	spill := m.Counter("host.ring.spill").Value()
+	unspill := m.Counter("host.ring.unspill").Value()
+	if enq+spill != total {
+		t.Errorf("enqueue %d + spill %d != %d sends", enq, spill, total)
+	}
+	if deq != total {
+		t.Errorf("dequeue = %d, want %d", deq, total)
+	}
+	if unspill != spill {
+		t.Errorf("unspill = %d, want %d (every spilled message folds back exactly once)", unspill, spill)
+	}
+	if _, _, epSpills := h.RankDelivery(producers); epSpills != spill {
+		t.Errorf("RankDelivery spills = %d, counter says %d", epSpills, spill)
+	}
+}
+
+// TestInstrumentedRingOpsAllocFree pins the instrumented hot path at zero
+// allocations: attaching the tracer must cost counters' atomic adds only,
+// never a heap allocation, on the enqueue/dequeue cycle.
+func TestInstrumentedRingOpsAllocFree(t *testing.T) {
+	h := New(2, nil)
+	h.SetTracer(trace.NewMetricsOnly())
+	box := h.Endpoint(1).Mailbox(0, 1).(*mailbox)
+	allocs := testing.AllocsPerRun(1000, func() {
+		box.enqueue(platform.Message{From: 0, Tag: 1})
+		if _, ok := box.tryDequeue(); !ok {
+			t.Fatal("enqueued message not dequeued")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented enqueue/dequeue allocates %.1f per op, want 0", allocs)
 	}
 }
 

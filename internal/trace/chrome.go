@@ -19,8 +19,12 @@ import (
 // The output is deterministic: metadata sorted by track id, events in
 // recording order (which is itself deterministic under the simulation
 // kernel's total event order), and all JSON hand-assembled with fixed
-// field order.
+// field order. Wall-clock (host) traces flush their per-track buffers
+// first — events come out grouped by track, sorted by start time — and
+// carry a top-level "clock":"wall" marker so validators know per-track
+// start-time monotonicity is guaranteed (Perfetto ignores the extra key).
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.flush()
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"traceEvents\":[\n")
 	first := true
@@ -59,7 +63,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			t.writeEvent(bw, &t.events[i])
 		}
 	}
-	bw.WriteString("\n]}\n")
+	bw.WriteString("\n]")
+	if t.Wall() {
+		bw.WriteString(`,"clock":"wall"`)
+	}
+	bw.WriteString("}\n")
 	return bw.Flush()
 }
 

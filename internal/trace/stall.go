@@ -27,6 +27,17 @@ type StallRow struct {
 	Stage string // aggregation key: "S0".."Sn", "trycommit", "commit", "pagesrv"
 
 	Busy, Backpressure, Starvation, VerdictWait, Recovery, Crashed, Blocked sim.Time
+
+	// Host-delivery columns, populated only on the host backend (the report
+	// renders them when StallReport.Host is set). Park is wall time the
+	// rank's endpoint spent parked in mailbox waits — attributed at endpoint
+	// granularity, so the commit rank's row includes its co-located
+	// page-server shards. Spills counts overflow spills into the rank's
+	// mailboxes. ShardQueue is the high-water request backlog of a
+	// page-server shard (zero on other rows).
+	Park       sim.Time
+	Spills     uint64
+	ShardQueue int64
 }
 
 // Total is the row's accounted virtual time.
@@ -34,9 +45,12 @@ func (r *StallRow) Total() sim.Time {
 	return r.Busy + r.Backpressure + r.Starvation + r.VerdictWait + r.Recovery + r.Crashed + r.Blocked
 }
 
-// StallReport collects per-rank stall rows for one or more runs.
+// StallReport collects per-rank stall rows for one or more runs. Host marks
+// a report carrying host-delivery data; its tables then grow the park /
+// spill / shard-q columns.
 type StallReport struct {
 	Rows []StallRow
+	Host bool
 }
 
 // Add appends a row.
@@ -62,22 +76,41 @@ func (r *StallReport) Merge(o *StallReport) {
 			dst.Recovery += row.Recovery
 			dst.Crashed += row.Crashed
 			dst.Blocked += row.Blocked
+			dst.Park += row.Park
+			dst.Spills += row.Spills
+			if row.ShardQueue > dst.ShardQueue {
+				dst.ShardQueue = row.ShardQueue
+			}
 		} else {
 			byLabel[row.Label] = len(r.Rows)
 			r.Rows = append(r.Rows, row)
 		}
 	}
+	r.Host = r.Host || o.Host
 }
 
 var stallHeader = []string{"rank", "total", "busy", "backpressure", "starvation", "verdict-wait", "recovery", "crashed", "blocked"}
 
+// hostHeader extends stallHeader with the host-delivery columns.
+var hostHeader = []string{"park", "spill", "shard-q"}
+
+// header builds the table header, swapping the first column's label and
+// appending the host columns when the report carries host data.
+func (r *StallReport) header(first string) []string {
+	h := append([]string{first}, stallHeader[1:]...)
+	if r.Host {
+		h = append(h, hostHeader...)
+	}
+	return h
+}
+
 // Table renders the per-rank breakdown; each cause shows time and its share
 // of the rank's total.
 func (r *StallReport) Table() *stats.Table {
-	t := &stats.Table{Header: stallHeader}
+	t := &stats.Table{Header: r.header(stallHeader[0])}
 	for i := range r.Rows {
 		row := &r.Rows[i]
-		t.AddRow(stallCells(row.Label, row)...)
+		t.AddRow(stallCells(row.Label, row, r.Host)...)
 	}
 	return t
 }
@@ -85,8 +118,7 @@ func (r *StallReport) Table() *stats.Table {
 // StageTable renders the same breakdown aggregated by pipeline stage — the
 // pipeline-balance summary dsmtxrun prints.
 func (r *StallReport) StageTable() *stats.Table {
-	t := &stats.Table{Header: append([]string{}, stallHeader...)}
-	t.Header[0] = "stage"
+	t := &stats.Table{Header: r.header("stage")}
 	agg := make(map[string]*StallRow)
 	var order []string
 	for i := range r.Rows {
@@ -104,14 +136,19 @@ func (r *StallReport) StageTable() *stats.Table {
 		a.Recovery += row.Recovery
 		a.Crashed += row.Crashed
 		a.Blocked += row.Blocked
+		a.Park += row.Park
+		a.Spills += row.Spills
+		if row.ShardQueue > a.ShardQueue {
+			a.ShardQueue = row.ShardQueue
+		}
 	}
 	for _, stage := range order {
-		t.AddRow(stallCells(stage, agg[stage])...)
+		t.AddRow(stallCells(stage, agg[stage], r.Host)...)
 	}
 	return t
 }
 
-func stallCells(name string, r *StallRow) []string {
+func stallCells(name string, r *StallRow, host bool) []string {
 	total := r.Total()
 	cell := func(v sim.Time) string {
 		if total == 0 {
@@ -119,11 +156,18 @@ func stallCells(name string, r *StallRow) []string {
 		}
 		return fmt.Sprintf("%s (%4.1f%%)", fmtDur(v), 100*float64(v)/float64(total))
 	}
-	return []string{
+	cells := []string{
 		name, fmtDur(total),
 		cell(r.Busy), cell(r.Backpressure), cell(r.Starvation),
 		cell(r.VerdictWait), cell(r.Recovery), cell(r.Crashed), cell(r.Blocked),
 	}
+	if host {
+		cells = append(cells,
+			fmtDur(r.Park),
+			fmt.Sprintf("%d", r.Spills),
+			fmt.Sprintf("%d", r.ShardQueue))
+	}
+	return cells
 }
 
 // fmtDur renders virtual nanoseconds with a human unit.

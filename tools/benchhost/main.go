@@ -60,6 +60,7 @@ type Sweep struct {
 type HostSpeedupRow struct {
 	Bench   string  `json:"bench"`
 	Ranks   int     `json:"ranks"`
+	Input   string  `json:"input,omitempty"` // "" = default scale; "big" = -speedup-input big
 	HostMs  float64 `json:"host_ms"`
 	SeqMs   float64 `json:"seq_ms"`
 	Speedup float64 `json:"speedup"`
@@ -143,20 +144,55 @@ func measureSweep(parallel int) (*Sweep, error) {
 	return &s, nil
 }
 
+// speedupInput labels one problem size the speedup rows run with.
+type speedupInput struct {
+	label string // row's Input field; "" = default scale
+	in    workloads.Input
+}
+
+// speedupInputs resolves the -speedup-input mode. The default input keeps
+// per-PR rows comparable with history; "big" scales the problem up so
+// 32/96-rank runs have enough iterations per rank for the protocol's fixed
+// costs to amortize — the row that actually measures scaling.
+func speedupInputs(mode string) ([]speedupInput, error) {
+	def := speedupInput{"", workloads.DefaultInput()}
+	big := speedupInput{"big", workloads.Input{Scale: 8, Seed: 42}}
+	switch mode {
+	case "default":
+		return []speedupInput{def}, nil
+	case "big":
+		return []speedupInput{big}, nil
+	case "both":
+		return []speedupInput{def, big}, nil
+	}
+	return nil, fmt.Errorf("unknown -speedup-input %q (have default, big, both)", mode)
+}
+
 // measureHostSpeedup runs gzip and crc32 once sequentially and once on the
 // host backend at each rank count, in-process, and reports best-of-reps
 // wall clocks. These are end-to-end runtime measurements (protocol,
 // mailboxes, page service), not a claim about application-level scaling:
 // the sequential reference carries the simulator's cost-accounting and the
 // host run carries full protocol overhead.
-func measureHostSpeedup(reps int) ([]HostSpeedupRow, error) {
+func measureHostSpeedup(reps int, inputs []speedupInput) ([]HostSpeedupRow, error) {
+	var rows []HostSpeedupRow
+	for _, input := range inputs {
+		r, err := measureHostSpeedupInput(reps, input.label, input.in)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+func measureHostSpeedupInput(reps int, label string, in workloads.Input) ([]HostSpeedupRow, error) {
 	var rows []HostSpeedupRow
 	for _, name := range []string{"164.gzip", "crc32"} {
 		b, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		in := workloads.DefaultInput()
 		seq := time.Duration(-1)
 		for r := 0; r < reps; r++ {
 			t0 := time.Now()
@@ -187,12 +223,17 @@ func measureHostSpeedup(reps int) ([]HostSpeedupRow, error) {
 			rows = append(rows, HostSpeedupRow{
 				Bench:   name,
 				Ranks:   ranks,
+				Input:   label,
 				HostMs:  float64(host.Microseconds()) / 1000,
 				SeqMs:   float64(seq.Microseconds()) / 1000,
 				Speedup: seq.Seconds() / host.Seconds(),
 			})
-			log.Printf("speedup: %s ranks=%d host=%.1fms seq=%.1fms speedup=%.2fx",
-				name, ranks, float64(host.Microseconds())/1000, float64(seq.Microseconds())/1000,
+			inputNote := ""
+			if label != "" {
+				inputNote = " input=" + label
+			}
+			log.Printf("speedup: %s%s ranks=%d host=%.1fms seq=%.1fms speedup=%.2fx",
+				name, inputNote, ranks, float64(host.Microseconds())/1000, float64(seq.Microseconds())/1000,
 				seq.Seconds()/host.Seconds())
 		}
 	}
@@ -209,8 +250,13 @@ func main() {
 		keep      = flag.Bool("keep-label", false, "abort instead of replacing an existing entry with the same label")
 		parallel  = flag.Int("sweep-parallel", runtime.GOMAXPROCS(0), "worker count for the dsmtxbench sweep (0 disables the sweep)")
 		speedReps = flag.Int("speedup-reps", 3, "repetitions (best-of) for the host-vs-sequential speedup rows (0 disables them)")
+		speedIn   = flag.String("speedup-input", "default", "problem size for the speedup rows: default, big (8x scale), or both")
 	)
 	flag.Parse()
+	inputs, err := speedupInputs(*speedIn)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "BenchmarkHost",
 		"-benchmem", "-benchtime", *benchtime, "-count", "1", ".")
@@ -244,7 +290,7 @@ func main() {
 	}
 
 	if *speedReps > 0 {
-		rows, err := measureHostSpeedup(*speedReps)
+		rows, err := measureHostSpeedup(*speedReps, inputs)
 		if err != nil {
 			log.Fatalf("host speedup: %v", err)
 		}

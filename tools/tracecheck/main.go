@@ -1,11 +1,14 @@
 // Command tracecheck validates a Chrome trace-event JSON file produced by
-// the dsmtx virtual-time tracer: well-formed JSON, the trace-event fields
-// Perfetto requires, monotone non-negative durations, per-rank metadata
-// covering every thread that has events, and event names restricted to the
-// tracer's published vocabulary (trace.KnownEventNames) — so a renamed or
-// misspelled span fails the build rather than silently vanishing from
-// timeline queries. CI runs it over the trace-demo and resilience-demo
-// outputs.
+// the dsmtx tracer (virtual-time or host wall-clock): well-formed JSON, the
+// trace-event fields Perfetto requires, monotone non-negative durations,
+// per-rank metadata covering every thread that has events, and event names
+// restricted to the tracer's published vocabulary (trace.KnownEventNames) —
+// so a renamed or misspelled span fails the build rather than silently
+// vanishing from timeline queries. Wall-clock traces (top-level
+// "clock":"wall", emitted by host runs) additionally promise per-track
+// start-time monotonicity — the exporter sorts each rank's span buffer —
+// and tracecheck enforces it. CI runs it over the trace-demo,
+// resilience-demo and host-trace-demo outputs.
 //
 // Usage:
 //
@@ -34,6 +37,7 @@ type event struct {
 
 type traceFile struct {
 	TraceEvents []event `json:"traceEvents"`
+	Clock       string  `json:"clock"` // "wall" on host traces; empty on vtime
 }
 
 // metadataNames are the Chrome metadata records the exporter emits beside
@@ -68,6 +72,22 @@ func check(data []byte) (string, error) {
 	eventTids := make(map[int]int)
 	spans, instants := 0, 0
 	kinds := make(map[string]int)
+	lastTs := make(map[int]float64) // tid -> last event ts (wall monotonicity)
+	wall := tf.Clock == "wall"
+	if tf.Clock != "" && !wall {
+		return "", fmt.Errorf("unknown clock %q (have wall, or omit for vtime)", tf.Clock)
+	}
+	checkMono := func(i int, e *event, ts float64) error {
+		if !wall {
+			return nil
+		}
+		if prev, ok := lastTs[*e.Tid]; ok && ts < prev {
+			return fmt.Errorf("event %d (%q): wall-clock ts %g regresses below %g on tid %d",
+				i, e.Name, ts, prev, *e.Tid)
+		}
+		lastTs[*e.Tid] = ts
+		return nil
+	}
 	for i, e := range tf.TraceEvents {
 		if e.Pid == nil || e.Tid == nil {
 			return "", fmt.Errorf("event %d (%q): missing pid/tid", i, e.Name)
@@ -99,6 +119,9 @@ func check(data []byte) (string, error) {
 			if ts < 0 || dur < 0 {
 				return "", fmt.Errorf("event %d (%q): negative ts/dur (%g, %g)", i, e.Name, ts, dur)
 			}
+			if err := checkMono(i, &e, ts); err != nil {
+				return "", err
+			}
 			spans++
 			kinds[e.Name]++
 			eventTids[*e.Tid]++
@@ -106,8 +129,12 @@ func check(data []byte) (string, error) {
 			if !known[e.Name] {
 				return "", fmt.Errorf("event %d: instant name %q is not in the tracer vocabulary", i, e.Name)
 			}
-			if _, err := usec(e.Ts); err != nil {
+			ts, err := usec(e.Ts)
+			if err != nil {
 				return "", fmt.Errorf("event %d (%q): bad ts %s: %v", i, e.Name, e.Ts, err)
+			}
+			if err := checkMono(i, &e, ts); err != nil {
+				return "", err
 			}
 			instants++
 			kinds[e.Name]++
@@ -124,8 +151,12 @@ func check(data []byte) (string, error) {
 			return "", fmt.Errorf("thread %d has %d events but no thread_name metadata", tid, eventTids[tid])
 		}
 	}
-	return fmt.Sprintf("%d spans + %d instants across %d named tracks, %d event kinds",
-		spans, instants, len(eventTids), len(kinds)), nil
+	clk := "vtime"
+	if wall {
+		clk = "wall clock"
+	}
+	return fmt.Sprintf("%d spans + %d instants across %d named tracks, %d event kinds (%s)",
+		spans, instants, len(eventTids), len(kinds), clk), nil
 }
 
 func main() {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -54,6 +55,105 @@ func TestCheckAcceptsRealFaultedTrace(t *testing.T) {
 		trace.InstRetransmit.String()} {
 		if !bytes.Contains(data, []byte(`"`+name+`"`)) {
 			t.Errorf("faulted trace missing %q events", name)
+		}
+	}
+}
+
+// hostTrace produces a wall-clock Chrome trace from a live host-backend run.
+func hostTrace(t *testing.T) []byte {
+	t.Helper()
+	b, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	if _, err := workloads.RunParallel(b, workloads.DefaultInput(), workloads.DSMTX, 8,
+		func(cfg *core.Config) {
+			cfg.Tracer = tr
+			cfg.Backend = core.BackendHost
+		}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckAcceptsLiveHostTrace(t *testing.T) {
+	summary, err := check(hostTrace(t))
+	if err != nil {
+		t.Fatalf("check rejected a live host trace: %v", err)
+	}
+	if !strings.Contains(summary, "wall clock") {
+		t.Fatalf("summary does not identify the wall clock: %q", summary)
+	}
+}
+
+// TestCheckAcceptsHostFixture validates the captured host trace committed as
+// testdata, pinning the wall-clock file format (clock marker, per-track
+// monotone timestamps, host vocabulary) independently of the live runtime.
+func TestCheckAcceptsHostFixture(t *testing.T) {
+	data, err := os.ReadFile("testdata/host_trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := check(data)
+	if err != nil {
+		t.Fatalf("check rejected the host fixture: %v", err)
+	}
+	if !strings.Contains(summary, "wall clock") {
+		t.Fatalf("summary does not identify the wall clock: %q", summary)
+	}
+	if !bytes.Contains(data, []byte(`"`+trace.SpanPageServe.String()+`"`)) {
+		t.Errorf("host fixture missing %q events", trace.SpanPageServe.String())
+	}
+}
+
+// TestCheckWallClockRules covers the wall-clock extensions as a table: the
+// host delivery vocabulary is accepted, per-track timestamp regressions are
+// rejected only under "clock":"wall", and unknown clocks fail.
+func TestCheckWallClockRules(t *testing.T) {
+	const meta = `{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"worker0"}}`
+	cases := []struct {
+		name string
+		data string
+		want string // error substring; empty = must pass
+	}{
+		{"host vocabulary accepted", `{"traceEvents":[` + meta + `,
+			{"name":"recv.park","ph":"X","pid":0,"tid":0,"ts":0,"dur":2},
+			{"name":"pagesrv.shard","ph":"X","pid":0,"tid":0,"ts":3,"dur":1},
+			{"name":"ring.spill","ph":"i","s":"t","pid":0,"tid":0,"ts":5}],
+			"clock":"wall"}`, ""},
+		{"wall regression rejected", `{"traceEvents":[` + meta + `,
+			{"name":"recv.park","ph":"X","pid":0,"tid":0,"ts":9,"dur":1},
+			{"name":"recv.park","ph":"X","pid":0,"tid":0,"ts":4,"dur":1}],
+			"clock":"wall"}`, "regresses"},
+		{"vtime tolerates regression", `{"traceEvents":[` + meta + `,
+			{"name":"subTX","ph":"X","pid":0,"tid":0,"ts":9,"dur":1},
+			{"name":"subTX","ph":"X","pid":0,"tid":0,"ts":4,"dur":1}]}`, ""},
+		{"instant regression rejected", `{"traceEvents":[` + meta + `,
+			{"name":"recv.park","ph":"X","pid":0,"tid":0,"ts":9,"dur":1},
+			{"name":"ring.spill","ph":"i","s":"t","pid":0,"tid":0,"ts":4}],
+			"clock":"wall"}`, "regresses"},
+		{"independent tracks may interleave", `{"traceEvents":[` + meta + `,
+			{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"worker1"}},
+			{"name":"recv.park","ph":"X","pid":0,"tid":0,"ts":9,"dur":1},
+			{"name":"recv.park","ph":"X","pid":0,"tid":1,"ts":4,"dur":1}],
+			"clock":"wall"}`, ""},
+		{"unknown clock rejected", `{"traceEvents":[` + meta + `,
+			{"name":"subTX","ph":"X","pid":0,"tid":0,"ts":0,"dur":1}],
+			"clock":"tai"}`, "unknown clock"},
+	}
+	for _, tc := range cases {
+		_, err := check([]byte(tc.data))
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
 		}
 	}
 }
