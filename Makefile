@@ -5,9 +5,10 @@
 # timeline (crash/re-dispatch spans included); `make host-demo` runs one
 # benchmark live on the host execution backend and checks its checksum;
 # `make host-trace-demo` does the same with the wall-clock tracer attached
-# and validates the exported timeline.
+# and validates the exported timeline; `make shard-demo` does the same with
+# the commit pipeline partitioned across four commit shards.
 
-.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo host-trace-demo
+.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo host-trace-demo shard-demo
 
 verify:
 	./verify.sh
@@ -41,6 +42,14 @@ host-trace-demo:
 	timeout 60 go run ./cmd/dsmtxrun -bench crc32 -cores 8 -misspec 0.02 -backend host \
 		-trace host-trace-demo.json | tee /dev/stderr | grep -q VERIFIED
 	go run ./tools/tracecheck host-trace-demo.json
+
+# Run crc32 live on the host backend with the commit pipeline sharded
+# across four commit units (consistent-hash page ownership, ordered
+# cross-shard votes) and enough misspeculation to force cross-shard
+# recovery; the output checksum must still verify against the vtime
+# sequential reference.
+shard-demo:
+	timeout 60 go run ./cmd/dsmtxrun -bench crc32 -cores 16 -commit-shards 4 -misspec 0.02 -backend host | tee /dev/stderr | grep -q VERIFIED
 
 # Run crc32 under message loss plus a mid-run worker crash, verify the
 # output checksum against the sequential reference, and validate the trace:

@@ -7,6 +7,7 @@
 //	dsmtxbench -figure 4 -bench 164.gzip # one panel
 //	dsmtxbench -figure 5a | -figure 5b | -figure 6 | -figure 1
 //	dsmtxbench -figure r                 # resilience: speedup under injected faults
+//	dsmtxbench -figure s                 # commit-shard sweep at 512-1024 cores
 //	dsmtxbench -table 2
 //	dsmtxbench -micro                    # §5.3 queue-vs-MPI bandwidth
 //	dsmtxbench -all
@@ -98,7 +99,7 @@ func defaultCacheDir() string {
 func parseFlags(args []string) (*options, error) {
 	o := &options{}
 	fs := flag.NewFlagSet("dsmtxbench", flag.ContinueOnError)
-	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 3, 4, 5a, 5b, 6 or r (resilience)")
+	fs.StringVar(&o.figure, "figure", "", "figure to regenerate: 1, 3, 4, 5a, 5b, 6, r (resilience) or s (commit sharding)")
 	fs.IntVar(&o.table, "table", 0, "table to regenerate: 2")
 	fs.BoolVar(&o.micro, "micro", false, "run the §5.3 queue-vs-MPI micro-benchmark")
 	fs.BoolVar(&o.manycore, "manycore", false, "run the §7 coherence-free manycore comparison")
@@ -127,9 +128,9 @@ func parseFlags(args []string) (*options, error) {
 	}
 
 	switch o.figure {
-	case "", "1", "3", "4", "5a", "5b", "6", "r":
+	case "", "1", "3", "4", "5a", "5b", "6", "r", "s":
 	default:
-		return nil, fmt.Errorf("unknown -figure %q (have 1, 3, 4, 5a, 5b, 6, r)", o.figure)
+		return nil, fmt.Errorf("unknown -figure %q (have 1, 3, 4, 5a, 5b, 6, r, s)", o.figure)
 	}
 	if o.table != 0 && o.table != 2 {
 		return nil, fmt.Errorf("unknown -table %d (have 2)", o.table)
@@ -286,6 +287,12 @@ func run(o *options, stdout, stderr io.Writer) error {
 		}
 		ran = true
 	}
+	if o.all || o.figure == "s" {
+		if err := runFigureS(runner, in, stdout); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("nothing selected; use -all, -figure, -table, -micro, -manycore, -trace or -benchhost")
 	}
@@ -372,6 +379,17 @@ func prefetchSpecs(o *options, in workloads.Input) []harness.PointSpec {
 			}
 			for _, c := range harness.FigRCores() {
 				specs = append(specs, harness.PointsFigureR(b, in, c)...)
+			}
+		}
+	}
+	if o.all || o.figure == "s" {
+		for _, name := range harness.FigSBenches() {
+			b, err := workloads.ByName(name)
+			if err != nil {
+				continue
+			}
+			for _, c := range harness.FigSCores() {
+				specs = append(specs, harness.PointsFigureS(b, in, c)...)
 			}
 		}
 	}
@@ -591,5 +609,24 @@ func runFigureR(r *harness.Runner, in workloads.Input, stdout io.Writer) error {
 		}
 	}
 	fmt.Fprintln(stdout, harness.RenderFigureR(rows))
+	return nil
+}
+
+func runFigureS(r *harness.Runner, in workloads.Input, stdout io.Writer) error {
+	var rows []harness.FigSRow
+	for _, name := range harness.FigSBenches() {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, c := range harness.FigSCores() {
+			row, err := r.RunFigureS(b, in, c)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Fprintln(stdout, harness.RenderFigureS(rows))
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sync/atomic"
 
@@ -13,12 +14,19 @@ import (
 	"dsmtx/internal/uva"
 )
 
-// cuNode is the commit unit: the only process holding authoritative memory.
-// It executes the sequential portions of the program, commits each validated
-// MTX atomically by applying its forwarded stores in subTX order (group
-// transaction commit), and orchestrates misspeculation recovery.
+// cuNode is one commit unit. With a single commit shard it is the paper's
+// commit unit: the only process holding authoritative memory, executing the
+// sequential portions, committing each validated MTX atomically (group
+// transaction commit) and orchestrating misspeculation recovery. With
+// CommitShards > 1 each cuNode owns a consistent-hashed partition of the
+// page space: every shard consumes all markers and verdicts (so decisions
+// replicate deterministically), stages and applies only its own partition's
+// writes, and MTXs whose writes span shards commit through an ordered
+// two-phase vote coordinated by the shard owning the MTX's lowest written
+// page. Shard 0 is the lead: Setup, termination and Finalize run there.
 type cuNode struct {
 	sys   *System
+	shard int
 	rank  int
 	proc  platform.Proc
 	comm  *mpi.Comm
@@ -30,6 +38,16 @@ type cuNode struct {
 
 	staged []Entry // group-commit staging buffer, reused across MTXs
 
+	// Cross-shard commit state (CommitShards > 1 only). curMask/curMin
+	// accumulate the current MTX's write-owner mask and lowest written
+	// address from the EndSub markers; votesBox receives ordered 2PC votes
+	// addressed to this shard as coordinator; voteCount buffers early votes
+	// from run-ahead participants (keyed by MTX).
+	curMask   uint64
+	curMin    uva.Addr
+	votesBox  platform.Mailbox
+	voteCount map[uint64]int
+
 	routes   map[uint64]int
 	epoch    uint64
 	pollTime platform.Duration
@@ -38,10 +56,12 @@ type cuNode struct {
 	resumed  platform.Time // time of last recovery resume, 0 if none pending RFP
 
 	// Stall attribution: pollTime split by what the poll was waiting for
-	// (worker store streams vs try-commit verdicts), plus recovery-window
-	// accounting. rfpStart anchors the RFP span in tracer time.
+	// (worker store streams vs try-commit verdicts vs cross-shard votes),
+	// plus recovery-window accounting. rfpStart anchors the RFP span in
+	// tracer time.
 	stallStarve  platform.Duration
 	stallVerdict platform.Duration
+	voteWait     platform.Duration
 	recWall      platform.Duration
 	recAdv       platform.Duration
 	recBlk       platform.Duration
@@ -63,8 +83,45 @@ type cuNode struct {
 	cMissConflict *trace.Counter
 }
 
-func newCUNode(s *System) *cuNode {
-	return &cuNode{sys: s, rank: s.cfg.commitRank(), routes: make(map[uint64]int)}
+func newCUNode(s *System, shard int) *cuNode {
+	c := &cuNode{sys: s, shard: shard, rank: s.cfg.commitShardRank(shard), routes: make(map[uint64]int)}
+	// The image exists from construction (single-threaded, before spawn) so
+	// the lead shard can seed every partition during Setup via the federated
+	// space; with one shard the seed image simply becomes the image.
+	c.img = mem.NewImage(nil)
+	if s.cfg.commitShards() == 1 && s.initialImage != nil {
+		c.img = s.initialImage
+	}
+	c.img.Instrument(s.tr.Metrics())
+	return c
+}
+
+// termVoteKey is the vote key non-lead shards send the lead on loop
+// termination (no MTX carries this id).
+const termVoteKey = ^uint64(0)
+
+// seqSpace is the memory view sequential code (Setup, SeqIter, Finalize)
+// runs against on this shard: the image itself with one commit unit, the
+// federated per-shard view otherwise.
+func (c *cuNode) seqSpace() mem.Space {
+	if c.sys.cfg.commitShards() == 1 {
+		return c.img
+	}
+	imgs := make([]*mem.Image, len(c.sys.cus))
+	for k, cu := range c.sys.cus {
+		imgs[k] = cu.img
+	}
+	return &shardSpace{sys: c.sys, imgs: imgs}
+}
+
+// coordinator resolves the ordered-2PC coordinator for the current MTX: the
+// shard owning the MTX's lowest written page, or the lead for an MTX that
+// wrote nothing.
+func (c *cuNode) coordinator() int {
+	if c.curMask == 0 {
+		return 0
+	}
+	return c.sys.ownerOf(c.curMin.Page())
 }
 
 // crashSignal unwinds the commit loop when a worker crash is detected; the
@@ -77,33 +134,52 @@ func (c *cuNode) run(p platform.Proc) {
 	c.comm.SetTracer(c.sys.tr, c.rank)
 	c.bind()
 
-	seq := &SeqCtx{cfg: c.sys.cfg, proc: p, img: c.img, arena: c.arena, instr: c.sys.instrTime}
-	c.sys.prog.Setup(seq)
-	// Publish the invocation-entry snapshot for Copy-On-Access service,
-	// then open the parallel section: workers must not touch memory before
-	// the sequential state exists.
-	c.sys.publishSnapshots(c.img)
-	for w := 0; w < c.sys.cfg.Workers(); w++ {
-		c.comm.Send(w, tagStart, nil, 8)
-	}
-	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
-		c.comm.Send(c.sys.cfg.tryCommitRank(j), tagStart, nil, 8)
-	}
-	if c.sys.hbOn {
-		// Workers begin heartbeating once they see tagStart; the freshness
-		// clock starts now so setup time is never counted as silence.
-		for i := range c.lastHeard {
-			c.lastHeard[i] = p.Now()
+	seq := &SeqCtx{cfg: c.sys.cfg, proc: p, img: c.seqSpace(), arena: c.arena, instr: c.sys.instrTime}
+	if c.shard == 0 {
+		c.sys.prog.Setup(seq)
+		// Publish the invocation-entry snapshot for Copy-On-Access service,
+		// then open the parallel section: workers must not touch memory
+		// before the sequential state exists. With a sharded pipeline the
+		// lead wrote directly into every shard's image via the federated
+		// space; peer shards have not touched their images yet (they park in
+		// tagStart below), so the cross-image snapshots are race-free.
+		c.sys.publishSnapshots(c.img)
+		for k := 1; k < c.sys.cfg.commitShards(); k++ {
+			c.comm.Send(c.sys.cfg.commitShardRank(k), tagStart, nil, 8)
 		}
+		for w := 0; w < c.sys.cfg.Workers(); w++ {
+			c.comm.Send(w, tagStart, nil, 8)
+		}
+		for j := 0; j < c.sys.cfg.tcUnits(); j++ {
+			c.comm.Send(c.sys.cfg.tryCommitRank(j), tagStart, nil, 8)
+		}
+		if c.sys.hbOn {
+			// Workers begin heartbeating once they see tagStart; the
+			// freshness clock starts now so setup time is never counted as
+			// silence.
+			for i := range c.lastHeard {
+				c.lastHeard[i] = p.Now()
+			}
+		}
+	} else {
+		c.comm.Recv(c.sys.cfg.commitRank(), tagStart) // lead Setup must finish first
 	}
 
 	c.commitLoop(seq)
-	c.sys.stopHeartbeats()
-
-	if f, ok := c.sys.prog.(Finalizer); ok {
-		f.Finalize(seq)
+	if c.shard == 0 {
+		c.sys.stopHeartbeats()
+		if f, ok := c.sys.prog.(Finalizer); ok {
+			f.Finalize(seq)
+		}
 	}
-	// Shut the page-server shards down so the simulation can drain.
+	// Shut this rank's page-server shard(s) down so the simulation can
+	// drain: with a sharded commit pipeline each commit rank hosts exactly
+	// one server on the base request tag; otherwise the single commit rank
+	// hosts every shard.
+	if c.sys.cfg.commitShards() > 1 {
+		c.comm.Endpoint().Send(c.rank, tagPageReq, nil, 8)
+		return
+	}
 	for shard := range c.sys.srvs {
 		c.comm.Endpoint().Send(c.rank, c.sys.cfg.pageReqTag(shard), nil, 8)
 	}
@@ -111,18 +187,24 @@ func (c *cuNode) run(p platform.Proc) {
 
 func (c *cuNode) bind() {
 	c.comm.RegisterBarrierMailboxes()
-	c.img = mem.NewImage(nil)
-	if c.sys.initialImage != nil {
-		c.img = c.sys.initialImage
+	if c.sys.cfg.commitShards() > 1 {
+		// The sequential arena is shared across shards: Setup, recovery
+		// re-execution and Finalize may run on different shards but must
+		// allocate from one bump pointer.
+		c.arena = c.sys.seqArena
+		ep := c.comm.Endpoint()
+		c.votesBox = ep.Mailbox(platform.AnySource, tagCommitVoteBase+c.shard)
+		ep.Mailbox(platform.AnySource, tagCtrl) // recovery epochs from any coordinator
+		c.voteCount = make(map[uint64]int)
+	} else {
+		c.arena = uva.NewArena(0)
 	}
-	c.arena = uva.NewArena(0)
 	for w := 0; w < c.sys.cfg.Workers(); w++ {
-		c.in = append(c.in, newEntryCursor(c.sys.toCUQ[w].Receiver(c.comm)))
+		c.in = append(c.in, newEntryCursor(c.sys.toCUQ[w][c.shard].Receiver(c.comm)))
 	}
 	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
-		c.verdicts = append(c.verdicts, newEntryCursor(c.sys.verdictQ[j].Receiver(c.comm)))
+		c.verdicts = append(c.verdicts, newEntryCursor(c.sys.verdictQ[j][c.shard].Receiver(c.comm)))
 	}
-	c.img.Instrument(c.sys.tr.Metrics())
 	c.cMissWorker = c.sys.tr.Metrics().Counter("misspec.worker")
 	c.cMissConflict = c.sys.tr.Metrics().Counter("misspec.conflict")
 	if c.sys.hbOn {
@@ -155,9 +237,11 @@ func (c *cuNode) commitEpoch(seq *SeqCtx) (done bool) {
 		}
 	}()
 	committer, hasCommitter := c.sys.prog.(Committer)
+	nShards := c.sys.cfg.commitShards()
 	for {
 		iter := c.iter
 		c.staged = c.staged[:0]
+		c.curMask, c.curMin = 0, ^uva.Addr(0)
 		misspec := false
 		terminated := false
 		for s := range c.sys.cfg.Plan.Stages {
@@ -175,6 +259,15 @@ func (c *cuNode) commitEpoch(seq *SeqCtx) (done bool) {
 		if terminated {
 			c.drainTerminates(iter)
 			c.awaitTerminateVerdict()
+			if nShards > 1 {
+				if c.shard != 0 {
+					// Ordered termination vote: tell the lead this shard's
+					// partition is fully committed, then exit.
+					c.comm.Send(c.sys.cfg.commitShardRank(0), tagCommitVoteBase, termVoteKey, 16)
+					return true
+				}
+				c.awaitVotes(termVoteKey, nShards-1)
+			}
 			// Release every parked worker and the try-commit unit.
 			done := ctrlMsg{epoch: c.epoch, done: true}
 			for w := 0; w < c.sys.cfg.Workers(); w++ {
@@ -186,12 +279,26 @@ func (c *cuNode) commitEpoch(seq *SeqCtx) (done bool) {
 			return true
 		}
 		// The verdict arrives after the try-commit unit has validated every
-		// subTX of this MTX.
+		// subTX of this MTX. Every shard consumes the same markers and
+		// verdicts, so the commit/misspeculate decision replicates
+		// identically without communication.
 		markerMiss := misspec
 		if !c.nextVerdict(iter) {
 			misspec = true
 		}
 		if misspec {
+			if nShards > 1 {
+				coord := c.coordinator()
+				if c.shard != coord {
+					// Stop vote: prove this shard reached the failed MTX (and
+					// so consumed every earlier vote) before the coordinator
+					// broadcasts the recovery epoch.
+					c.comm.Send(c.sys.cfg.commitShardRank(coord), tagCommitVoteBase+coord, iter, 16)
+					c.followRecovery(iter)
+					continue
+				}
+				c.awaitVotes(iter, nShards-1)
+			}
 			if markerMiss {
 				c.cMissWorker.Inc()
 			} else {
@@ -203,7 +310,8 @@ func (c *cuNode) commitEpoch(seq *SeqCtx) (done bool) {
 		}
 		spanStart := c.sys.tr.Now()
 		// Group transaction commit: apply all stores in subTX order; the
-		// last write to a location wins.
+		// last write to a location wins. With a sharded pipeline only this
+		// partition's stores were routed here.
 		var bulkBytes int
 		for _, e := range c.staged {
 			if e.Kind == entWriteBlk {
@@ -215,13 +323,17 @@ func (c *cuNode) commitEpoch(seq *SeqCtx) (done bool) {
 		}
 		c.proc.Advance(c.sys.instrTime(int64(len(c.staged))*c.sys.cfg.StoreInstr +
 			int64(float64(bulkBytes)*c.sys.cfg.BulkInstrPerByte)))
-		c.result.Committed++
-		if hasCommitter {
-			committer.Commit(seq, iter)
+		if nShards > 1 {
+			c.shardCommit(iter, spanStart, bulkBytes)
+		} else {
+			c.result.Committed++
+			if hasCommitter {
+				committer.Commit(seq, iter)
+			}
+			c.sys.trace(TraceEvent{Kind: TraceCommit, MTX: iter, Stage: -1, Tid: -1,
+				Start: c.proc.Now(), End: c.proc.Now()})
+			c.sys.tr.Span(trace.SpanCommit, c.rank, spanStart, iter, int64(len(c.staged)), int64(bulkBytes))
 		}
-		c.sys.trace(TraceEvent{Kind: TraceCommit, MTX: iter, Stage: -1, Tid: -1,
-			Start: c.proc.Now(), End: c.proc.Now()})
-		c.sys.tr.Span(trace.SpanCommit, c.rank, spanStart, iter, int64(len(c.staged)), int64(bulkBytes))
 		if c.resumed > 0 {
 			c.result.RFP += c.proc.Now() - c.resumed
 			c.sys.tr.Span(trace.SpanRFP, c.rank, c.rfpStart, iter, 0, 0)
@@ -230,6 +342,93 @@ func (c *cuNode) commitEpoch(seq *SeqCtx) (done bool) {
 		delete(c.routes, iter)
 		c.iter = iter + 1
 	}
+}
+
+// shardCommit finishes a clean MTX under a sharded commit pipeline: the
+// stores are already applied locally; participating shards send the
+// coordinator their ordered prepare vote (the entire 2PC prepare round —
+// the predefined commit order means ordering races cannot abort, only real
+// conflicts, and those were already ruled out by the verdict), and the
+// coordinator collects the votes before counting the MTX committed.
+func (c *cuNode) shardCommit(iter uint64, spanStart platform.Time, bulkBytes int) {
+	coord := c.coordinator()
+	self := uint64(1) << uint(c.shard)
+	if c.curMask&self != 0 {
+		c.sys.tr.Span(trace.SpanShardCommit, c.rank, spanStart, iter, int64(len(c.staged)), int64(bulkBytes))
+	}
+	if c.shard != coord {
+		if c.curMask&self != 0 {
+			c.sys.tr.Instant(trace.InstShardVote, c.rank, iter, int64(coord), 0)
+			c.comm.Send(c.sys.cfg.commitShardRank(coord), tagCommitVoteBase+coord, iter, 16)
+		}
+		return
+	}
+	if need := bits.OnesCount64(c.curMask &^ (1 << uint(coord))); need > 0 {
+		voteStart := c.sys.tr.Now()
+		c.awaitVotes(iter, need)
+		c.sys.tr.Span(trace.SpanShardVoteWait, c.rank, voteStart, iter, int64(need), 0)
+	}
+	c.result.Committed++
+	c.sys.trace(TraceEvent{Kind: TraceCommit, MTX: iter, Stage: -1, Tid: -1,
+		Start: c.proc.Now(), End: c.proc.Now()})
+	c.sys.tr.Span(trace.SpanCommit, c.rank, spanStart, iter, int64(len(c.staged)), int64(bulkBytes))
+}
+
+// awaitVotes blocks until `need` votes for `key` have arrived on this
+// shard's coordinator mailbox. Votes for other MTXs (run-ahead participants
+// of later MTXs this shard will coordinate) are buffered, never dropped.
+func (c *cuNode) awaitVotes(key uint64, need int) {
+	have := c.voteCount[key]
+	delete(c.voteCount, key)
+	backoff := c.sys.cfg.PollMin
+	for have < need {
+		if msg, ok := c.comm.TryRecvBox(c.votesBox); ok {
+			if k := msg.Payload.(uint64); k == key {
+				have++
+			} else {
+				c.voteCount[k]++
+			}
+			continue
+		}
+		c.proc.Advance(backoff)
+		c.pollTime += backoff
+		c.voteWait += backoff
+		if backoff < c.sys.cfg.PollMax {
+			backoff *= 2
+		}
+	}
+}
+
+// followRecovery is the non-coordinator shard's side of a cross-shard
+// recovery: after sending its stop vote the shard awaits the coordinator's
+// epoch broadcast, then runs the standard flush/re-protect barrier dance
+// while the coordinator re-executes the failed iteration sequentially.
+func (c *cuNode) followRecovery(failed uint64) {
+	start := c.proc.Now()
+	trStart := c.sys.tr.Now()
+	adv0, blk0 := c.proc.Advanced(), c.proc.Blocked()
+	msg := c.comm.Recv(platform.AnySource, tagCtrl)
+	cm := msg.Payload.(ctrlMsg)
+	c.epoch = cm.epoch
+
+	c.comm.Barrier(c.sys.allRanks) // B1: everyone is in recovery mode
+	for _, port := range c.in {
+		port.abort(c.epoch)
+	}
+	for _, port := range c.verdicts {
+		port.abort(c.epoch)
+	}
+	c.routes = make(map[uint64]int)
+	c.comm.Barrier(c.sys.allRanks) // B2: queues flushed
+	c.comm.Barrier(c.sys.allRanks) // B3: coordinator re-executed; resume
+
+	end := c.proc.Now()
+	c.recWall += end - start
+	c.recAdv += c.proc.Advanced() - adv0
+	c.recBlk += c.proc.Blocked() - blk0
+	c.sys.tr.Span(trace.SpanRecovery, c.rank, trStart, failed, 0, 0)
+	c.iter = cm.restart
+	c.resumed = 0
 }
 
 // drainSub stages one subTX's stores into the reused staging buffer.
@@ -247,6 +446,13 @@ func (c *cuNode) drainSub(tid int, iter uint64) (misspec, term bool) {
 		case entEndSub:
 			if e.MTX != iter {
 				panic(fmt.Sprintf("core: commit expected EndSub %d from worker %d, got %d", iter, tid, e.MTX))
+			}
+			// Under a sharded pipeline the marker carries the subTX's
+			// write-owner mask (Val) and lowest written address (Addr);
+			// accumulate them so every shard derives the same coordinator.
+			c.curMask |= e.Val
+			if e.Val != 0 && e.Addr < c.curMin {
+				c.curMin = e.Addr
 			}
 			return misspec, false
 		case entTerminate:
@@ -445,6 +651,14 @@ func (c *cuNode) recover(seq *SeqCtx, failed uint64) {
 	for j := 0; j < c.sys.cfg.tcUnits(); j++ {
 		c.comm.Send(c.sys.cfg.tryCommitRank(j), tagCtrl, cm, 24)
 	}
+	// As cross-shard recovery coordinator, release the peer commit shards
+	// parked in followRecovery. Their stop votes arrived before this
+	// broadcast, so none of them can still be committing an earlier MTX.
+	for k := 0; k < c.sys.cfg.commitShards(); k++ {
+		if k != c.shard {
+			c.comm.Send(c.sys.cfg.commitShardRank(k), tagCtrl, cm, 24)
+		}
+	}
 
 	c.comm.Barrier(c.sys.allRanks) // B1: everyone is in recovery mode
 	ermDone := c.proc.Now()
@@ -539,9 +753,15 @@ func newPageServer(s *System, shard int) *pageServer { return &pageServer{sys: s
 func (ps *pageServer) setSnapshot(snap *mem.Image) { ps.snap.Store(snap) }
 
 func (ps *pageServer) run(p platform.Proc) {
+	// With a sharded commit pipeline each commit rank hosts one server for
+	// its own partition on the base request tag; otherwise every server
+	// shard shares the single commit rank and distinguishes by tag.
 	tag := ps.sys.cfg.pageReqTag(ps.shard)
+	if ps.sys.cfg.commitShards() > 1 {
+		tag = tagPageReq
+	}
 	ps.proc = p
-	ps.comm = ps.sys.world.Attach(ps.sys.cfg.commitRank(), p)
+	ps.comm = ps.sys.world.Attach(ps.sys.pageSrvRank(ps.shard), p)
 	box := ps.comm.Endpoint().Mailbox(platform.AnySource, tag)
 	ps.cReq = ps.sys.tr.Metrics().Counter("coa.requests")
 	ps.cPages = ps.sys.tr.Metrics().Counter("coa.pages.served")

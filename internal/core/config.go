@@ -90,6 +90,18 @@ type Config struct {
 	// ... are parallelizable"). 0 or 1 means the paper's single unit.
 	TryCommitUnits int
 
+	// CommitShards partitions the commit pipeline itself: the page space is
+	// consistent-hashed (HRW over 64-page blocks) across this many commit
+	// units, each owning its partition's committed image and running its own
+	// group-commit/COA loop. MTXs whose writes span shards commit through an
+	// ordered two-phase vote: the shard owning the MTX's lowest written page
+	// coordinates, and because the global commit order is predefined the
+	// prepare round is a single ordered vote per participant — ordering races
+	// cannot abort, only real conflicts can. 0 or 1 means the paper's single
+	// commit unit and is byte-identical to the pre-sharding layout on both
+	// backends.
+	CommitShards int
+
 	// OccWindow bounds outstanding iterations per worker under
 	// occupancy-based routing; the router blocks for a completion ack when
 	// every worker is saturated (bounded-queue backpressure).
@@ -204,9 +216,17 @@ func (c Config) tcUnits() int {
 	return c.TryCommitUnits
 }
 
+// commitShards reports the number of commit units (>= 1).
+func (c Config) commitShards() int {
+	if c.CommitShards < 1 {
+		return 1
+	}
+	return c.CommitShards
+}
+
 // Workers reports the number of worker threads (cores minus the try-commit
-// unit(s) and the commit unit).
-func (c Config) Workers() int { return c.TotalCores - 1 - c.tcUnits() }
+// unit(s) and the commit unit(s)).
+func (c Config) Workers() int { return c.TotalCores - c.commitShards() - c.tcUnits() }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
@@ -253,6 +273,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Config.PageServShards = %d exhausts the control tag space (max %d)",
 			c.PageServShards, tagQueueBase-tagPageShardBase-1)
 	}
+	if c.CommitShards < 0 {
+		return fmt.Errorf("core: Config.CommitShards = %d, need >= 0", c.CommitShards)
+	}
+	if base := tagCommitVoteBase + c.commitShards() - 1; base >= tagQueueBase {
+		return fmt.Errorf("core: Config.CommitShards = %d exhausts the control tag space (max %d)",
+			c.CommitShards, tagQueueBase-tagCommitVoteBase)
+	}
+	if c.CommitShards > 1 && c.PageServShards > 1 {
+		return fmt.Errorf("core: Config.PageServShards = %d: with Config.CommitShards = %d the page service is already sharded across the commit ranks",
+			c.PageServShards, c.CommitShards)
+	}
+	if c.CommitShards > 1 && c.Faults.HasCrashes() {
+		return fmt.Errorf("core: Config.CommitShards = %d: crash faults require the single commit unit (worker re-dispatch is lead-only)", c.CommitShards)
+	}
 	if !c.Faults.Empty() {
 		if err := c.Faults.Validate(); err != nil {
 			return err
@@ -281,10 +315,13 @@ func (c Config) Validate() error {
 }
 
 // Rank layout: workers occupy ranks 0..W-1, then the try-commit unit(s),
-// then the commit unit (whose rank also hosts the page-server process).
+// then the commit unit(s) (each commit rank also hosts a page-server
+// process). Commit shard 0 is the lead: it runs Setup, the sequential
+// portions, and termination.
 
-func (c Config) tryCommitRank(shard int) int { return c.Workers() + shard }
-func (c Config) commitRank() int             { return c.Workers() + c.tcUnits() }
+func (c Config) tryCommitRank(shard int) int   { return c.Workers() + shard }
+func (c Config) commitRank() int               { return c.Workers() + c.tcUnits() }
+func (c Config) commitShardRank(shard int) int { return c.commitRank() + shard }
 
 // tcShardBits aligns the shard key: addresses are sharded across try-commit
 // units in 1 MiB regions, so bulk operations almost never straddle shards
@@ -309,7 +346,12 @@ const (
 	// shard 0 keeps tagPageReq so a single-shard system (all of vtime) is
 	// byte-identical to the pre-sharding layout.
 	tagPageShardBase = 7
-	tagQueueBase     = 100
+	// tagCommitVoteBase + k is the ordered 2PC vote tag addressed to commit
+	// shard k acting as coordinator (cross-shard commits, stop votes at a
+	// false decision, and the termination votes to the lead shard). Unused —
+	// and never registered — when CommitShards <= 1.
+	tagCommitVoteBase = 40
+	tagQueueBase      = 100
 )
 
 // pageShardsHostDefault is the auto shard count on the host backend: enough
@@ -323,8 +365,14 @@ const pageShardsHostDefault = 4
 // working sets still spread across them.
 const pageShardBlock = 64
 
-// pageShards resolves the configured shard count (>= 1).
+// pageShards resolves the configured shard count (>= 1). With a sharded
+// commit pipeline the page service is already partitioned across the commit
+// ranks (one server per commit shard, each serving its own partition's
+// snapshot), so per-rank page-server sharding collapses to 1.
 func (c Config) pageShards() int {
+	if c.commitShards() > 1 {
+		return 1
+	}
 	if c.PageServShards > 0 {
 		return c.PageServShards
 	}

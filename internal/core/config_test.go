@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"dsmtx/internal/faults"
+	"dsmtx/internal/pipeline"
+)
+
+// The commit-shard knob grows Validate's surface; every rejection must name
+// the offending field so a bad configuration is diagnosable from the
+// message alone.
+func TestValidateCommitShardErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		cores int
+		tune  func(cfg *Config)
+		want  string
+	}{
+		{
+			name:  "negative shard count",
+			cores: 12,
+			tune:  func(cfg *Config) { cfg.CommitShards = -1 },
+			want:  "core: Config.CommitShards = -1, need >= 0",
+		},
+		{
+			name:  "vote tag space exhausted",
+			cores: 96,
+			tune:  func(cfg *Config) { cfg.CommitShards = 61 },
+			want:  "core: Config.CommitShards = 61 exhausts the control tag space (max 60)",
+		},
+		{
+			name:  "page-server shards redundant",
+			cores: 12,
+			tune: func(cfg *Config) {
+				cfg.Backend = BackendHost
+				cfg.CommitShards = 2
+				cfg.PageServShards = 2
+			},
+			want: "core: Config.PageServShards = 2: with Config.CommitShards = 2 the page service is already sharded across the commit ranks",
+		},
+		{
+			name:  "crash faults need the single commit unit",
+			cores: 12,
+			tune: func(cfg *Config) {
+				cfg.CommitShards = 2
+				cfg.Faults = &faults.Plan{Crashes: []faults.Crash{{Rank: 0, At: 1, Downtime: 1}}}
+			},
+			want: "core: Config.CommitShards = 2: crash faults require the single commit unit (worker re-dispatch is lead-only)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig(tc.cores, pipeline.SpecDOALL())
+			tc.tune(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted the configuration")
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("Validate error:\n  got  %q\n  want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// Legal shard counts — including 0, the "default to 1" spelling — validate.
+func TestValidateCommitShardCounts(t *testing.T) {
+	for _, shards := range []int{0, 1, 2, 4, 8} {
+		cfg := smallConfig(16, pipeline.SpecDOALL())
+		cfg.CommitShards = shards
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("CommitShards=%d: %v", shards, err)
+		}
+	}
+}

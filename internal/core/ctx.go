@@ -83,7 +83,7 @@ func (c *Ctx) Write(addr uva.Addr, v uint64) {
 		c.w.edgeOut[dstStage][c.w.routeFor(dstStage, c.iter)].Produce(e)
 	}
 	c.w.tcPort(addr).Produce(e)
-	c.w.toCU.Produce(e)
+	c.w.cuWrite(e)
 }
 
 // WriteTo performs a speculative store forwarded only to the worker
@@ -98,7 +98,7 @@ func (c *Ctx) WriteTo(dstStage int, addr uva.Addr, v uint64) {
 	}
 	ports[c.w.routeFor(dstStage, c.iter)].Produce(e)
 	c.w.tcPort(addr).Produce(e)
-	c.w.toCU.Produce(e)
+	c.w.cuWrite(e)
 }
 
 // WriteCommit performs a speculative store forwarded only to the commit
@@ -107,13 +107,13 @@ func (c *Ctx) WriteTo(dstStage int, addr uva.Addr, v uint64) {
 // validation streams.
 func (c *Ctx) WriteCommit(addr uva.Addr, v uint64) {
 	c.Store(addr, v)
-	c.w.toCU.Produce(Entry{Kind: entWrite, MTX: c.iter, Addr: addr, Val: v})
+	c.w.cuWrite(Entry{Kind: entWrite, MTX: c.iter, Addr: addr, Val: v})
 }
 
 // WriteBytesCommit is the bulk form of WriteCommit.
 func (c *Ctx) WriteBytesCommit(addr uva.Addr, b []byte) {
 	c.StoreBytes(addr, b)
-	c.w.toCU.Produce(Entry{Kind: entWriteBlk, MTX: c.iter, Addr: addr, Payload: b, Bytes: len(b)})
+	c.w.cuWriteBlk(Entry{Kind: entWriteBlk, MTX: c.iter, Addr: addr, Payload: b, Bytes: len(b)})
 }
 
 // WriteFloatCommit is WriteCommit for float64 words.
@@ -176,7 +176,7 @@ func (c *Ctx) WriteBytes(addr uva.Addr, b []byte) {
 		c.w.tcPort(a).Produce(Entry{Kind: entWriteBlk, MTX: c.iter, Addr: a,
 			Payload: b[off : off+ln], Bytes: ln})
 	})
-	c.w.toCU.Produce(e)
+	c.w.cuWriteBlk(e)
 }
 
 // Produce enqueues a word of pipeline dataflow for stage dstStage of this

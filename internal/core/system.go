@@ -125,14 +125,31 @@ type System struct {
 
 	workers []*workerNode
 	tcs     []*tcNode
-	cu      *cuNode
+	cus     []*cuNode     // commit shards; cus[0] is the lead
 	srvs    []*pageServer // page-server shards (always 1 on vtime)
+
+	// owner is the HRW (rendezvous-hash) page-ownership table, built only
+	// when CommitShards > 1: bucket b of the page space (64-page blocks,
+	// modulo ownerBuckets) belongs to the commit shard whose hash weight for
+	// b is highest. nil with a single commit unit, where ownerOf is
+	// constant 0.
+	owner []uint8
+
+	// merged memoizes the sequential-checksum view over the per-shard
+	// committed images (CommitImage at CommitShards > 1).
+	merged *mem.Image
+
+	// seqArena is the sequential allocation region shared by every commit
+	// shard's SeqCtx when CommitShards > 1 (Setup, recovery re-execution and
+	// Finalize may run on different shards but must share one bump pointer);
+	// nil with a single commit unit, which owns its arena privately.
+	seqArena *uva.Arena
 
 	// Queue registry, keyed by endpoint tids.
 	edgeQ    map[[2]int]*queue.Queue[Entry]
-	toTCQ    [][]*queue.Queue[Entry] // [worker][shard]
-	toCUQ    []*queue.Queue[Entry]
-	verdictQ []*queue.Queue[Entry]       // per shard
+	toTCQ    [][]*queue.Queue[Entry]     // [worker][tc shard]
+	toCUQ    [][]*queue.Queue[Entry]     // [worker][commit shard]
+	verdictQ [][]*queue.Queue[Entry]     // [tc shard][commit shard]
 	syncQ    map[int]*queue.Queue[Entry] // sender tid -> ring queue
 	nextTag  int
 
@@ -178,6 +195,11 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.commitShards() > 1 {
+		if _, ok := prog.(Committer); ok {
+			return nil, fmt.Errorf("core: Config.CommitShards = %d: Committer programs need the single commit unit (the per-MTX hook is a sequential section)", cfg.CommitShards)
+		}
+	}
 	layout, err := pipeline.NewLayout(cfg.Plan, cfg.Workers())
 	if err != nil {
 		return nil, err
@@ -195,6 +217,9 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 	}
 	if err := s.analyzePlan(); err != nil {
 		return nil, err
+	}
+	if cfg.commitShards() > 1 {
+		s.buildOwnerTable()
 	}
 	// The commit unit's node doubles as page server; it gets the head
 	// node's fat pipe (see cluster.Config.HeadNode).
@@ -229,6 +254,110 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 	return s, nil
 }
 
+// ownerBuckets is the consistent-hash table size: the page space is dealt
+// to buckets in pageShardBlock (64-page) blocks, and each bucket is owned by
+// one commit shard. 4096 buckets keep per-shard load within a fraction of a
+// percent of uniform for any realistic shard count while the table stays one
+// cache line short of 4 KiB.
+const ownerBuckets = 4096
+
+// splitmix64 is the mixing function behind the rendezvous hash — cheap,
+// stateless, and well-distributed for sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// buildOwnerTable assigns every bucket to the commit shard with the highest
+// rendezvous weight (HRW). Highest-random-weight hashing gives the CARP
+// property the design calls for: growing from N to N+1 shards only moves the
+// buckets the new shard wins — every other page keeps its owner.
+func (s *System) buildOwnerTable() {
+	n := s.cfg.commitShards()
+	s.owner = make([]uint8, ownerBuckets)
+	for b := 0; b < ownerBuckets; b++ {
+		best, bestW := 0, uint64(0)
+		for k := 0; k < n; k++ {
+			if w := splitmix64(uint64(b)<<16 | uint64(k)); w >= bestW {
+				bestW, best = w, k
+			}
+		}
+		s.owner[b] = uint8(best)
+	}
+}
+
+// ownerOf maps a page to the commit shard owning it: constant 0 with a
+// single commit unit, else the HRW table keyed by the page's 64-page block.
+func (s *System) ownerOf(id uva.PageID) int {
+	if s.owner == nil {
+		return 0
+	}
+	return int(s.owner[(uint64(id)/pageShardBlock)%ownerBuckets])
+}
+
+// ownerSpan is the byte span over which page ownership is constant: owners
+// can only change at pageShardBlock page boundaries, so bulk operations are
+// split at most every ownerSpan bytes.
+const ownerSpan = pageShardBlock * uva.PageSize
+
+// shardSpace is the federated view of committed memory over every commit
+// shard's image: each access routes to the owner shard. Sequential code
+// (Setup, recovery re-execution, Finalize) runs against it on whichever
+// shard holds the sequential baton at that moment — always at a point where
+// every other commit shard is parked (before tagStart, or between recovery
+// barriers), so cross-image access needs no locking.
+type shardSpace struct {
+	sys  *System
+	imgs []*mem.Image
+}
+
+var _ mem.Space = (*shardSpace)(nil)
+
+func (sp *shardSpace) imgFor(addr uva.Addr) *mem.Image {
+	return sp.imgs[sp.sys.ownerOf(addr.Page())]
+}
+
+func (sp *shardSpace) Load(addr uva.Addr) uint64     { return sp.imgFor(addr).Load(addr) }
+func (sp *shardSpace) Store(addr uva.Addr, v uint64) { sp.imgFor(addr).Store(addr, v) }
+func (sp *shardSpace) LoadFloat(addr uva.Addr) float64 {
+	return sp.imgFor(addr).LoadFloat(addr)
+}
+func (sp *shardSpace) StoreFloat(addr uva.Addr, v float64) { sp.imgFor(addr).StoreFloat(addr, v) }
+
+// forEachOwnerRange splits [addr, addr+n) at ownership-block boundaries and
+// invokes fn per single-owner segment.
+func forEachOwnerRange(addr uva.Addr, n int, fn func(a uva.Addr, off, ln int)) {
+	for off := 0; off < n; {
+		a := addr + uva.Addr(off)
+		ln := n - off
+		if rem := ownerSpan - int(uint64(a)&(ownerSpan-1)); ln > rem {
+			ln = rem
+		}
+		fn(a, off, ln)
+		off += ln
+	}
+}
+
+func (sp *shardSpace) LoadBytes(addr uva.Addr, n int) []byte {
+	out := make([]byte, n)
+	forEachOwnerRange(addr, n, func(a uva.Addr, off, ln int) {
+		copy(out[off:off+ln], sp.imgFor(a).LoadBytes(a, ln))
+	})
+	return out
+}
+
+func (sp *shardSpace) StoreBytes(addr uva.Addr, b []byte) {
+	forEachOwnerRange(addr, len(b), func(a uva.Addr, off, ln int) {
+		sp.imgFor(a).StoreBytes(a, b[off:off+ln])
+	})
+}
+
+func (sp *shardSpace) ChecksumRange(addr uva.Addr, n int) uint64 {
+	return mem.ChecksumBytes(sp.LoadBytes(addr, n))
+}
+
 // pageSrvTrack is the page server's synthetic timeline id: it shares the
 // commit unit's rank, so it gets the first id past the real ranks.
 func (s *System) pageSrvTrack() int { return s.cfg.TotalCores }
@@ -260,14 +389,21 @@ func (s *System) bindTracer() {
 		r := s.cfg.tryCommitRank(j)
 		s.tr.SetTrack(r, node(r), fmt.Sprintf("trycommit%d", j))
 	}
-	cuRank := s.cfg.commitRank()
-	s.tr.SetTrack(cuRank, node(cuRank), "commit")
-	for sh := 0; sh < s.cfg.pageShards(); sh++ {
+	for k := 0; k < s.cfg.commitShards(); k++ {
+		r := s.cfg.commitShardRank(k)
+		label := "commit"
+		if k > 0 {
+			label = fmt.Sprintf("commit.shard%d", k)
+		}
+		s.tr.SetTrack(r, node(r), label)
+	}
+	for sh := 0; sh < s.pageSrvCount(); sh++ {
 		label := "pagesrv"
 		if sh > 0 {
 			label = fmt.Sprintf("pagesrv%d", sh)
 		}
-		s.tr.SetTrack(s.pageSrvTrack()+sh, node(cuRank), label)
+		r := s.pageSrvRank(sh)
+		s.tr.SetTrack(s.pageSrvTrack()+sh, node(r), label)
 	}
 	for _, q := range s.edgeQ {
 		q.Instrument(s.tr)
@@ -277,15 +413,57 @@ func (s *System) bindTracer() {
 			q.Instrument(s.tr)
 		}
 	}
-	for _, q := range s.toCUQ {
-		q.Instrument(s.tr)
+	for _, shards := range s.toCUQ {
+		for _, q := range shards {
+			q.Instrument(s.tr)
+		}
 	}
-	for _, q := range s.verdictQ {
-		q.Instrument(s.tr)
+	for _, shards := range s.verdictQ {
+		for _, q := range shards {
+			q.Instrument(s.tr)
+		}
 	}
 	for _, q := range s.syncQ {
 		q.Instrument(s.tr)
 	}
+}
+
+// pageSrvCount is the number of page-server processes: one per commit shard
+// when the commit pipeline is sharded (each serves its own partition's
+// snapshot), else the configured per-rank shard count.
+func (s *System) pageSrvCount() int {
+	if s.cfg.commitShards() > 1 {
+		return s.cfg.commitShards()
+	}
+	return s.cfg.pageShards()
+}
+
+// pageSrvRank is the rank page-server shard sh shares a core with.
+func (s *System) pageSrvRank(sh int) int {
+	if s.cfg.commitShards() > 1 {
+		return s.cfg.commitShardRank(sh)
+	}
+	return s.cfg.commitRank()
+}
+
+// ctrlSrc is the source workers and try-commit units accept control
+// messages from: the single commit rank normally; any commit shard under a
+// sharded pipeline (recovery epochs originate at the coordinator shard).
+func (s *System) ctrlSrc() int {
+	if s.cfg.commitShards() > 1 {
+		return platform.AnySource
+	}
+	return s.cfg.commitRank()
+}
+
+// pageReplySrc is the source workers and try-commit units accept COA page
+// replies from: the single commit rank normally; any owner shard under a
+// sharded pipeline.
+func (s *System) pageReplySrc() int {
+	if s.cfg.commitShards() > 1 {
+		return platform.AnySource
+	}
+	return s.cfg.commitRank()
 }
 
 // analyzePlan finds the routed parallel stage and its downstream route sink,
@@ -355,7 +533,10 @@ func (s *System) buildQueues() {
 			}
 		}
 	}
-	cuRank := s.cfg.commitRank()
+	// Queue names and tag-allocation order with one commit shard are exactly
+	// the pre-sharding layout ("cu%d", "verdict%d"); extra shards append
+	// ".%d"-suffixed queues in shard order.
+	nCU := s.cfg.commitShards()
 	for w := 0; w < s.cfg.Workers(); w++ {
 		var shards []*queue.Queue[Entry]
 		for j := 0; j < s.cfg.tcUnits(); j++ {
@@ -363,12 +544,28 @@ func (s *System) buildQueues() {
 				queue.New(s.world, fmt.Sprintf("tc%d.%d", w, j), w, s.cfg.tryCommitRank(j), s.allocTag(), qc, wireSize))
 		}
 		s.toTCQ = append(s.toTCQ, shards)
-		s.toCUQ = append(s.toCUQ,
-			queue.New(s.world, fmt.Sprintf("cu%d", w), w, cuRank, s.allocTag(), qc, wireSize))
+		var cus []*queue.Queue[Entry]
+		for k := 0; k < nCU; k++ {
+			name := fmt.Sprintf("cu%d", w)
+			if nCU > 1 {
+				name = fmt.Sprintf("cu%d.%d", w, k)
+			}
+			cus = append(cus,
+				queue.New(s.world, name, w, s.cfg.commitShardRank(k), s.allocTag(), qc, wireSize))
+		}
+		s.toCUQ = append(s.toCUQ, cus)
 	}
 	for j := 0; j < s.cfg.tcUnits(); j++ {
-		s.verdictQ = append(s.verdictQ,
-			queue.New(s.world, fmt.Sprintf("verdict%d", j), s.cfg.tryCommitRank(j), cuRank, s.allocTag(), qc, wireSize))
+		var cus []*queue.Queue[Entry]
+		for k := 0; k < nCU; k++ {
+			name := fmt.Sprintf("verdict%d", j)
+			if nCU > 1 {
+				name = fmt.Sprintf("verdict%d.%d", j, k)
+			}
+			cus = append(cus,
+				queue.New(s.world, name, s.cfg.tryCommitRank(j), s.cfg.commitShardRank(k), s.allocTag(), qc, wireSize))
+		}
+		s.verdictQ = append(s.verdictQ, cus)
 	}
 	if s.cfg.Plan.Sync {
 		pool := s.layout.Assign[0]
@@ -431,6 +628,16 @@ func (s *System) spawnRank(name string, rank int, body func(platform.Proc)) {
 // reads; the underlying page frames are shared copy-on-write, so the extra
 // snapshots cost one page-table copy each, not a memory copy.
 func (s *System) publishSnapshots(img *mem.Image) {
+	if s.cfg.commitShards() > 1 {
+		// One server per commit shard, each serving its own shard's image;
+		// img (the caller's local image) is ignored. Only called while every
+		// other commit shard is parked (before tagStart, or between recovery
+		// barriers B2 and B3), so snapshotting a peer's image is race-free.
+		for k, ps := range s.srvs {
+			ps.setSnapshot(s.cus[k].img.Snapshot())
+		}
+		return
+	}
 	for _, ps := range s.srvs {
 		ps.setSnapshot(img.Snapshot())
 	}
@@ -482,11 +689,23 @@ func (s *System) stopHeartbeats() {
 // Run executes the parallel invocation to completion and reports the
 // result. The commit unit's final memory is available via CommitImage.
 func (s *System) Run() (Result, error) {
-	s.cu = newCUNode(s)
+	for k := 0; k < s.cfg.commitShards(); k++ {
+		s.cus = append(s.cus, newCUNode(s, k))
+	}
+	if s.cfg.commitShards() > 1 {
+		s.seqArena = uva.NewArena(0)
+		if s.initialImage != nil {
+			// Scatter the seed image to its owner shards before any process
+			// starts (single-threaded here, so spawn gives happens-before).
+			s.initialImage.ForEachResident(func(id uva.PageID, pg *mem.Page) {
+				s.cus[s.ownerOf(id)].img.InstallPage(id, pg.Clone())
+			})
+		}
+	}
 	for j := 0; j < s.cfg.tcUnits(); j++ {
 		s.tcs = append(s.tcs, newTCNode(s, j))
 	}
-	for sh := 0; sh < s.cfg.pageShards(); sh++ {
+	for sh := 0; sh < s.pageSrvCount(); sh++ {
 		s.srvs = append(s.srvs, newPageServer(s, sh))
 	}
 	for w := 0; w < s.cfg.Workers(); w++ {
@@ -497,11 +716,17 @@ func (s *System) Run() (Result, error) {
 	// enqueued ahead of any send, so order here is just cosmetic. On host,
 	// goroutines start immediately and registration can race delivery — the
 	// host endpoint's any-source migration makes that safe.
-	s.spawnRank("commit", s.cfg.commitRank(), s.cu.run)
+	for k, cu := range s.cus {
+		name := "commit"
+		if k > 0 {
+			name = fmt.Sprintf("commit%d", k)
+		}
+		s.spawnRank(name, cu.rank, cu.run)
+	}
 	for j, tc := range s.tcs {
 		s.spawnRank(fmt.Sprintf("trycommit%d", j), tc.rank, tc.run)
 	}
-	// Page servers share the commit rank's core, so a straggler window on
+	// Page servers share their commit rank's core, so a straggler window on
 	// that rank slows them too. Shard 0 keeps the pre-sharding name so vtime
 	// process naming (and hence event ordering) is unchanged.
 	for sh, ps := range s.srvs {
@@ -509,7 +734,7 @@ func (s *System) Run() (Result, error) {
 		if sh > 0 {
 			name = fmt.Sprintf("pagesrv%d", sh)
 		}
-		s.spawnRank(name, s.cfg.commitRank(), ps.run)
+		s.spawnRank(name, s.pageSrvRank(sh), ps.run)
 	}
 	for _, w := range s.workers {
 		w := w
@@ -519,12 +744,25 @@ func (s *System) Run() (Result, error) {
 	if err := s.plat.Run(s.cfg.Horizon); err != nil {
 		return Result{}, fmt.Errorf("core: %s on %d cores: %w", s.cfg.Plan.Name, s.cfg.TotalCores, err)
 	}
-	res := s.cu.result
+	res := s.cus[0].result
+	for _, c := range s.cus[1:] {
+		r := c.result
+		res.Committed += r.Committed
+		res.Misspecs += r.Misspecs
+		res.ERM += r.ERM
+		res.FLQ += r.FLQ
+		res.SEQ += r.SEQ
+		res.RFP += r.RFP
+		res.Crashes += r.Crashes
+		res.Redispatch += r.Redispatch
+	}
 	res.Elapsed = s.plat.Now()
 	res.Traffic = s.plat.Traffic()
 	res.Events = s.plat.Events()
-	res.CUBusy = s.cu.proc.Advanced() - s.cu.pollTime
-	res.CUPoll = s.cu.pollTime
+	for _, c := range s.cus {
+		res.CUBusy += c.proc.Advanced() - c.pollTime
+		res.CUPoll += c.pollTime
+	}
 	for _, tc := range s.tcs {
 		res.TCBusy += tc.proc.Advanced() - tc.pollTime
 		res.TCPoll += tc.pollTime
@@ -599,18 +837,25 @@ func (s *System) buildStallReport() {
 			Blocked:    tc.proc.Blocked() - tc.recBlk,
 		})
 	}
-	c := s.cu
-	s.stalls.Add(trace.StallRow{
-		Track:       c.rank,
-		Label:       "commit",
-		Stage:       "commit",
-		Busy:        c.proc.Advanced() - c.pollTime - c.recAdv - c.redAdv,
-		Starvation:  c.stallStarve,
-		VerdictWait: c.stallVerdict,
-		Recovery:    c.recWall,
-		Crashed:     c.redWall,
-		Blocked:     c.proc.Blocked() - c.recBlk - c.redBlk,
-	})
+	s.stalls.CommitShards = s.cfg.commitShards() > 1
+	for k, c := range s.cus {
+		label := "commit"
+		if k > 0 {
+			label = fmt.Sprintf("commit.shard%d", k)
+		}
+		s.stalls.Add(trace.StallRow{
+			Track:       c.rank,
+			Label:       label,
+			Stage:       "commit",
+			Busy:        c.proc.Advanced() - c.pollTime - c.recAdv - c.redAdv,
+			Starvation:  c.stallStarve,
+			VerdictWait: c.stallVerdict,
+			VoteWait:    c.voteWait,
+			Recovery:    c.recWall,
+			Crashed:     c.redWall,
+			Blocked:     c.proc.Blocked() - c.recBlk - c.redBlk,
+		})
+	}
 	for sh, ps := range s.srvs {
 		label := "pagesrv"
 		if sh > 0 {
@@ -646,13 +891,26 @@ func (s *System) buildStallReport() {
 // empty unless a Config.Tracer was attached.
 func (s *System) StallReport() *trace.StallReport { return &s.stalls }
 
-// CommitImage exposes the commit unit's memory after Run, for checksum
+// CommitImage exposes the committed memory after Run, for checksum
 // comparison against the sequential reference and for chaining invocations.
+// With a sharded commit pipeline this is a copy-on-write merge of every
+// shard's image (their page sets are disjoint by ownership), built once and
+// memoized.
 func (s *System) CommitImage() *mem.Image {
-	if s.cu == nil {
+	if len(s.cus) == 0 {
 		return nil
 	}
-	return s.cu.img
+	if s.cfg.commitShards() == 1 {
+		return s.cus[0].img
+	}
+	if s.merged == nil {
+		imgs := make([]*mem.Image, len(s.cus))
+		for k, c := range s.cus {
+			imgs[k] = c.img
+		}
+		s.merged = mem.Merge(imgs...)
+	}
+	return s.merged
 }
 
 // WorkerBusy reports each worker's non-poll busy time after Run, indexed
@@ -680,7 +938,7 @@ func (s *System) instrTime(n int64) platform.Duration { return s.plat.InstrTime(
 type SeqCtx struct {
 	cfg   Config
 	proc  platform.Proc
-	img   *mem.Image
+	img   mem.Space
 	arena *uva.Arena
 	// instr converts instructions to platform time; nil means the cluster
 	// clock (the pure sequential reference, which always runs in vtime).
@@ -737,6 +995,8 @@ func (c *SeqCtx) StoreBytes(addr uva.Addr, b []byte) {
 	c.img.StoreBytes(addr, b)
 }
 
-// Image exposes the underlying image for bulk, cost-free initialization in
-// Setup (e.g. loading input files); prefer Load/Store in modelled code.
-func (c *SeqCtx) Image() *mem.Image { return c.img }
+// Image exposes the underlying memory space for bulk, cost-free
+// initialization in Setup (e.g. loading input files); prefer Load/Store in
+// modelled code. With a single commit unit this is its *mem.Image; with a
+// sharded commit pipeline it is the federated per-shard view.
+func (c *SeqCtx) Image() mem.Space { return c.img }

@@ -28,8 +28,8 @@ type tcNode struct {
 	ctrlBox platform.Mailbox // cached (commit rank, tagCtrl) mailbox
 	view    *mem.Image
 
-	in      []*entryCursor // per worker tid
-	verdict *queue.SendPort[Entry]
+	in       []*entryCursor           // per worker tid
+	verdicts []*queue.SendPort[Entry] // per commit shard
 
 	coa        coaClient
 	sinceFlush int
@@ -73,8 +73,9 @@ func (t *tcNode) run(p platform.Proc) {
 // awaitDoneOrRecovery parks a finished try-commit unit until the commit
 // unit confirms completion (true) or orders a recovery (false).
 func (t *tcNode) awaitDoneOrRecovery() bool {
+	src := t.sys.ctrlSrc()
 	for {
-		msg := t.comm.Recv(t.sys.cfg.commitRank(), tagCtrl)
+		msg := t.comm.Recv(src, tagCtrl)
 		cm := msg.Payload.(ctrlMsg)
 		if cm.done {
 			return true
@@ -88,8 +89,10 @@ func (t *tcNode) awaitDoneOrRecovery() bool {
 
 func (t *tcNode) bind() {
 	ep := t.comm.Endpoint()
-	t.ctrlBox = ep.Mailbox(t.sys.cfg.commitRank(), tagCtrl)
-	ep.Mailbox(t.sys.cfg.commitRank(), tagPageReply)
+	// Under a sharded commit pipeline control traffic (recovery epochs) may
+	// originate at any coordinator shard and COA replies at any owner shard.
+	t.ctrlBox = ep.Mailbox(t.sys.ctrlSrc(), tagCtrl)
+	ep.Mailbox(t.sys.pageReplySrc(), tagPageReply)
 	t.comm.RegisterBarrierMailboxes()
 	t.view = mem.NewImage(t.coaFault)
 	// The view's pages are private Copy-On-Access clones; recovery's
@@ -99,7 +102,9 @@ func (t *tcNode) bind() {
 	for w := 0; w < t.sys.cfg.Workers(); w++ {
 		t.in = append(t.in, newEntryCursor(t.sys.toTCQ[w][t.shard].Receiver(t.comm)))
 	}
-	t.verdict = t.sys.verdictQ[t.shard].Sender(t.comm)
+	for k := 0; k < t.sys.cfg.commitShards(); k++ {
+		t.verdicts = append(t.verdicts, t.sys.verdictQ[t.shard][k].Sender(t.comm))
+	}
 }
 
 // coaFault initializes the try-commit view by Copy-On-Access, like a worker.
@@ -140,8 +145,10 @@ func (t *tcNode) validateLoop() bool {
 					panic(fmt.Sprintf("core: try-commit saw terminate mid-MTX %d at stage %d", iter, s))
 				}
 				t.drainTerminates(iter)
-				t.verdict.Produce(Entry{Kind: entTerminate, MTX: iter})
-				t.verdict.Flush()
+				for _, v := range t.verdicts {
+					v.Produce(Entry{Kind: entTerminate, MTX: iter})
+					v.Flush()
+				}
 				return true
 			}
 			ok = ok && subOK
@@ -151,13 +158,17 @@ func (t *tcNode) validateLoop() bool {
 			verdictVal = 0
 			t.Conflicts++
 		}
-		t.verdict.Produce(Entry{Kind: entVerdict, MTX: iter, Val: verdictVal})
+		for _, v := range t.verdicts {
+			v.Produce(Entry{Kind: entVerdict, MTX: iter, Val: verdictVal})
+		}
 		t.sys.trace(TraceEvent{Kind: TraceValidate, MTX: iter, Stage: -1, Tid: -1,
 			Start: t.proc.Now(), End: t.proc.Now()})
 		t.sys.tr.Span(trace.SpanValidate, t.rank, spanStart, iter, int64(verdictVal), 0)
 		t.sinceFlush++
 		if !ok || t.sinceFlush >= t.sys.cfg.MarkerFlushIters {
-			t.verdict.Flush() // conflicts flush immediately; the rest batch
+			for _, v := range t.verdicts {
+				v.Flush() // conflicts flush immediately; the rest batch
+			}
 			t.sinceFlush = 0
 		}
 		delete(t.routes, iter)
@@ -275,7 +286,9 @@ func (t *tcNode) doRecovery() {
 	for _, port := range t.in {
 		port.abort(cm.epoch)
 	}
-	t.verdict.Abort(cm.epoch)
+	for _, v := range t.verdicts {
+		v.Abort(cm.epoch)
+	}
 	t.routes = make(map[uint64]int)
 	t.comm.Barrier(t.sys.allRanks) // B2: queues flushed
 	t.proc.Advance(t.sys.instrTime(t.sys.cfg.ProtectInstr * int64(t.view.Resident())))

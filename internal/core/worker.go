@@ -34,9 +34,16 @@ type workerNode struct {
 	inStages  []int                                  // sorted source stages
 	edgeIn    map[int]map[int]*entryCursor           // fromStage -> srcTid -> cursor
 	toTC      []*queue.SendPort[Entry]               // per try-commit shard
-	toCU      *queue.SendPort[Entry]
+	toCU      []*queue.SendPort[Entry]               // per commit shard
 	syncOut   *queue.SendPort[Entry]
 	syncIn    *entryCursor
+
+	// Per-iteration commit-shard write tracking (CommitShards > 1 only):
+	// cuMask is the set of shards this subTX wrote, cuMin the lowest written
+	// address; both ride out on the EndSub marker so every commit shard can
+	// derive the cross-shard coordinator.
+	cuMask uint64
+	cuMin  uva.Addr
 
 	inbox map[int][]Entry // fromStage -> data entries buffered for current iter
 
@@ -131,8 +138,9 @@ func (w *workerNode) run(p platform.Proc) {
 // pendingCtrl set). The host heartbeat daemon keeps beating while the
 // worker is parked here, so a terminated rank never reads as dead.
 func (w *workerNode) awaitDoneOrRecovery() bool {
+	src := w.sys.ctrlSrc()
 	for {
-		msg := w.comm.Recv(w.sys.cfg.commitRank(), tagCtrl)
+		msg := w.comm.Recv(src, tagCtrl)
 		cm := msg.Payload.(ctrlMsg)
 		if cm.done {
 			return true
@@ -147,10 +155,9 @@ func (w *workerNode) awaitDoneOrRecovery() bool {
 // bind registers mailboxes and attaches queue ports; it runs before any
 // traffic flows (all processes bind at virtual time zero).
 func (w *workerNode) bind() {
-	cuRank := w.sys.cfg.commitRank()
 	ep := w.comm.Endpoint()
-	w.ctrlBox = ep.Mailbox(cuRank, tagCtrl)
-	ep.Mailbox(cuRank, tagPageReply)
+	w.ctrlBox = ep.Mailbox(w.sys.ctrlSrc(), tagCtrl)
+	ep.Mailbox(w.sys.pageReplySrc(), tagPageReply)
 	w.comm.RegisterBarrierMailboxes()
 
 	w.img = mem.NewImage(w.coaFault)
@@ -185,7 +192,9 @@ func (w *workerNode) bind() {
 	for j := 0; j < w.sys.cfg.tcUnits(); j++ {
 		w.toTC = append(w.toTC, w.sys.toTCQ[w.tid][j].Sender(w.comm))
 	}
-	w.toCU = w.sys.toCUQ[w.tid].Sender(w.comm)
+	for k := 0; k < w.sys.cfg.commitShards(); k++ {
+		w.toCU = append(w.toCU, w.sys.toCUQ[w.tid][k].Sender(w.comm))
+	}
 
 	if w.sys.cfg.Plan.Sync {
 		w.syncOut = w.sys.syncQ[w.tid].Sender(w.comm)
@@ -223,8 +232,17 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 	comm.Proc().Advance(sys.instrTime(cfg.PageFaultInstr))
 	// Requests go to the page-server shard owning the faulted page; replies
 	// all come back on tagPageReply (one outstanding request per worker, so
-	// shard replies never interleave).
+	// shard replies never interleave). Under a sharded commit pipeline the
+	// server is the owner shard's commit rank, reached on the base request
+	// tag — ownership picks a rank, not a tag.
+	dst := cfg.commitRank()
 	reqTag := cfg.pageReqTag(cfg.pageShardOf(id))
+	replySrc := dst
+	if cfg.commitShards() > 1 {
+		dst = cfg.commitShardRank(sys.ownerOf(id))
+		reqTag = tagPageReq
+		replySrc = platform.AnySource
+	}
 	if g := cfg.COAGrainBytes; g > 0 && g < uva.PageSize {
 		// Sub-page COA: populate the faulted page one chunk at a time,
 		// paying a full round trip per chunk — the cost §4.2 avoids by
@@ -233,8 +251,8 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 		var pg *mem.Page
 		wire := 0
 		for off := 0; off < uva.PageSize; off += g {
-			ep.SendClass(cfg.commitRank(), reqTag, pageReq{Start: id, Count: 1, Grain: g}, 24, platform.ClassPage)
-			msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
+			ep.SendClass(dst, reqTag, pageReq{Start: id, Count: 1, Grain: g}, 24, platform.ClassPage)
+			msg := ep.Recv(comm.Proc(), replySrc, tagPageReply)
 			pg = msg.Payload.([]*mem.Page)[0]
 			wire += msg.Bytes
 		}
@@ -267,8 +285,13 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 		next := id + uva.PageID(count)
 		// A prefetch run must stay within one owner region and one page-
 		// server shard (each shard serves only its own partition); the
-		// 64-page interleave blocks make shard truncation rare.
+		// 64-page interleave blocks make shard truncation rare. Commit-shard
+		// ownership bounds the run the same way: each commit shard's server
+		// holds only its own partition's snapshot.
 		if uva.PageAddr(next).Owner() != owner || cfg.pageShardOf(next) != shard || img.Has(next) {
+			break
+		}
+		if cfg.commitShards() > 1 && sys.ownerOf(next) != sys.ownerOf(id) {
 			break
 		}
 		count++
@@ -278,8 +301,8 @@ func (c *coaClient) fetch(sys *System, comm *mpi.Comm, img *mem.Image, id uva.Pa
 	// InfiniBand): a fixed per-operation CPU cost, wire time on the NIC,
 	// and no per-byte marshalling.
 	ep := comm.Endpoint()
-	ep.SendClass(cfg.commitRank(), reqTag, pageReq{Start: id, Count: count}, 24, platform.ClassPage)
-	msg := ep.Recv(comm.Proc(), cfg.commitRank(), tagPageReply)
+	ep.SendClass(dst, reqTag, pageReq{Start: id, Count: count}, 24, platform.ClassPage)
+	msg := ep.Recv(comm.Proc(), replySrc, tagPageReply)
 	pages := msg.Payload.([]*mem.Page)
 	for i := 1; i < len(pages); i++ {
 		img.InstallPage(id+uva.PageID(i), pages[i])
@@ -521,7 +544,7 @@ func (w *workerNode) chooseRoute(iter uint64) {
 
 	e := Entry{Kind: entRoute, MTX: iter, Val: uint64(w.curRoute)}
 	w.tcBroadcast(e)
-	w.toCU.Produce(e)
+	w.cuBroadcast(e)
 	if w.sys.routeSink >= 0 {
 		w.edgeOut[w.sys.routeSink][w.sys.layout.Assign[w.sys.routeSink][0]].Produce(e)
 	}
@@ -538,16 +561,23 @@ func (w *workerNode) endIter(iter uint64) {
 			w.edgeOut[dstStage][w.routeFor(dstStage, iter)].Produce(miss)
 		}
 		w.tcBroadcast(miss)
-		w.toCU.Produce(miss)
+		w.cuBroadcast(miss)
 	}
 	end := Entry{Kind: entEndSub, MTX: iter}
+	if len(w.toCU) > 1 {
+		// The marker carries this subTX's write-owner mask and lowest
+		// written address (same wire size — markers never carry a payload);
+		// every commit shard folds these into the MTX's coordinator choice.
+		end.Addr, end.Val = w.cuMin, w.cuMask
+	}
 	for _, dstStage := range w.outStages {
 		port := w.edgeOut[dstStage][w.routeFor(dstStage, iter)]
 		port.Produce(end)
 		port.Flush() // pipeline edges flush every subTX: consumers block on them
 	}
 	w.tcBroadcast(end)
-	w.toCU.Produce(end)
+	w.cuBroadcast(end)
+	w.cuMask, w.cuMin = 0, 0
 	// Validation/commit streams batch across iterations; misspeculation
 	// flushes immediately so recovery is not delayed by batching.
 	w.sinceFlush++
@@ -574,7 +604,7 @@ func (w *workerNode) emitTerminate() {
 		}
 	}
 	w.tcBroadcast(t)
-	w.toCU.Produce(t)
+	w.cuBroadcast(t)
 	w.flushMarkers()
 }
 
@@ -587,7 +617,9 @@ func (w *workerNode) flushMarkers() {
 	for _, port := range w.toTC {
 		port.Flush()
 	}
-	w.toCU.Flush()
+	for _, port := range w.toCU {
+		port.Flush()
+	}
 	w.sinceFlush = 0
 }
 
@@ -603,6 +635,43 @@ func (w *workerNode) tcBroadcast(e Entry) {
 	for _, port := range w.toTC {
 		port.Produce(e)
 	}
+}
+
+// cuBroadcast sends a marker entry to every commit shard: each shard
+// consumes the full marker stream so commit decisions replicate without
+// communication.
+func (w *workerNode) cuBroadcast(e Entry) {
+	for _, port := range w.toCU {
+		port.Produce(e)
+	}
+}
+
+// cuWrite routes a committed-store entry to the commit shard owning its
+// address, folding the destination into the subTX's write-owner mask.
+func (w *workerNode) cuWrite(e Entry) {
+	if len(w.toCU) == 1 {
+		w.toCU[0].Produce(e)
+		return
+	}
+	k := w.sys.ownerOf(e.Addr.Page())
+	if w.cuMask == 0 || e.Addr < w.cuMin {
+		w.cuMin = e.Addr
+	}
+	w.cuMask |= 1 << uint(k)
+	w.toCU[k].Produce(e)
+}
+
+// cuWriteBlk routes a bulk store, splitting it at commit-shard ownership
+// boundaries so each segment lands on its owner.
+func (w *workerNode) cuWriteBlk(e Entry) {
+	if len(w.toCU) == 1 {
+		w.toCU[0].Produce(e)
+		return
+	}
+	payload := e.Payload.([]byte)
+	forEachOwnerRange(e.Addr, e.Bytes, func(a uva.Addr, off, ln int) {
+		w.cuWrite(Entry{Kind: entWriteBlk, MTX: e.MTX, Addr: a, Payload: payload[off : off+ln], Bytes: ln})
+	})
 }
 
 // forEachShardRange splits [addr, addr+n) at try-commit shard boundaries
@@ -710,6 +779,7 @@ func (w *workerNode) doCrash() (done bool) {
 	w.rrNext = 0
 	w.poisoned = false
 	w.selfMisspec = false
+	w.cuMask, w.cuMin = 0, 0
 
 	// The host is dark: nothing sent, nothing received, no heartbeats.
 	w.proc.Advance(cr.Downtime)
@@ -773,7 +843,9 @@ func (w *workerNode) doRecovery() {
 	for _, port := range w.toTC {
 		port.Abort(cm.epoch)
 	}
-	w.toCU.Abort(cm.epoch)
+	for _, port := range w.toCU {
+		port.Abort(cm.epoch)
+	}
 	if w.syncOut != nil {
 		w.syncOut.Abort(cm.epoch)
 		w.syncIn.abort(cm.epoch)
@@ -800,6 +872,7 @@ func (w *workerNode) doRecovery() {
 	w.nextIter = cm.restart
 	w.poisoned = false
 	w.selfMisspec = false
+	w.cuMask, w.cuMin = 0, 0
 
 	w.comm.Barrier(w.sys.allRanks) // commit unit has re-executed; resume
 

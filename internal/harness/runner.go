@@ -71,6 +71,7 @@ const (
 	KnobNone       = ""
 	KnobQueueUnopt = "queue-unopt" // Fig. 5b: flush every produce
 	KnobManycore   = "manycore"    // §7: coherence-free manycore machine model
+	KnobBigCluster = "bigcluster"  // Figure S: 64 × 16 cores, same InfiniBand
 )
 
 // knobTune resolves a knob name to its configuration hook.
@@ -82,6 +83,8 @@ func knobTune(knob string) (func(*core.Config), error) {
 		return func(cfg *core.Config) { cfg.Queue = cfg.Queue.Unoptimized() }, nil
 	case KnobManycore:
 		return func(cfg *core.Config) { cfg.Cluster = cluster.ManycoreConfig() }, nil
+	case KnobBigCluster:
+		return func(cfg *core.Config) { cfg.Cluster = cluster.BigClusterConfig() }, nil
 	}
 	return nil, fmt.Errorf("harness: unknown config knob %q", knob)
 }
@@ -102,6 +105,10 @@ type PointSpec struct {
 	// empty for fault-free points. Canonical form matters: the spec is part
 	// of the cache key, so two spellings of one plan must not split points.
 	Faults string `json:"faults,omitempty"`
+	// CommitShards is the commit-pipeline shard count; 0 or 1 (omitted from
+	// the key) is the single commit unit, so pre-sharding cache entries stay
+	// valid for every existing point.
+	CommitShards int `json:"commit_shards,omitempty"`
 }
 
 // String renders a compact human label for progress reporting.
@@ -122,6 +129,9 @@ func (s PointSpec) String() string {
 		}
 		if s.Faults != "" {
 			label += "/" + s.Faults
+		}
+		if s.CommitShards > 1 {
+			label += fmt.Sprintf("/cs%d", s.CommitShards)
 		}
 		return label
 	}
@@ -265,6 +275,16 @@ func (r *Runner) compute(spec PointSpec) (pointRecord, error) {
 					knob(cfg)
 				}
 				cfg.Faults = &plan
+			}
+		}
+		if spec.CommitShards > 1 {
+			knob := tune
+			shards := spec.CommitShards
+			tune = func(cfg *core.Config) {
+				if knob != nil {
+					knob(cfg)
+				}
+				cfg.CommitShards = shards
 			}
 		}
 		b, err := workloads.ByName(spec.Bench)

@@ -332,6 +332,68 @@ func (im *Image) Reset() {
 	im.resident = 0
 }
 
+// Space is the word/byte access surface workload code programs against. A
+// single *Image satisfies it directly; with a sharded commit pipeline the
+// runtime hands sequential code (Setup, Finalize, recovery re-execution) a
+// federated view that routes each access to the owning shard's image.
+type Space interface {
+	Load(addr uva.Addr) uint64
+	Store(addr uva.Addr, v uint64)
+	LoadFloat(addr uva.Addr) float64
+	StoreFloat(addr uva.Addr, v float64)
+	LoadBytes(addr uva.Addr, n int) []byte
+	StoreBytes(addr uva.Addr, b []byte)
+	ChecksumRange(addr uva.Addr, n int) uint64
+}
+
+var _ Space = (*Image)(nil)
+
+// ForEachResident calls fn for every resident page. Iteration order is
+// unspecified (it follows the chunk map); callers that need determinism must
+// not depend on order. The page pointer is the live frame — do not retain it
+// across mutations of the image.
+func (im *Image) ForEachResident(fn func(uva.PageID, *Page)) {
+	for key, ch := range im.chunks {
+		base := key << chunkShift
+		for i := range ch.slots {
+			if pg := ch.slots[i].pg; pg != nil {
+				fn(uva.PageID(base|uint64(i)), pg)
+			}
+		}
+	}
+}
+
+// Merge builds one copy-on-write image over the union of the inputs'
+// resident pages. Inputs must hold disjoint page sets (true for commit
+// shards, which partition the page space by ownership hash); pages are
+// aliased, not copied, and marked shared on both sides so any later store —
+// through the merged view or a source image — copies first.
+func Merge(imgs ...*Image) *Image {
+	out := NewImage(nil)
+	for _, im := range imgs {
+		if im == nil {
+			continue
+		}
+		im.ForEachResident(func(id uva.PageID, pg *Page) {
+			s := out.slot(id)
+			if s.pg != nil {
+				panic(fmt.Sprintf("mem: Merge inputs overlap at page %#x", uint64(id)))
+			}
+			out.resident++
+			s.pg, s.shared = pg, true
+		})
+		// Mark the source slots shared too: the merged view now aliases them.
+		for _, ch := range im.chunks {
+			for i := range ch.slots {
+				if ch.slots[i].pg != nil {
+					ch.slots[i].shared = true
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Snapshot returns a frozen copy-on-write view of the image as it is now.
 // The snapshot has no fault handler: it answers only for pages resident at
 // snapshot time (plus zero pages elsewhere). The commit unit takes one per

@@ -16,6 +16,8 @@ import (
 //	Backpressure — waiting for downstream queue credit (queue full)
 //	Starvation   — polling an empty upstream queue
 //	VerdictWait  — the commit unit waiting on a try-commit verdict
+//	VoteWait     — a coordinator commit shard waiting on cross-shard 2PC
+//	               votes (CommitShards > 1 only)
 //	Recovery     — inside a misspeculation-recovery window (ERM/FLQ/SEQ
 //	               plus refill stall)
 //	Crashed      — inside a crash-fault window: a worker's outage + rejoin,
@@ -26,7 +28,7 @@ type StallRow struct {
 	Label string // "worker3", "trycommit0", "commit", "pagesrv"
 	Stage string // aggregation key: "S0".."Sn", "trycommit", "commit", "pagesrv"
 
-	Busy, Backpressure, Starvation, VerdictWait, Recovery, Crashed, Blocked sim.Time
+	Busy, Backpressure, Starvation, VerdictWait, VoteWait, Recovery, Crashed, Blocked sim.Time
 
 	// Host-delivery columns, populated only on the host backend (the report
 	// renders them when StallReport.Host is set). Park is wall time the
@@ -42,15 +44,17 @@ type StallRow struct {
 
 // Total is the row's accounted virtual time.
 func (r *StallRow) Total() sim.Time {
-	return r.Busy + r.Backpressure + r.Starvation + r.VerdictWait + r.Recovery + r.Crashed + r.Blocked
+	return r.Busy + r.Backpressure + r.Starvation + r.VerdictWait + r.VoteWait + r.Recovery + r.Crashed + r.Blocked
 }
 
 // StallReport collects per-rank stall rows for one or more runs. Host marks
 // a report carrying host-delivery data; its tables then grow the park /
-// spill / shard-q columns.
+// spill / shard-q columns. CommitShards marks a report from a sharded
+// commit pipeline; its tables then grow the vote-wait column.
 type StallReport struct {
-	Rows []StallRow
-	Host bool
+	Rows         []StallRow
+	Host         bool
+	CommitShards bool
 }
 
 // Add appends a row.
@@ -73,6 +77,7 @@ func (r *StallReport) Merge(o *StallReport) {
 			dst.Backpressure += row.Backpressure
 			dst.Starvation += row.Starvation
 			dst.VerdictWait += row.VerdictWait
+			dst.VoteWait += row.VoteWait
 			dst.Recovery += row.Recovery
 			dst.Crashed += row.Crashed
 			dst.Blocked += row.Blocked
@@ -87,6 +92,7 @@ func (r *StallReport) Merge(o *StallReport) {
 		}
 	}
 	r.Host = r.Host || o.Host
+	r.CommitShards = r.CommitShards || o.CommitShards
 }
 
 var stallHeader = []string{"rank", "total", "busy", "backpressure", "starvation", "verdict-wait", "recovery", "crashed", "blocked"}
@@ -94,10 +100,22 @@ var stallHeader = []string{"rank", "total", "busy", "backpressure", "starvation"
 // hostHeader extends stallHeader with the host-delivery columns.
 var hostHeader = []string{"park", "spill", "shard-q"}
 
-// header builds the table header, swapping the first column's label and
-// appending the host columns when the report carries host data.
+// header builds the table header, swapping the first column's label,
+// inserting the vote-wait column after verdict-wait when the report comes
+// from a sharded commit pipeline, and appending the host columns when the
+// report carries host data.
 func (r *StallReport) header(first string) []string {
 	h := append([]string{first}, stallHeader[1:]...)
+	if r.CommitShards {
+		i := len(h)
+		for j, col := range h {
+			if col == "verdict-wait" {
+				i = j + 1
+				break
+			}
+		}
+		h = append(h[:i:i], append([]string{"vote-wait"}, h[i:]...)...)
+	}
 	if r.Host {
 		h = append(h, hostHeader...)
 	}
@@ -110,7 +128,7 @@ func (r *StallReport) Table() *stats.Table {
 	t := &stats.Table{Header: r.header(stallHeader[0])}
 	for i := range r.Rows {
 		row := &r.Rows[i]
-		t.AddRow(stallCells(row.Label, row, r.Host)...)
+		t.AddRow(stallCells(row.Label, row, r)...)
 	}
 	return t
 }
@@ -133,6 +151,7 @@ func (r *StallReport) StageTable() *stats.Table {
 		a.Backpressure += row.Backpressure
 		a.Starvation += row.Starvation
 		a.VerdictWait += row.VerdictWait
+		a.VoteWait += row.VoteWait
 		a.Recovery += row.Recovery
 		a.Crashed += row.Crashed
 		a.Blocked += row.Blocked
@@ -143,12 +162,12 @@ func (r *StallReport) StageTable() *stats.Table {
 		}
 	}
 	for _, stage := range order {
-		t.AddRow(stallCells(stage, agg[stage], r.Host)...)
+		t.AddRow(stallCells(stage, agg[stage], r)...)
 	}
 	return t
 }
 
-func stallCells(name string, r *StallRow, host bool) []string {
+func stallCells(name string, r *StallRow, rep *StallReport) []string {
 	total := r.Total()
 	cell := func(v sim.Time) string {
 		if total == 0 {
@@ -159,9 +178,13 @@ func stallCells(name string, r *StallRow, host bool) []string {
 	cells := []string{
 		name, fmtDur(total),
 		cell(r.Busy), cell(r.Backpressure), cell(r.Starvation),
-		cell(r.VerdictWait), cell(r.Recovery), cell(r.Crashed), cell(r.Blocked),
+		cell(r.VerdictWait),
 	}
-	if host {
+	if rep.CommitShards {
+		cells = append(cells, cell(r.VoteWait))
+	}
+	cells = append(cells, cell(r.Recovery), cell(r.Crashed), cell(r.Blocked))
+	if rep.Host {
 		cells = append(cells,
 			fmtDur(r.Park),
 			fmt.Sprintf("%d", r.Spills),

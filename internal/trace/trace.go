@@ -56,6 +56,9 @@ const (
 	SpanPageServe                 // a page-server shard served one COA request (MTX = start page, V1 = pages, V2 = wire bytes)
 	SpanRecvPark                  // host delivery: a receiver parked awaiting a message (V1 = tag)
 	InstRingSpill                 // host delivery: a full mailbox ring spilled to the overflow list (V1 = tag, V2 = overflow depth)
+	SpanShardCommit               // one commit shard applied its partition of an MTX (V1 = entries, V2 = bulk bytes)
+	InstShardVote                 // a participant shard sent its ordered 2PC vote (MTX = iteration, V1 = coordinator shard)
+	SpanShardVoteWait             // the coordinator shard awaited cross-shard votes (MTX = iteration, V1 = votes needed)
 	numKinds
 )
 
@@ -87,6 +90,9 @@ var kindMeta = [numKinds]struct {
 	SpanPageServe:     {"pagesrv.shard", "pagesrv", "page", "pages", "wire_bytes"},
 	SpanRecvPark:      {"recv.park", "delivery", "", "tag", ""},
 	InstRingSpill:     {"ring.spill", "delivery", "", "tag", "overflow"},
+	SpanShardCommit:   {"commit.shard", "commit", "mtx", "entries", "bulk_bytes"},
+	InstShardVote:     {"commit.shard.vote", "commit", "mtx", "coordinator", ""},
+	SpanShardVoteWait: {"commit.shard.votewait", "commit", "mtx", "votes", ""},
 }
 
 // KnownEventNames reports every event name the Chrome exporter can emit

@@ -66,6 +66,16 @@ type HostSpeedupRow struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// ShardRow is one commit-shard sweep cell: the same host-backend run with
+// the page space partitioned across CommitShards commit units.
+type ShardRow struct {
+	Bench        string  `json:"bench"`
+	Ranks        int     `json:"ranks"`
+	CommitShards int     `json:"commit_shards"`
+	HostMs       float64 `json:"host_ms"`
+	Speedup      float64 `json:"speedup"` // 1-shard host_ms / this host_ms
+}
+
 // Entry is one labelled benchmark run (typically one per PR).
 type Entry struct {
 	Label       string                 `json:"label"`
@@ -74,6 +84,7 @@ type Entry struct {
 	Benchmarks  map[string]Measurement `json:"benchmarks"`
 	Sweep       *Sweep                 `json:"sweep,omitempty"`
 	HostSpeedup []HostSpeedupRow       `json:"host_speedup,omitempty"`
+	ShardSweep  []ShardRow             `json:"shard_sweep,omitempty"`
 }
 
 // File is the whole BENCH_host.json document.
@@ -240,6 +251,55 @@ func measureHostSpeedupInput(reps int, label string, in workloads.Input) ([]Host
 	return rows, nil
 }
 
+// measureShardSweep times the host backend with CommitShards in {1, 2, 4}
+// on the big input, best-of-reps. It tracks what sharding the commit
+// pipeline costs (or buys) in live-goroutine wall clock, where the commit
+// units really do run on distinct OS threads.
+func measureShardSweep(reps int) ([]ShardRow, error) {
+	in := workloads.Input{Scale: 8, Seed: 42}
+	var rows []ShardRow
+	for _, name := range []string{"164.gzip", "crc32"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		const ranks = 96
+		var base time.Duration
+		for _, shards := range []int{1, 2, 4} {
+			host := time.Duration(-1)
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				res, err := workloads.RunParallel(b, in, workloads.DSMTX, ranks, func(cfg *core.Config) {
+					cfg.Backend = core.BackendHost
+					cfg.CommitShards = shards
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s host shards=%d: %v", name, shards, err)
+				}
+				if res.Committed == 0 {
+					return nil, fmt.Errorf("%s host shards=%d: no commits", name, shards)
+				}
+				if d := time.Since(t0); host < 0 || d < host {
+					host = d
+				}
+			}
+			if shards == 1 {
+				base = host
+			}
+			rows = append(rows, ShardRow{
+				Bench:        name,
+				Ranks:        ranks,
+				CommitShards: shards,
+				HostMs:       float64(host.Microseconds()) / 1000,
+				Speedup:      base.Seconds() / host.Seconds(),
+			})
+			log.Printf("shard sweep: %s ranks=%d shards=%d host=%.1fms (%.2fx vs 1 shard)",
+				name, ranks, shards, float64(host.Microseconds())/1000, base.Seconds()/host.Seconds())
+		}
+	}
+	return rows, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchhost: ")
@@ -250,7 +310,7 @@ func main() {
 		keep      = flag.Bool("keep-label", false, "abort instead of replacing an existing entry with the same label")
 		parallel  = flag.Int("sweep-parallel", runtime.GOMAXPROCS(0), "worker count for the dsmtxbench sweep (0 disables the sweep)")
 		speedReps = flag.Int("speedup-reps", 3, "repetitions (best-of) for the host-vs-sequential speedup rows (0 disables them)")
-		speedIn   = flag.String("speedup-input", "default", "problem size for the speedup rows: default, big (8x scale), or both")
+		speedIn   = flag.String("speedup-input", "big", "problem size for the speedup rows: default, big (8x scale), or both")
 	)
 	flag.Parse()
 	inputs, err := speedupInputs(*speedIn)
@@ -295,6 +355,11 @@ func main() {
 			log.Fatalf("host speedup: %v", err)
 		}
 		entry.HostSpeedup = rows
+		shardRows, err := measureShardSweep(*speedReps)
+		if err != nil {
+			log.Fatalf("shard sweep: %v", err)
+		}
+		entry.ShardSweep = shardRows
 	}
 
 	if *parallel > 0 {

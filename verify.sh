@@ -31,11 +31,16 @@ go test -race ./internal/faults/
 # data-race audit of the runtime itself.
 go test -race ./internal/platform/... ./cmd/dsmtxrun/
 go test -race ./internal/workloads/ -run TestBackendEquivalence
+# The sharded commit pipeline adds AnySource control mailboxes and the
+# cross-shard vote protocol to the live-goroutine surface; its dedicated
+# tests run under the race detector too.
+go test -race ./internal/core/ -run TestCrossShard
 # The lock-free mailbox rings and the sharded page service behave differently
 # under different scheduler pressure: GOMAXPROCS=2 forces heavy contention and
 # parking (producers outnumber cores), GOMAXPROCS=8 maximises true parallelism.
 # Pinning both in CI surfaces interleaving-dependent bugs here rather than on a
-# loaded box.
-GOMAXPROCS=2 go test -race -count=1 ./internal/workloads/ -run TestBackendEquivalence
-GOMAXPROCS=8 go test -race -count=1 ./internal/workloads/ -run TestBackendEquivalence
+# loaded box. The backend-equivalence pattern includes the CommitShards
+# sweep, and the core cross-shard tests ride along at both widths.
+GOMAXPROCS=2 go test -race -count=1 ./internal/workloads/ ./internal/core/ -run 'TestBackendEquivalence|TestCrossShard'
+GOMAXPROCS=8 go test -race -count=1 ./internal/workloads/ ./internal/core/ -run 'TestBackendEquivalence|TestCrossShard'
 echo "verify: OK"
