@@ -6,9 +6,12 @@
 # benchmark live on the host execution backend and checks its checksum;
 # `make host-trace-demo` does the same with the wall-clock tracer attached
 # and validates the exported timeline; `make shard-demo` does the same with
-# the commit pipeline partitioned across four commit shards.
+# the commit pipeline partitioned across four commit shards; `make
+# net-demo` runs one benchmark as a real distributed job — ranks split
+# across daemon OS processes talking TCP on loopback — and checks the same
+# checksum gate.
 
-.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo host-trace-demo shard-demo
+.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo host-trace-demo shard-demo net-demo
 
 verify:
 	./verify.sh
@@ -50,6 +53,13 @@ host-trace-demo:
 # sequential reference.
 shard-demo:
 	timeout 60 go run ./cmd/dsmtxrun -bench crc32 -cores 16 -commit-shards 4 -misspec 0.02 -backend host | tee /dev/stderr | grep -q VERIFIED
+
+# Run 164.gzip as a real distributed job on the net backend: the
+# coordinator forks two dsmtxd daemon processes on loopback, ranks talk TCP
+# through the wire protocol, and the committed checksum must verify against
+# the vtime sequential reference.
+net-demo:
+	timeout 120 go run ./cmd/dsmtxrun -bench 164.gzip -cores 11 -backend net -net-daemons 2 | tee /dev/stderr | grep -q VERIFIED
 
 # Run crc32 under message loss plus a mid-run worker crash, verify the
 # output checksum against the sequential reference, and validate the trace:

@@ -1,0 +1,50 @@
+// Command dsmtxd is the net-backend daemon: one process hosting a
+// contiguous range of DSMTX ranks. A coordinator (dsmtxrun -backend net
+// -net-join) distributes the job spec over the control connection; daemons
+// dial each other directly for rank-to-rank traffic and run the unmodified
+// core runtime over TCP.
+//
+// Usage:
+//
+//	dsmtxd -listen 10.0.0.1:7000      # on each cluster node
+//	dsmtxrun -bench 164.gzip -cores 32 -backend net \
+//	    -net-join 10.0.0.1:7000,10.0.0.2:7000
+//
+// Each invocation of dsmtxd serves exactly one job and exits; daemon order
+// in -net-join is rank order, and the last address hosts the commit unit.
+// With no -listen flag the daemon binds a loopback ephemeral port and
+// advertises it on stdout (the spawn-local mode dsmtxrun uses internally).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"dsmtx/internal/netrun"
+	_ "dsmtx/internal/workloads" // registers the benchmark provider
+)
+
+func main() {
+	if os.Getenv(netrun.DaemonEnv) == "1" {
+		os.Exit(netrun.DaemonMain())
+	}
+	log.SetFlags(0)
+	log.SetPrefix("dsmtxd: ")
+	addr := flag.String("listen", "", "address to serve ranks on (default loopback ephemeral, advertised on stdout)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *addr == "" {
+		os.Exit(netrun.DaemonMain())
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dsmtxd: serving one job on %s\n", ln.Addr())
+	os.Exit(netrun.Serve(ln))
+}

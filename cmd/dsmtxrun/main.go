@@ -40,10 +40,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
+	"sync"
 
 	"dsmtx/internal/core"
 	"dsmtx/internal/faults"
 	"dsmtx/internal/harness"
+	"dsmtx/internal/netrun"
+	"dsmtx/internal/platform"
 	"dsmtx/internal/stats"
 	"dsmtx/internal/trace"
 	"dsmtx/internal/workloads"
@@ -64,6 +68,8 @@ type options struct {
 	metricsAddr string
 	mtxTrace    string
 	plan        *faults.Plan
+	netDaemons  int
+	netJoin     string
 }
 
 // parseFlags parses and validates args (without the program name).
@@ -84,6 +90,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.mtxTrace, "mtxtrace", "", "write the MTX lifecycle trace to this JSON-lines file")
 	faultArg := fs.String("faults", "", "deterministic fault plan, e.g. drop=0.001,crash=r1@2ms+500us (see internal/faults)")
 	faultSd := fs.Uint64("fault-seed", 0, "override the fault plan's seed (with -faults)")
+	fs.IntVar(&o.netDaemons, "net-daemons", 2, "with -backend net: spawn this many loopback daemon processes")
+	fs.StringVar(&o.netJoin, "net-join", "", "with -backend net: comma-separated dsmtxd addresses to join instead of spawning (last hosts the commit unit)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -122,6 +130,25 @@ func parseFlags(args []string) (*options, error) {
 		// Fault injection is built on the virtual-time kernel; tracing and
 		// metrics are backend-agnostic.
 		return nil, fmt.Errorf("-faults requires -backend vtime")
+	}
+	if o.backend == core.BackendNet {
+		// The coordinator only orchestrates; observability instruments live
+		// in the daemon processes (each reuses the host delivery layer), so
+		// the coordinator-side flags have nothing to attach to.
+		switch {
+		case o.plan != nil:
+			return nil, fmt.Errorf("-faults requires -backend vtime")
+		case o.traceOut != "" || o.mtxTrace != "" || o.metrics || o.metricsAddr != "":
+			return nil, fmt.Errorf("-trace/-mtxtrace/-metrics/-metrics-addr run in-process; on -backend net they belong to the daemons, not the coordinator")
+		case o.shards != 1:
+			return nil, fmt.Errorf("-commit-shards requires -backend vtime or host (shards share an in-process image arena)")
+		case o.paradigm != workloads.DSMTX:
+			return nil, fmt.Errorf("-backend net runs the dsmtx paradigm only")
+		case o.netJoin == "" && o.netDaemons < 1:
+			return nil, fmt.Errorf("-net-daemons must be at least 1")
+		}
+	} else if o.netJoin != "" {
+		return nil, fmt.Errorf("-net-join requires -backend net")
 	}
 	return o, nil
 }
@@ -182,11 +209,29 @@ func serveMetrics(addr string, tr *trace.Tracer) (func(), error) {
 		tr.Metrics().WriteJSON(w)
 	})
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return func() { srv.Close() }, nil
+	done := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(done)
+	}()
+	// Close the listener and wait for Serve to return before reporting the
+	// port free: repeated invocations (tests, scripted sweeps) rebind the
+	// same address immediately after stop().
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			srv.Close()
+			<-done
+		})
+	}, nil
 }
 
 func main() {
+	if os.Getenv(netrun.DaemonEnv) == "1" {
+		// Re-exec'd by a -backend net coordinator (possibly ourselves):
+		// become a daemon before any flag parsing.
+		os.Exit(netrun.DaemonMain())
+	}
 	log.SetFlags(0)
 	log.SetPrefix("dsmtxrun: ")
 	opts, err := parseFlags(os.Args[1:])
@@ -196,6 +241,46 @@ func main() {
 	if err := run(opts, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runNet executes the benchmark as a real distributed job: ranks live in
+// dsmtxd daemon processes (spawned on loopback, or joined via -net-join)
+// and talk over TCP; the coordinator distributes the spec, drives the
+// invocation barrier, and verifies the collected checksum against the
+// sequential reference.
+func runNet(o *options, bench string, in workloads.Input, seqTime platform.Duration, seqCheck uint64, stdout io.Writer) error {
+	var cl *netrun.Cluster
+	var err error
+	if o.netJoin != "" {
+		cl, err = netrun.Connect(strings.Split(o.netJoin, ","))
+	} else {
+		cl, err = netrun.LaunchLocal(o.netDaemons, os.Args[0])
+	}
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	res, err := cl.Run(netrun.JobSpec{
+		Bench:       bench,
+		Scale:       in.Scale,
+		MisspecRate: in.MisspecRate,
+		Seed:        in.Seed,
+		Cores:       o.cores,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s, %d cores, paradigm %s, backend net (%d daemons)\n", bench, o.cores, o.paradigm, cl.Daemons())
+	fmt.Fprintf(stdout, "  sequential      %v (vtime reference)\n", seqTime)
+	fmt.Fprintf(stdout, "  parallel        %v wall clock\n", res.Elapsed)
+	fmt.Fprintf(stdout, "  MTXs committed  %d (misspeculations: %d)\n", res.Committed, res.Misspecs)
+	fmt.Fprintf(stdout, "  wire traffic    %.2f MB (%d msgs, modelled)\n", float64(res.Traffic.Bytes)/1e6, res.Traffic.Messages)
+	if res.Checksum == seqCheck {
+		fmt.Fprintf(stdout, "  output          VERIFIED (checksum %#x matches sequential)\n", res.Checksum)
+	} else {
+		fmt.Fprintf(stdout, "  output          MISMATCH: parallel %#x, sequential %#x\n", res.Checksum, seqCheck)
+	}
+	return nil
 }
 
 // shardSuffix renders the commit-shard count in the report header when the
@@ -225,6 +310,9 @@ func run(o *options, stdout io.Writer) error {
 	seqTime, seqCheck, err := workloads.RunSequentialRef(b, in)
 	if err != nil {
 		return err
+	}
+	if o.backend == core.BackendNet {
+		return runNet(o, b.Name, in, seqTime, seqCheck, stdout)
 	}
 	// The tracer is shared across invocations; binding stitches each
 	// invocation's clock (virtual or wall) onto one monotonic timeline.

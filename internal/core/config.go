@@ -30,12 +30,24 @@ const (
 	// span buffers; only fault injection (built on virtual-time timers and
 	// deterministic rolls) is rejected.
 	BackendHost
+	// BackendNet executes the protocol across OS processes: each daemon
+	// hosts a contiguous range of ranks on an embedded host platform, and
+	// cross-daemon messages travel as wire frames over TCP (see
+	// internal/platform/net and internal/wire). Protocol outcomes match
+	// vtime and host; like host, timings are wall-clock. The platform is
+	// injected through Config.Platform by the orchestration layer
+	// (internal/netrun), which owns the connection mesh — core never
+	// dials.
+	BackendNet
 )
 
 // String names the backend as the -backend CLI flag spells it.
 func (b Backend) String() string {
-	if b == BackendHost {
+	switch b {
+	case BackendHost:
 		return "host"
+	case BackendNet:
+		return "net"
 	}
 	return "vtime"
 }
@@ -47,8 +59,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendVTime, nil
 	case "host":
 		return BackendHost, nil
+	case "net":
+		return BackendNet, nil
 	}
-	return 0, fmt.Errorf("core: unknown backend %q (have vtime, host)", s)
+	return 0, fmt.Errorf("core: unknown backend %q (have vtime, host, net)", s)
 }
 
 // Config assembles a DSMTX system.
@@ -59,8 +73,16 @@ type Config struct {
 	TotalCores int
 
 	// Backend selects the execution platform: the deterministic
-	// virtual-time simulator (the default) or live host goroutines.
+	// virtual-time simulator (the default), live host goroutines, or
+	// distributed daemon processes (net).
 	Backend Backend
+
+	// Platform supplies the execution platform for the net backend: the
+	// orchestration layer (internal/netrun) builds one platform per
+	// invocation, bound to its connection mesh, and core calls the factory
+	// with the rank count it laid out. Required when Backend is BackendNet;
+	// must be nil otherwise (vtime and host platforms are built by core).
+	Platform func(ranks int) (platform.Platform, error)
 
 	// Plan is the parallelization scheme laid out over the workers.
 	Plan pipeline.Plan
@@ -246,16 +268,27 @@ func (c Config) Validate() error {
 	if c.PollMin <= 0 || c.PollMax < c.PollMin {
 		return fmt.Errorf("core: bad poll bounds [%v, %v]", c.PollMin, c.PollMax)
 	}
-	if c.Backend != BackendVTime && c.Backend != BackendHost {
+	if c.Backend != BackendVTime && c.Backend != BackendHost && c.Backend != BackendNet {
 		return fmt.Errorf("core: unknown backend %d", c.Backend)
 	}
-	if c.Backend == BackendHost {
+	if c.Backend != BackendVTime {
 		// Fault injection is built on the virtual-time kernel (timers,
-		// deterministic rolls); the host backend runs the bare protocol.
-		// The tracer is backend-agnostic and allowed here.
+		// deterministic rolls); the live backends run the bare protocol.
+		// The tracer is backend-agnostic and allowed on all of them.
 		if !c.Faults.Empty() {
-			return fmt.Errorf("core: Config.Faults: fault injection is built on the virtual-time kernel; unsupported on the host backend")
+			return fmt.Errorf("core: Config.Faults: fault injection is built on the virtual-time kernel; unsupported on the %s backend", c.Backend)
 		}
+	}
+	if c.Backend == BackendNet {
+		if c.Platform == nil {
+			return fmt.Errorf("core: Config.Platform: the net backend needs an injected platform factory (run through internal/netrun or dsmtxrun -backend net)")
+		}
+		if c.CommitShards > 1 {
+			return fmt.Errorf("core: Config.CommitShards = %d: commit shards share an in-process image arena; unsupported on the net backend", c.CommitShards)
+		}
+	}
+	if c.Platform != nil && c.Backend != BackendNet {
+		return fmt.Errorf("core: Config.Platform: injected platforms are a net-backend feature (the %s backend builds its own)", c.Backend)
 	}
 	if c.HostSpanBufCap < 0 {
 		return fmt.Errorf("core: Config.HostSpanBufCap = %d, need >= 0", c.HostSpanBufCap)
@@ -376,7 +409,10 @@ func (c Config) pageShards() int {
 	if c.PageServShards > 0 {
 		return c.PageServShards
 	}
-	if c.Backend == BackendHost {
+	if c.Backend != BackendVTime {
+		// Host and net share the live delivery layer; net co-locates every
+		// page-server shard with the commit rank, so sharding is safe there
+		// too (one daemon owns them all).
 		return pageShardsHostDefault
 	}
 	return 1

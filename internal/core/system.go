@@ -226,7 +226,19 @@ func NewSystem(cfg Config, prog Program, initialImage *mem.Image) (*System, erro
 	if s.cfg.Cluster.HeadNode < 0 {
 		s.cfg.Cluster.HeadNode = s.cfg.Cluster.NodeOf(s.cfg.commitRank())
 	}
-	if cfg.Backend == BackendHost {
+	if cfg.Backend == BackendNet {
+		// Distributed daemons. The orchestration layer owns the connection
+		// mesh and injects a platform bound to it; core only supplies the
+		// rank count its layout needs.
+		if cfg.Platform == nil {
+			return nil, fmt.Errorf("core: net backend needs Config.Platform (run through internal/netrun)")
+		}
+		p, err := cfg.Platform(s.cfg.Cluster.Ranks())
+		if err != nil {
+			return nil, err
+		}
+		s.plat = p
+	} else if cfg.Backend == BackendHost {
 		// Live goroutines under the same protocol. Validate already
 		// rejected the vtime-only subsystems (faults); the cluster
 		// topology still drives rank placement for traffic attribution.
@@ -379,7 +391,11 @@ func (s *System) bindTracer() {
 		s.mach.SetTracer(s.tr)
 	} else {
 		s.tr.BindWall(s.plat, s.cfg.HostSpanBufCap)
-		s.plat.(*host.Platform).SetTracer(s.tr)
+		// Both wall-clock platforms (host, and net's embedded host) expose
+		// the delivery-layer instrumentation hook.
+		if tp, ok := s.plat.(interface{ SetTracer(*trace.Tracer) }); ok {
+			tp.SetTracer(s.tr)
+		}
 	}
 	node := s.cfg.Cluster.NodeOf
 	for w := 0; w < s.cfg.Workers(); w++ {
@@ -608,6 +624,11 @@ func (s *System) applyDilation(p platform.Proc, rank int) {
 // attributes samples per rank role; vtime processes are cooperative
 // goroutines of one scheduler, where per-proc labels would only mislead.
 func (s *System) spawnRank(name string, rank int, body func(platform.Proc)) {
+	// On the net backend only this daemon's ranks run here; remote ranks
+	// are spawned by their owning daemon and reached through the mesh.
+	if lp, ok := s.plat.(interface{ LocalRank(int) bool }); ok && !lp.LocalRank(rank) {
+		return
+	}
 	if s.plat.Concurrent() {
 		role := strings.TrimRight(name, "0123456789")
 		labels := pprof.Labels("dsmtx-rank", strconv.Itoa(rank), "dsmtx-role", role)
@@ -642,6 +663,37 @@ func (s *System) publishSnapshots(img *mem.Image) {
 		ps.setSnapshot(img.Snapshot())
 	}
 }
+
+// shadowSetup replays the program's sequential Setup on net-backend daemons
+// that do not host the commit rank. Setup establishes SPMD program state —
+// arena-allocated addresses, cached layout — that every rank derives
+// identically because the allocation sequence is deterministic; only the
+// commit daemon's memory writes are authoritative, so the shadow run writes
+// into a throwaway image and workers read the real values back through
+// Copy-On-Access. Runs single-threaded before any rank spawns, mirroring
+// the tagStart barrier that orders the real Setup before worker execution.
+func (s *System) shadowSetup() {
+	if s.cfg.Backend != BackendNet {
+		return
+	}
+	lp, ok := s.plat.(interface{ LocalRank(int) bool })
+	if !ok || lp.LocalRank(s.cfg.commitRank()) {
+		return
+	}
+	seq := &SeqCtx{cfg: s.cfg, proc: shadowProc{}, img: mem.NewImage(nil), arena: uva.NewArena(0), instr: s.instrTime}
+	s.prog.Setup(seq)
+}
+
+// shadowProc is the inert process behind shadowSetup: the shadow replay is
+// off the critical path and outside the cost model, so time does not pass.
+type shadowProc struct{}
+
+func (shadowProc) Advance(platform.Duration)   {}
+func (shadowProc) Yield()                      {}
+func (shadowProc) Now() platform.Time          { return 0 }
+func (shadowProc) Advanced() platform.Duration { return 0 }
+func (shadowProc) Blocked() platform.Duration  { return 0 }
+func (shadowProc) Name() string                { return "setup.shadow" }
 
 // startHeartbeats launches the liveness daemon of the crash-fault model: a
 // periodic kernel event that sends one 16-byte heartbeat per live worker
@@ -711,6 +763,7 @@ func (s *System) Run() (Result, error) {
 	for w := 0; w < s.cfg.Workers(); w++ {
 		s.workers = append(s.workers, newWorkerNode(s, w))
 	}
+	s.shadowSetup()
 	// Spawn order: receivers of early traffic must bind mailboxes in their
 	// spawn bodies before any delivery event fires; on vtime all spawns are
 	// enqueued ahead of any send, so order here is just cosmetic. On host,
@@ -759,37 +812,60 @@ func (s *System) Run() (Result, error) {
 	res.Elapsed = s.plat.Now()
 	res.Traffic = s.plat.Traffic()
 	res.Events = s.plat.Events()
+	// Nodes whose rank lives in another daemon (net backend) were never
+	// spawned here; their proc is nil and their counters belong to the
+	// owning process.
 	for _, c := range s.cus {
+		if c.proc == nil {
+			continue
+		}
 		res.CUBusy += c.proc.Advanced() - c.pollTime
 		res.CUPoll += c.pollTime
 	}
 	for _, tc := range s.tcs {
+		if tc.proc == nil {
+			continue
+		}
 		res.TCBusy += tc.proc.Advanced() - tc.pollTime
 		res.TCPoll += tc.pollTime
 	}
 	for _, ps := range s.srvs {
+		if ps.proc == nil {
+			continue
+		}
 		res.PageSrvBusy += ps.proc.Advanced()
 		res.PageRequests += ps.Requests
 		res.PagesServed += ps.PagesServed
 	}
 	var sum platform.Duration
+	spawned := 0
 	for _, w := range s.workers {
+		if w.proc == nil {
+			continue
+		}
+		spawned++
 		busy := w.proc.Advanced() - w.pollTime
 		sum += busy
 		if busy > res.WorkerBusyMax {
 			res.WorkerBusyMax = busy
 		}
 	}
-	res.WorkerBusyAvg = sum / platform.Duration(len(s.workers))
+	if spawned > 0 {
+		res.WorkerBusyAvg = sum / platform.Duration(spawned)
+	}
 	s.buildStallReport()
 	// Recycle worker and try-commit page frames: their speculative images
 	// are dead once the run ends (only the commit unit's memory is exposed
 	// via CommitImage). Counters survive Reset for post-run diagnostics.
 	for _, w := range s.workers {
-		w.img.Reset()
+		if w.img != nil {
+			w.img.Reset()
+		}
 	}
 	for _, tc := range s.tcs {
-		tc.view.Reset()
+		if tc.view != nil {
+			tc.view.Reset()
+		}
 	}
 	return res, nil
 }
@@ -813,6 +889,9 @@ func (s *System) buildStallReport() {
 	}
 	s.stalls = trace.StallReport{}
 	for _, w := range s.workers {
+		if w.proc == nil {
+			continue // remote rank (net backend): reported by its own daemon
+		}
 		s.stalls.Add(trace.StallRow{
 			Track: w.rank,
 			Label: fmt.Sprintf("worker%d", w.tid),
@@ -827,6 +906,9 @@ func (s *System) buildStallReport() {
 		})
 	}
 	for _, tc := range s.tcs {
+		if tc.proc == nil {
+			continue
+		}
 		s.stalls.Add(trace.StallRow{
 			Track:      tc.rank,
 			Label:      fmt.Sprintf("trycommit%d", tc.shard),
@@ -839,6 +921,9 @@ func (s *System) buildStallReport() {
 	}
 	s.stalls.CommitShards = s.cfg.commitShards() > 1
 	for k, c := range s.cus {
+		if c.proc == nil {
+			continue
+		}
 		label := "commit"
 		if k > 0 {
 			label = fmt.Sprintf("commit.shard%d", k)
@@ -857,6 +942,9 @@ func (s *System) buildStallReport() {
 		})
 	}
 	for sh, ps := range s.srvs {
+		if ps.proc == nil {
+			continue
+		}
 		label := "pagesrv"
 		if sh > 0 {
 			label = fmt.Sprintf("pagesrv%d", sh)
@@ -873,7 +961,9 @@ func (s *System) buildStallReport() {
 	// Host runs add the delivery columns: wall time parked and overflow
 	// spills, read from each rank's endpoint (so the commit row also covers
 	// its co-located page-server shards, which share the rank's mailboxes).
-	if hp, ok := s.plat.(*host.Platform); ok {
+	if hp, ok := s.plat.(interface {
+		RankDelivery(int) (int64, uint64, uint64)
+	}); ok {
 		s.stalls.Host = true
 		for i := range s.stalls.Rows {
 			row := &s.stalls.Rows[i]
@@ -918,6 +1008,9 @@ func (s *System) CommitImage() *mem.Image {
 func (s *System) WorkerBusy() []platform.Duration {
 	out := make([]platform.Duration, len(s.workers))
 	for i, w := range s.workers {
+		if w.proc == nil {
+			continue // remote rank (net backend)
+		}
 		out[i] = w.proc.Advanced() - w.pollTime
 	}
 	return out

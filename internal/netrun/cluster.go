@@ -1,0 +1,241 @@
+package netrun
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	gonet "net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dsmtx/internal/platform"
+	"dsmtx/internal/wire"
+)
+
+// jobCounter makes job IDs unique within a coordinator process; combined
+// with the PID they are unique enough across a machine to reject stale
+// redials from a previous job.
+var jobCounter atomic.Uint64
+
+func newJobID() uint64 {
+	return uint64(os.Getpid())<<32 | jobCounter.Add(1)
+}
+
+// Cluster is a coordinator's handle on a daemon fleet: either processes it
+// spawned on loopback (LaunchLocal) or remote daemons it joined (Connect).
+type Cluster struct {
+	addrs []string
+	conns []gonet.Conn
+	procs []*exec.Cmd
+	jobID uint64
+}
+
+// LaunchLocal forks daemons copies of exe (normally os.Args[0]) on
+// loopback, reading each one's advertised listener address, and dials
+// their control connections. The spawned process must divert into
+// DaemonMain when DaemonEnv is set — dsmtxd, dsmtxrun, benchhost, and the
+// workloads test binary all do.
+func LaunchLocal(daemons int, exe string) (*Cluster, error) {
+	if daemons < 1 {
+		return nil, fmt.Errorf("netrun: need at least 1 daemon, got %d", daemons)
+	}
+	c := &Cluster{jobID: newJobID()}
+	for i := 0; i < daemons; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), DaemonEnv+"=1")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netrun: spawn daemon %d: %w", i, err)
+		}
+		c.procs = append(c.procs, cmd)
+		addr, err := scrapeListenAddr(out)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netrun: daemon %d: %w", i, err)
+		}
+		c.addrs = append(c.addrs, addr)
+		// Keep draining the daemon's stdout so it never blocks on a full
+		// pipe; anything after the advertisement is diagnostics.
+		go func() { io.Copy(os.Stderr, out) }()
+	}
+	if err := c.dialControl(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Connect joins already-running daemons (dsmtxd -listen on each host) as
+// their coordinator. Daemon order is rank order: the last address hosts
+// the commit unit.
+func Connect(addrs []string) (*Cluster, error) {
+	if len(addrs) < 1 {
+		return nil, fmt.Errorf("netrun: need at least one daemon address")
+	}
+	c := &Cluster{jobID: newJobID(), addrs: append([]string(nil), addrs...)}
+	if err := c.dialControl(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// scrapeListenAddr reads daemon stdout until the listener advertisement.
+func scrapeListenAddr(out io.Reader) (string, error) {
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, listenLine) {
+			return strings.TrimSpace(strings.TrimPrefix(line, listenLine)), nil
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("daemon exited before advertising a listener")
+}
+
+// dialControl opens the control connection to every daemon.
+func (c *Cluster) dialControl() error {
+	for i, addr := range c.addrs {
+		conn, err := gonet.DialTimeout("tcp", addr, handshakeTimeout)
+		if err != nil {
+			return fmt.Errorf("netrun: control dial daemon %d (%s): %w", i, addr, err)
+		}
+		hello := wire.Hello{Role: wire.RoleControl, JobID: c.jobID}
+		if _, err := conn.Write(wire.AppendHello(nil, hello)); err != nil {
+			conn.Close()
+			return fmt.Errorf("netrun: control hello daemon %d: %w", i, err)
+		}
+		c.conns = append(c.conns, conn)
+	}
+	return nil
+}
+
+// Daemons reports the fleet size.
+func (c *Cluster) Daemons() int { return len(c.addrs) }
+
+// Run executes one job across the fleet: distribute the spec, drive the
+// per-invocation start/done barrier, and collect every daemon's result.
+func (c *Cluster) Run(spec JobSpec) (Result, error) {
+	// Validate coordinator-side with the daemons' own config construction so
+	// errors surface before any process starts working. The platform factory
+	// is a placeholder — daemons build the real mesh-bound one.
+	if provider == nil {
+		return Result{}, fmt.Errorf("netrun: no workload provider registered in this binary")
+	}
+	set, err := provider(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := buildConfig(spec, set.New(0).Plan())
+	cfg.Platform = func(int) (platform.Platform, error) {
+		return nil, fmt.Errorf("netrun: coordinator-side config is validate-only")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if spec.Cores < len(c.addrs) {
+		return Result{}, fmt.Errorf("netrun: %d cores across %d daemons: need at least one rank per daemon", spec.Cores, len(c.addrs))
+	}
+
+	for i, conn := range c.conns {
+		job := jobWire{JobID: c.jobID, Self: i, Addrs: c.addrs, Spec: spec}
+		if err := writeCtl(conn, wire.FrameJob, job); err != nil {
+			return Result{}, fmt.Errorf("netrun: job to daemon %d: %w", i, err)
+		}
+	}
+	invocations := 0
+	for i, conn := range c.conns {
+		var ok jobOKWire
+		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		err := readCtl(conn, wire.FrameJobOK, &ok)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			return Result{}, fmt.Errorf("netrun: daemon %d: %w", i, err)
+		}
+		if i == 0 {
+			invocations = ok.Invocations
+		} else if ok.Invocations != invocations {
+			return Result{}, fmt.Errorf("netrun: daemon %d plans %d invocations, daemon 0 plans %d", i, ok.Invocations, invocations)
+		}
+	}
+
+	for inv := 0; inv < invocations; inv++ {
+		for i, conn := range c.conns {
+			if err := writeCtl(conn, wire.FrameStart, startWire{Inv: inv}); err != nil {
+				return Result{}, fmt.Errorf("netrun: start %d to daemon %d: %w", inv, i, err)
+			}
+		}
+		for i, conn := range c.conns {
+			var done invDoneWire
+			if err := readCtl(conn, wire.FrameInvDone, &done); err != nil {
+				return Result{}, fmt.Errorf("netrun: daemon %d invocation %d: %w", i, inv, err)
+			}
+			if done.Inv != inv {
+				return Result{}, fmt.Errorf("netrun: daemon %d finished invocation %d, expected %d", i, done.Inv, inv)
+			}
+		}
+	}
+
+	var res Result
+	res.Daemons = len(c.conns)
+	gotChecksum := false
+	for i, conn := range c.conns {
+		var dr daemonResult
+		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		err := readCtl(conn, wire.FrameResult, &dr)
+		conn.SetReadDeadline(time.Time{})
+		if err != nil {
+			return Result{}, fmt.Errorf("netrun: result from daemon %d: %w", i, err)
+		}
+		res.Traffic.Add(dr.Traffic)
+		if dr.HasChecksum {
+			if gotChecksum {
+				return Result{}, fmt.Errorf("netrun: two daemons claim the commit rank")
+			}
+			gotChecksum = true
+			res.Checksum = dr.Checksum
+			res.Committed = dr.Committed
+			res.Misspecs = dr.Misspecs
+			res.Elapsed = dr.Elapsed
+		}
+	}
+	if !gotChecksum {
+		return Result{}, fmt.Errorf("netrun: no daemon reported the committed checksum")
+	}
+	return res, nil
+}
+
+// Close tears the fleet down: control connections first (daemons exit when
+// their job ends and the stream closes), then the spawned processes.
+func (c *Cluster) Close() {
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = nil
+	for _, cmd := range c.procs {
+		if cmd.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(cmd *exec.Cmd) { cmd.Wait(); close(done) }(cmd)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	c.procs = nil
+}

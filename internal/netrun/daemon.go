@@ -1,0 +1,196 @@
+package netrun
+
+import (
+	"fmt"
+	gonet "net"
+	"os"
+	"sync"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/mem"
+	"dsmtx/internal/platform"
+	netplat "dsmtx/internal/platform/net"
+	"dsmtx/internal/wire"
+)
+
+// DaemonMain is the spawn-local daemon entry point: bind a listener
+// (loopback/ephemeral unless ListenEnv overrides), advertise it on stdout,
+// serve exactly one job, and exit. Binaries call it from main/TestMain when
+// DaemonEnv is set, before any flag parsing.
+func DaemonMain() int {
+	addr := os.Getenv(ListenEnv)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := gonet.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmtxd: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s%s\n", listenLine, ln.Addr())
+	return Serve(ln)
+}
+
+// Serve accepts one control connection plus the job's data connections on
+// ln, runs the job, and returns an exit code. The listener is closed on
+// return.
+func Serve(ln gonet.Listener) int {
+	d := &daemon{
+		ln:        ln,
+		meshReady: make(chan struct{}),
+		ctlDone:   make(chan int, 1),
+	}
+	go d.acceptLoop()
+	code := <-d.ctlDone
+	ln.Close()
+	return code
+}
+
+// daemon is one serving process's state for its single job.
+type daemon struct {
+	ln        gonet.Listener
+	mesh      *netplat.Mesh
+	meshReady chan struct{} // closed once mesh is non-nil; parks early data conns
+	ctlOnce   sync.Once
+	ctlDone   chan int
+}
+
+// acceptLoop dispatches inbound connections on their first frame: the
+// coordinator's control stream runs the job; peer data streams park until
+// the job spec has built the mesh, then join it.
+func (d *daemon) acceptLoop() {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		go d.dispatch(conn)
+	}
+}
+
+func (d *daemon) dispatch(conn gonet.Conn) {
+	typ, body, _, err := wire.ReadFrame(conn, nil)
+	if err != nil || typ != wire.FrameHello {
+		conn.Close()
+		return
+	}
+	h, err := wire.ParseHello(body)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch h.Role {
+	case wire.RoleControl:
+		var taken bool
+		d.ctlOnce.Do(func() {
+			taken = true
+			d.ctlDone <- d.control(conn)
+		})
+		if !taken {
+			conn.Close()
+		}
+	case wire.RoleData:
+		// The peer may dial before our own job spec arrives; wait for the
+		// mesh, then hand over.
+		<-d.meshReady
+		if err := d.mesh.AcceptData(conn, h); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmtxd: %v\n", err)
+		}
+	default:
+		conn.Close()
+	}
+}
+
+// control runs the job end to end on the coordinator's stream. Any error is
+// reported back as a FrameError and fails the process.
+func (d *daemon) control(conn gonet.Conn) int {
+	defer conn.Close()
+	if err := d.serveJob(conn); err != nil {
+		_ = writeCtl(conn, wire.FrameError, errorWire{Error: err.Error()})
+		fmt.Fprintf(os.Stderr, "dsmtxd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func (d *daemon) serveJob(conn gonet.Conn) error {
+	var job jobWire
+	if err := readCtl(conn, wire.FrameJob, &job); err != nil {
+		return err
+	}
+	if provider == nil {
+		return fmt.Errorf("netrun: no workload provider registered in this binary")
+	}
+	set, err := provider(job.Spec)
+	if err != nil {
+		return err
+	}
+	invocations := set.Invocations
+	if job.Spec.Invocations > 0 {
+		invocations = job.Spec.Invocations
+	}
+	if invocations < 1 {
+		invocations = 1
+	}
+
+	d.mesh = netplat.NewMesh(netplat.MeshConfig{
+		JobID: job.JobID,
+		Self:  job.Self,
+		Addrs: job.Addrs,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dsmtxd[%d]: "+format+"\n", append([]any{job.Self}, args...)...)
+		},
+	})
+	close(d.meshReady)
+	defer d.mesh.Close()
+
+	if err := writeCtl(conn, wire.FrameJobOK, jobOKWire{Invocations: invocations}); err != nil {
+		return err
+	}
+
+	// The commit rank lands on the last daemon (contiguous split), which
+	// therefore chains the committed image across invocations and owns the
+	// checksum; other daemons rebuild their views through Copy-On-Access.
+	commitDaemon := job.Self == len(job.Addrs)-1
+	var img *mem.Image
+	var agg daemonResult
+	var lastProg Program
+	for inv := 0; inv < invocations; inv++ {
+		var start startWire
+		if err := readCtl(conn, wire.FrameStart, &start); err != nil {
+			return err
+		}
+		if start.Inv != inv {
+			return fmt.Errorf("netrun: start for invocation %d, expected %d", start.Inv, inv)
+		}
+		prog := set.New(inv)
+		lastProg = prog
+		cfg := buildConfig(job.Spec, prog.Plan())
+		cfg.Platform = func(ranks int) (platform.Platform, error) {
+			return d.mesh.Platform(uint64(inv), ranks, job.Spec.Cores)
+		}
+		sys, err := core.NewSystem(cfg, prog, img)
+		if err != nil {
+			return fmt.Errorf("netrun: %s inv %d: %w", job.Spec.Bench, inv, err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return fmt.Errorf("netrun: %s inv %d: %w", job.Spec.Bench, inv, err)
+		}
+		if commitDaemon {
+			img = sys.CommitImage()
+		}
+		agg.Committed += res.Committed
+		agg.Misspecs += res.Misspecs
+		agg.Elapsed += res.Elapsed
+		agg.Traffic.Add(res.Traffic)
+		if err := writeCtl(conn, wire.FrameInvDone, invDoneWire{Inv: inv}); err != nil {
+			return err
+		}
+	}
+	if commitDaemon {
+		agg.Checksum = lastProg.Checksum(img)
+		agg.HasChecksum = true
+	}
+	return writeCtl(conn, wire.FrameResult, agg)
+}

@@ -52,6 +52,11 @@ type Platform struct {
 	// paths pay one pointer check). Set before Spawn via SetTracer.
 	tel *telemetry
 
+	// remote, when set, diverts sends to ranks that are not local to this
+	// process (nil = every rank is local; hot paths pay one pointer check).
+	// Set before Spawn via SetRemote; the net backend installs it.
+	remote *remoteHook
+
 	failed   atomic.Bool
 	down     chan struct{} // closed on first failure; unparks blocked receivers
 	downOnce sync.Once
@@ -99,6 +104,34 @@ func (h *Platform) SetTracer(tr *trace.Tracer) {
 		hParkNs:  m.Histogram("host.recv.park.ns"),
 	}
 }
+
+// remoteHook is the transport seam a distributed backend installs: local
+// decides whether a destination rank lives in this process, send ships a
+// fully-formed message (already accounted) to its owner.
+type remoteHook struct {
+	local func(rank int) bool
+	send  func(msg platform.Message)
+}
+
+// SetRemote installs the remote-rank transport hook. Must be called before
+// Spawn. Sends to ranks for which local reports false are handed to send
+// after traffic accounting instead of being delivered to an in-process
+// mailbox; messages arriving from other processes enter through Inject.
+func (h *Platform) SetRemote(local func(rank int) bool, send func(msg platform.Message)) {
+	h.remote = &remoteHook{local: local, send: send}
+}
+
+// Inject delivers a message that originated in another process into the
+// destination rank's mailboxes, exactly as a local send would. Safe to call
+// from any goroutine (transport readers call it concurrently).
+func (h *Platform) Inject(msg platform.Message) {
+	h.endpoint(msg.To).deliver(msg)
+}
+
+// Abort fails the platform from outside a proc — the transport calls it
+// when a connection dies — unwinding every blocked receiver so Run returns
+// the error instead of deadlocking on ranks that will never hear again.
+func (h *Platform) Abort(err error) { h.fail(err) }
 
 // RankDelivery reports a rank's endpoint-level delivery accounting: wall
 // nanoseconds parked in mailbox waits, the number of parks, and overflow
@@ -388,6 +421,10 @@ func (e *endpoint) SendClass(to, tag int, payload any, bytes int, class platform
 	}
 	msg := platform.Message{From: e.rank, To: to, Tag: tag, Payload: payload, Bytes: bytes, Class: class}
 	e.account(msg)
+	if rh := e.h.remote; rh != nil && !rh.local(to) {
+		rh.send(msg)
+		return
+	}
 	e.h.endpoint(to).deliver(msg)
 }
 

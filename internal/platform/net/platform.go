@@ -1,0 +1,71 @@
+package net
+
+import (
+	"fmt"
+
+	"dsmtx/internal/platform"
+	"dsmtx/internal/platform/host"
+)
+
+// Platform is one invocation's execution platform on the mesh: a fresh
+// host platform carrying this daemon's local ranks, with the remote hook
+// diverting cross-daemon sends onto the wire. Everything else — mailbox
+// rings, spill accounting, wall-clock tracing, /metrics — is the host
+// delivery layer, reused unchanged behind the sockets.
+type Platform struct {
+	*host.Platform
+	mesh    *Mesh
+	gen     uint64
+	ownerOf func(rank int) int
+}
+
+// Platform builds and binds the platform for one invocation (generation
+// numbers must be strictly increasing within a job). The active ranks —
+// the ones the runtime actually spawns — are split contiguously across the
+// mesh's daemons; endpoints beyond active (idle cluster ranks) belong to
+// the last daemon but are never spawned anywhere. Only local ranks are
+// spawned by the caller (LocalRank); every rank has an endpoint so local
+// senders can address remote ones.
+func (m *Mesh) Platform(gen uint64, ranks, active int) (*Platform, error) {
+	daemons := len(m.cfg.Addrs)
+	if active > ranks {
+		active = ranks
+	}
+	if active < daemons {
+		return nil, fmt.Errorf("net: %d active ranks across %d daemons: need at least one rank per daemon", active, daemons)
+	}
+	ownerOf := func(rank int) int {
+		if rank >= active {
+			return daemons - 1
+		}
+		return rank * daemons / active
+	}
+	inner := host.New(ranks, ownerOf)
+	inner.SetRemote(
+		func(rank int) bool { return ownerOf(rank) == m.cfg.Self },
+		func(msg platform.Message) { m.send(gen, ownerOf, msg) },
+	)
+	if err := m.bind(gen, &binding{gen: gen, plat: inner, ownerOf: ownerOf}); err != nil {
+		return nil, err
+	}
+	return &Platform{Platform: inner, mesh: m, gen: gen, ownerOf: ownerOf}, nil
+}
+
+// Name identifies the backend.
+func (p *Platform) Name() string { return "net" }
+
+// LocalRank reports whether a rank lives in this process. The runtime
+// spawns only local ranks; remote ones are reached through the mesh.
+func (p *Platform) LocalRank(rank int) bool {
+	return p.ownerOf(rank) == p.mesh.cfg.Self
+}
+
+// Run executes the local ranks and surfaces transport failures alongside
+// protocol ones.
+func (p *Platform) Run(limit platform.Duration) error {
+	err := p.Platform.Run(limit)
+	if merr := p.mesh.Err(); merr != nil {
+		return merr
+	}
+	return err
+}

@@ -1,0 +1,242 @@
+// Package platformtest is the delivery conformance suite shared by every
+// concurrent platform backend. A backend adapts itself to the World
+// interface — producer endpoints, a consumer rank, and the consumer-side
+// delivery metrics — and the suite pins the contracts DSMTX's protocol
+// correctness rests on:
+//
+//   - per-producer FIFO: messages from one rank arrive in send order, even
+//     across ring-overflow spills and (on net) reconnect replay;
+//   - any-source migration: messages delivered before the consumer registers
+//     its any-source mailbox fold in without loss or reorder;
+//   - counter algebra: every message is exactly one ring enqueue or one
+//     spill, every spill folds back exactly once, and every message is
+//     dequeued exactly once.
+//
+// The host backend runs the suite over in-process rings; the net backend
+// runs it with producers in one mesh and the consumer in another, so the
+// same assertions audit the TCP framing, sequence numbering, and the
+// reader's injection into the very same rings.
+package platformtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dsmtx/internal/platform"
+	"dsmtx/internal/trace"
+)
+
+// World is one delivery domain under test: some producer ranks, one
+// consumer rank, and the delivery-layer metrics on the consumer side.
+type World interface {
+	// Producers reports the number of producer ranks, numbered 0..n-1.
+	Producers() int
+	// ConsumerRank reports the rank producers send to.
+	ConsumerRank() int
+	// ProducerEndpoint returns producer rank i's endpoint. Sends must be
+	// safe from bare goroutines (the host contract).
+	ProducerEndpoint(i int) platform.Endpoint
+	// ConsumerEndpoint returns the consumer rank's endpoint, for mailbox
+	// registration and draining.
+	ConsumerEndpoint() platform.Endpoint
+	// SpawnConsumer registers fn as the consumer process; Run drives it.
+	SpawnConsumer(fn func(p platform.Proc))
+	// Run executes spawned processes to completion.
+	Run() error
+	// Tracer exposes the consumer side's metrics registry (the suite
+	// attaches no tracer itself; the World must wire one in).
+	Tracer() *trace.Tracer
+}
+
+// Factory builds a fresh World with the given producer count. Each subtest
+// gets its own world; the factory registers any cleanup on t.
+type Factory func(t *testing.T, producers int) World
+
+// ringSize mirrors the host delivery ring capacity; storms send well past
+// it so the overflow path is always exercised.
+const ringSize = 256
+
+// Run executes the full conformance suite against the backend.
+func Run(t *testing.T, factory Factory) {
+	t.Run("FIFOPerProducerStorm", func(t *testing.T) { fifoStorm(t, factory) })
+	t.Run("AnySourceBatchDrain", func(t *testing.T) { batchDrain(t, factory) })
+	t.Run("SpillUnspillAlgebra", func(t *testing.T) { spillAlgebra(t, factory) })
+}
+
+// fifoStorm hammers the consumer from 8 concurrent producers while a
+// blocking consumer drains; per-producer FIFO must hold across overflow
+// spills and any transport reordering hazards. Under -race this is the
+// data-race audit of the whole delivery path.
+func fifoStorm(t *testing.T, factory Factory) {
+	const producers = 8
+	perProducer := 4000
+	if testing.Short() {
+		perProducer = 500
+	}
+	w := factory(t, producers)
+	dst := w.ConsumerRank()
+	box := w.ConsumerEndpoint().Mailbox(platform.AnySource, 5)
+	var wg sync.WaitGroup
+	for src := 0; src < producers; src++ {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := w.ProducerEndpoint(src)
+			for i := 0; i < perProducer; i++ {
+				ep.Send(dst, 5, uint64(i), 8)
+			}
+		}()
+	}
+	var consumeErr error
+	w.SpawnConsumer(func(p platform.Proc) {
+		nextFrom := make([]uint64, producers)
+		for n := 0; n < producers*perProducer; n++ {
+			msg, _ := box.Recv(p)
+			if msg.Payload.(uint64) != nextFrom[msg.From] {
+				consumeErr = fmt.Errorf("source %d delivered %d, want %d (message %d)",
+					msg.From, msg.Payload, nextFrom[msg.From], n)
+				return
+			}
+			nextFrom[msg.From]++
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if consumeErr != nil {
+		t.Fatal(consumeErr)
+	}
+	if msg, ok := box.TryRecv(); ok {
+		t.Fatalf("stray message after full consumption: %+v", msg)
+	}
+}
+
+// batchDrain sends the whole load before the consumer registers its
+// any-source mailbox — delivery lands in auto-created exact boxes — then
+// folds and drains in one TryRecvBatch. Order per source must survive the
+// migration, and the batch must take ring and overflow alike.
+func batchDrain(t *testing.T, factory Factory) {
+	const producers = 3
+	const perProducer = ringSize + 20 // the fold must carry overflow too
+	w := factory(t, producers)
+	dst := w.ConsumerRank()
+	var wg sync.WaitGroup
+	for src := 0; src < producers; src++ {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := w.ProducerEndpoint(src)
+			for i := 0; i < perProducer; i++ {
+				ep.Send(dst, 9, uint64(i), 8)
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(producers * perProducer)
+	waitDelivered(t, w, total)
+
+	box := w.ConsumerEndpoint().Mailbox(platform.AnySource, 9)
+	got := box.TryRecvBatch(nil)
+	if uint64(len(got)) != total {
+		t.Fatalf("batch drained %d, want %d", len(got), total)
+	}
+	nextFrom := make([]uint64, producers)
+	for i, msg := range got {
+		if msg.Payload.(uint64) != nextFrom[msg.From] {
+			t.Fatalf("batch[%d]: source %d delivered %d, want %d", i, msg.From, msg.Payload, nextFrom[msg.From])
+		}
+		nextFrom[msg.From]++
+	}
+}
+
+// spillAlgebra drives an unconsumed overflow storm, then drains it
+// single-threaded and checks the delivery counters close exactly: enqueues
+// plus spills account for every send, every spill unspills once, every
+// message dequeues once.
+func spillAlgebra(t *testing.T, factory Factory) {
+	const producers = 8
+	perProducer := 2000
+	if testing.Short() {
+		perProducer = 500
+	}
+	w := factory(t, producers)
+	dst := w.ConsumerRank()
+	// Register the any-source box up front so the whole storm funnels into
+	// one ring (auto-created exact boxes would give each source its own 256
+	// slots and dilute the spill pressure).
+	box := w.ConsumerEndpoint().Mailbox(platform.AnySource, 5)
+	var wg sync.WaitGroup
+	for src := 0; src < producers; src++ {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := w.ProducerEndpoint(src)
+			for i := 0; i < perProducer; i++ {
+				ep.Send(dst, 5, uint64(i), 8)
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(producers * perProducer)
+	waitDelivered(t, w, total)
+
+	m := w.Tracer().Metrics()
+	if spills := m.Counter("host.ring.spill").Value(); spills < total-ringSize {
+		t.Fatalf("spills = %d, want >= %d (ring holds only %d)", spills, total-ringSize, ringSize)
+	}
+
+	nextFrom := make([]uint64, producers)
+	for n := uint64(0); n < total; n++ {
+		msg, ok := box.TryRecv()
+		if !ok {
+			t.Fatalf("backlog dry after %d of %d messages", n, total)
+		}
+		if msg.Payload.(uint64) != nextFrom[msg.From] {
+			t.Fatalf("source %d delivered %d, want %d: spill broke per-producer FIFO",
+				msg.From, msg.Payload, nextFrom[msg.From])
+		}
+		nextFrom[msg.From]++
+	}
+	if msg, ok := box.TryRecv(); ok {
+		t.Fatalf("stray message after full drain: %+v", msg)
+	}
+
+	enq := m.Counter("host.ring.enqueue").Value()
+	deq := m.Counter("host.ring.dequeue").Value()
+	spill := m.Counter("host.ring.spill").Value()
+	unspill := m.Counter("host.ring.unspill").Value()
+	if enq+spill != total {
+		t.Errorf("enqueue %d + spill %d != %d sends", enq, spill, total)
+	}
+	if deq != total {
+		t.Errorf("dequeue = %d, want %d", deq, total)
+	}
+	if unspill != spill {
+		t.Errorf("unspill = %d, want %d (every spilled message folds back exactly once)", unspill, spill)
+	}
+}
+
+// waitDelivered blocks until the consumer-side delivery counters account
+// for n messages — on host delivery is synchronous and this returns at
+// once; on net it rides the transport's actual arrival.
+func waitDelivered(t *testing.T, w World, n uint64) {
+	t.Helper()
+	m := w.Tracer().Metrics()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := m.Counter("host.ring.enqueue").Value() + m.Counter("host.ring.spill").Value()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d messages before timeout", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,24 @@
+package workloads
+
+import "dsmtx/internal/netrun"
+
+// Register the benchmark table as netrun's workload provider, so any binary
+// linking workloads can serve net-backend jobs as a daemon (netrun itself
+// stays workload-agnostic).
+func init() {
+	netrun.SetProvider(func(spec netrun.JobSpec) (netrun.ProgramSet, error) {
+		b, err := ByName(spec.Bench)
+		if err != nil {
+			return netrun.ProgramSet{}, err
+		}
+		in := Input{Scale: spec.Scale, MisspecRate: spec.MisspecRate, Seed: spec.Seed}
+		invocations := b.Invocations
+		if invocations < 1 {
+			invocations = 1
+		}
+		return netrun.ProgramSet{
+			Invocations: invocations,
+			New:         func(inv int) netrun.Program { return b.NewDSMTX(in, inv) },
+		}, nil
+	})
+}

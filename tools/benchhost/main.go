@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dsmtx/internal/core"
+	"dsmtx/internal/netrun"
 	"dsmtx/internal/workloads"
 )
 
@@ -66,6 +67,23 @@ type HostSpeedupRow struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// NetSpeedupRow is one wall-clock comparison of the distributed net
+// backend (ranks split across daemon OS processes on loopback TCP)
+// against the in-process host backend and the sequential reference, on
+// the same benchmark computation. net_over_host > 1 is the price of
+// crossing process boundaries — wire encode/decode, TCP, page traffic —
+// on a problem sized for CI, not a scaling claim.
+type NetSpeedupRow struct {
+	Bench       string  `json:"bench"`
+	Ranks       int     `json:"ranks"`
+	Daemons     int     `json:"daemons"`
+	NetMs       float64 `json:"net_ms"`
+	HostMs      float64 `json:"host_ms"`
+	SeqMs       float64 `json:"seq_ms"`
+	Speedup     float64 `json:"speedup"`       // seq_ms / net_ms
+	NetOverHost float64 `json:"net_over_host"` // net_ms / host_ms
+}
+
 // ShardRow is one commit-shard sweep cell: the same host-backend run with
 // the page space partitioned across CommitShards commit units.
 type ShardRow struct {
@@ -84,6 +102,7 @@ type Entry struct {
 	Benchmarks  map[string]Measurement `json:"benchmarks"`
 	Sweep       *Sweep                 `json:"sweep,omitempty"`
 	HostSpeedup []HostSpeedupRow       `json:"host_speedup,omitempty"`
+	NetSpeedup  []NetSpeedupRow        `json:"net_speedup,omitempty"`
 	ShardSweep  []ShardRow             `json:"shard_sweep,omitempty"`
 }
 
@@ -251,6 +270,92 @@ func measureHostSpeedupInput(reps int, label string, in workloads.Input) ([]Host
 	return rows, nil
 }
 
+// measureNetSpeedup runs gzip and crc32 at 32 ranks three ways — once
+// sequentially, once on the in-process host backend, and once distributed
+// across two loopback daemon processes (the benchhost binary re-execs
+// itself as the daemons) — and reports best-of-reps wall clocks. A fresh
+// daemon fleet is launched per rep: each daemon serves one job, and the
+// launch cost is excluded from the timed window just as goroutine spawn is
+// on host.
+func measureNetSpeedup(reps int) ([]NetSpeedupRow, error) {
+	in := workloads.Input{Scale: 8, Seed: 42}
+	const ranks = 32
+	const daemons = 2
+	var rows []NetSpeedupRow
+	for _, name := range []string{"164.gzip", "crc32"} {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		seq := time.Duration(-1)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, _, err := workloads.RunSequentialRef(b, in); err != nil {
+				return nil, fmt.Errorf("%s sequential: %v", name, err)
+			}
+			if d := time.Since(t0); seq < 0 || d < seq {
+				seq = d
+			}
+		}
+		host := time.Duration(-1)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			res, err := workloads.RunParallel(b, in, workloads.DSMTX, ranks, func(cfg *core.Config) {
+				cfg.Backend = core.BackendHost
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s host %d ranks: %v", name, ranks, err)
+			}
+			if res.Committed == 0 {
+				return nil, fmt.Errorf("%s host %d ranks: no commits", name, ranks)
+			}
+			if d := time.Since(t0); host < 0 || d < host {
+				host = d
+			}
+		}
+		netT := time.Duration(-1)
+		for r := 0; r < reps; r++ {
+			cl, err := netrun.LaunchLocal(daemons, os.Args[0])
+			if err != nil {
+				return nil, fmt.Errorf("%s net launch: %v", name, err)
+			}
+			t0 := time.Now()
+			res, err := cl.Run(netrun.JobSpec{
+				Bench:       name,
+				Scale:       in.Scale,
+				MisspecRate: in.MisspecRate,
+				Seed:        in.Seed,
+				Cores:       ranks,
+			})
+			d := time.Since(t0)
+			cl.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s net %d ranks: %v", name, ranks, err)
+			}
+			if res.Committed == 0 {
+				return nil, fmt.Errorf("%s net %d ranks: no commits", name, ranks)
+			}
+			if netT < 0 || d < netT {
+				netT = d
+			}
+		}
+		rows = append(rows, NetSpeedupRow{
+			Bench:       name,
+			Ranks:       ranks,
+			Daemons:     daemons,
+			NetMs:       float64(netT.Microseconds()) / 1000,
+			HostMs:      float64(host.Microseconds()) / 1000,
+			SeqMs:       float64(seq.Microseconds()) / 1000,
+			Speedup:     seq.Seconds() / netT.Seconds(),
+			NetOverHost: netT.Seconds() / host.Seconds(),
+		})
+		log.Printf("net speedup: %s ranks=%d daemons=%d net=%.1fms host=%.1fms seq=%.1fms (%.2fx vs seq, %.2fx host cost)",
+			name, ranks, daemons, float64(netT.Microseconds())/1000, float64(host.Microseconds())/1000,
+			float64(seq.Microseconds())/1000, seq.Seconds()/netT.Seconds(), netT.Seconds()/host.Seconds())
+	}
+	return rows, nil
+}
+
 // measureShardSweep times the host backend with CommitShards in {1, 2, 4}
 // on the big input, best-of-reps. It tracks what sharding the commit
 // pipeline costs (or buys) in live-goroutine wall clock, where the commit
@@ -301,6 +406,10 @@ func measureShardSweep(reps int) ([]ShardRow, error) {
 }
 
 func main() {
+	// The net speedup rows re-exec this binary as the daemon fleet.
+	if os.Getenv(netrun.DaemonEnv) == "1" {
+		os.Exit(netrun.DaemonMain())
+	}
 	log.SetFlags(0)
 	log.SetPrefix("benchhost: ")
 	var (
@@ -355,6 +464,11 @@ func main() {
 			log.Fatalf("host speedup: %v", err)
 		}
 		entry.HostSpeedup = rows
+		netRows, err := measureNetSpeedup(*speedReps)
+		if err != nil {
+			log.Fatalf("net speedup: %v", err)
+		}
+		entry.NetSpeedup = netRows
 		shardRows, err := measureShardSweep(*speedReps)
 		if err != nil {
 			log.Fatalf("shard sweep: %v", err)

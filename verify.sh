@@ -28,9 +28,18 @@ go test -race ./internal/faults/
 # The host backend runs the whole DSMTX protocol on live goroutines; the
 # platform tests and the backend-equivalence tests (vtime and host must both
 # reproduce the sequential checksum with equal committed counts) are the
-# data-race audit of the runtime itself.
+# data-race audit of the runtime itself. The platform sweep includes the net
+# package (mesh, reconnect replay, generation buffering) and the delivery
+# conformance suite run against both host and net mailboxes.
 go test -race ./internal/platform/... ./cmd/dsmtxrun/
+# Backend equivalence covers vtime, host, and net: the Net tests re-exec
+# the (race-instrumented) test binary as a two-daemon loopback fleet, so
+# real multi-process TCP runs of crc32/blackscholes/164.gzip must reach the
+# sequential checksum with committed/misspec counts equal to vtime.
 go test -race ./internal/workloads/ -run TestBackendEquivalence
+# The wire codec feeds the net transport; a short fuzz pass keeps the frame
+# decoder total on junk (round-trip identity is seeded in the corpus).
+go test -run=NONE -fuzz FuzzWireRoundTrip -fuzztime 10s ./internal/wire/
 # The sharded commit pipeline adds AnySource control mailboxes and the
 # cross-shard vote protocol to the live-goroutine surface; its dedicated
 # tests run under the race detector too.
