@@ -9,9 +9,11 @@
 # the commit pipeline partitioned across four commit shards; `make
 # net-demo` runs one benchmark as a real distributed job — ranks split
 # across daemon OS processes talking TCP on loopback — and checks the same
-# checksum gate.
+# checksum gate; `make serve-demo` boots the dsmtxd job server, drives ~50
+# mixed verified jobs through the HTTP API with dsmtxload, and requires a
+# clean SIGTERM drain.
 
-.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo host-trace-demo shard-demo net-demo
+.PHONY: verify test bench-host bench-host-baseline trace-demo resilience-demo host-demo host-trace-demo shard-demo net-demo serve-demo
 
 verify:
 	./verify.sh
@@ -20,9 +22,13 @@ test:
 	go test ./...
 
 # Record the host benchmarks under a label (override: make bench-host LABEL=pr2).
+# The serving-path load row rides along: a high-concurrency dsmtxload burst
+# against a live dsmtxd serve appends throughput, p50/p99/p999 latency, and
+# cache behaviour to BENCH_host.json under the same label.
 LABEL ?= current
 bench-host:
 	go run ./tools/benchhost -label $(LABEL)
+	JOBS=200 CLIENTS=120 MAXJOBS=0 DISTINCT=8 OUT=BENCH_host.json LABEL=$(LABEL)-load ./scripts/serve-demo.sh
 
 # Generate a sample virtual-time trace from the example compressor and
 # validate the Chrome trace-event JSON; load trace-demo.json in Perfetto
@@ -60,6 +66,13 @@ shard-demo:
 # the vtime sequential reference.
 net-demo:
 	timeout 120 go run ./cmd/dsmtxrun -bench 164.gzip -cores 11 -backend net -net-daemons 2 | tee /dev/stderr | grep -q VERIFIED
+
+# Boot the dsmtxd job server on a loopback ephemeral port, drive ~50 mixed
+# host-backend jobs through the JSON/HTTP API with dsmtxload (every
+# checksum verified against the sequential reference, duplicates served by
+# the result cache), then SIGTERM the server and require a clean drain.
+serve-demo:
+	timeout 300 ./scripts/serve-demo.sh
 
 # Run crc32 under message loss plus a mid-run worker crash, verify the
 # output checksum against the sequential reference, and validate the trace:

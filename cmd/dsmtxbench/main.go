@@ -42,7 +42,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -51,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"dsmtx/internal/cli"
 	"dsmtx/internal/core"
 	"dsmtx/internal/expsched"
 	"dsmtx/internal/harness"
@@ -162,15 +162,7 @@ func parseFlags(args []string) (*options, error) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("dsmtxbench: ")
-	opts, err := parseFlags(os.Args[1:])
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := run(opts, os.Stdout, os.Stderr); err != nil {
-		log.Fatal(err)
-	}
+	cli.Main("dsmtxbench", parseFlags, func(o *options) error { return run(o, os.Stdout, os.Stderr) })
 }
 
 // run executes the selected sections. Figures and tables are written to

@@ -5,33 +5,26 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"dsmtx/internal/cli/clitest"
 )
 
 // TestParseFlagsErrors covers the CLI's rejection paths: unknown figures
 // and tables, malformed core lists, benchmarks missing from the
 // registry, and stray positional arguments.
 func TestParseFlagsErrors(t *testing.T) {
-	cases := []struct {
-		args []string
-		want string // substring of the error
-	}{
-		{[]string{"-figure", "9"}, "unknown -figure"},
-		{[]string{"-figure", "5c"}, "unknown -figure"},
-		{[]string{"-table", "3"}, "unknown -table"},
-		{[]string{"-bench", "999.nope"}, "unknown benchmark"},
-		{[]string{"-cores", "8,banana"}, "bad -cores"},
-		{[]string{"-cores", "8,,16"}, "bad -cores"},
-		{[]string{"-cores", "0"}, "not a positive core count"},
-		{[]string{"-cores", "-4"}, "bad -cores"},
-		{[]string{"-all", "extra"}, "unexpected arguments"},
-		{[]string{"-no-such-flag"}, "flag provided but not defined"},
-	}
-	for _, c := range cases {
-		_, err := parseFlags(c.args)
-		if err == nil || !strings.Contains(err.Error(), c.want) {
-			t.Errorf("parseFlags(%v) err = %v, want substring %q", c.args, err, c.want)
-		}
-	}
+	clitest.RejectAll(t, parseFlags, []clitest.RejectCase{
+		{Args: []string{"-figure", "9"}, Want: "unknown -figure"},
+		{Args: []string{"-figure", "5c"}, Want: "unknown -figure"},
+		{Args: []string{"-table", "3"}, Want: "unknown -table"},
+		{Args: []string{"-bench", "999.nope"}, Want: "unknown benchmark"},
+		{Args: []string{"-cores", "8,banana"}, Want: "bad -cores"},
+		{Args: []string{"-cores", "8,,16"}, Want: "bad -cores"},
+		{Args: []string{"-cores", "0"}, Want: "not a positive core count"},
+		{Args: []string{"-cores", "-4"}, Want: "bad -cores"},
+		{Args: []string{"-all", "extra"}, Want: "unexpected arguments"},
+		{Args: []string{"-no-such-flag"}, Want: "flag provided but not defined"},
+	})
 }
 
 // TestParseFlagsBenchNamesOptions: the unknown-benchmark error names the

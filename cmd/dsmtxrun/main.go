@@ -32,18 +32,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"log"
-	"net"
-	"net/http"
 	"os"
 	"strings"
-	"sync"
 
+	"dsmtx/internal/cli"
 	"dsmtx/internal/core"
+	"dsmtx/internal/engine"
 	"dsmtx/internal/faults"
 	"dsmtx/internal/harness"
 	"dsmtx/internal/netrun"
@@ -193,84 +192,38 @@ func writeChromeTrace(path string, tr *trace.Tracer) error {
 	return f.Close()
 }
 
-// serveMetrics starts an HTTP listener publishing a live snapshot of the
-// tracer's metrics registry as JSON at /metrics (expvar-style; instruments
-// update atomically, so sampling mid-run is safe). It returns a shutdown
-// function; binding failures (port taken, bad address) surface immediately
-// rather than mid-run.
-func serveMetrics(addr string, tr *trace.Tracer) (func(), error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("-metrics-addr: %v", err)
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		tr.Metrics().WriteJSON(w)
-	})
-	srv := &http.Server{Handler: mux}
-	done := make(chan struct{})
-	go func() {
-		srv.Serve(ln)
-		close(done)
-	}()
-	// Close the listener and wait for Serve to return before reporting the
-	// port free: repeated invocations (tests, scripted sweeps) rebind the
-	// same address immediately after stop().
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			srv.Close()
-			<-done
-		})
-	}, nil
-}
-
 func main() {
 	if os.Getenv(netrun.DaemonEnv) == "1" {
 		// Re-exec'd by a -backend net coordinator (possibly ourselves):
 		// become a daemon before any flag parsing.
 		os.Exit(netrun.DaemonMain())
 	}
-	log.SetFlags(0)
-	log.SetPrefix("dsmtxrun: ")
-	opts, err := parseFlags(os.Args[1:])
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := run(opts, os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	cli.Main("dsmtxrun", parseFlags, func(o *options) error { return run(o, os.Stdout) })
 }
 
 // runNet executes the benchmark as a real distributed job: ranks live in
 // dsmtxd daemon processes (spawned on loopback, or joined via -net-join)
-// and talk over TCP; the coordinator distributes the spec, drives the
-// invocation barrier, and verifies the collected checksum against the
-// sequential reference.
-func runNet(o *options, bench string, in workloads.Input, seqTime platform.Duration, seqCheck uint64, stdout io.Writer) error {
-	var cl *netrun.Cluster
-	var err error
+// and talk over TCP; the engine launches or joins the fleet, the netrun
+// coordinator under it distributes the spec and drives the invocation
+// barrier, and the collected checksum is verified against the sequential
+// reference.
+func runNet(eng *engine.Engine, o *options, bench string, seqTime platform.Duration, seqCheck uint64, stdout io.Writer) error {
+	var join []string
 	if o.netJoin != "" {
-		cl, err = netrun.Connect(strings.Split(o.netJoin, ","))
-	} else {
-		cl, err = netrun.LaunchLocal(o.netDaemons, os.Args[0])
+		join = strings.Split(o.netJoin, ",")
 	}
+	res, err := eng.SubmitOpts(context.Background(), engine.JobSpec{
+		Bench:   bench,
+		Backend: core.BackendNet.String(),
+		Cores:   o.cores,
+		Scale:   o.scale,
+		Seed:    o.seed,
+		Rate:    o.misspec,
+	}, engine.Options{NetDaemons: o.netDaemons, NetJoin: join})
 	if err != nil {
 		return err
 	}
-	defer cl.Close()
-	res, err := cl.Run(netrun.JobSpec{
-		Bench:       bench,
-		Scale:       in.Scale,
-		MisspecRate: in.MisspecRate,
-		Seed:        in.Seed,
-		Cores:       o.cores,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "%s, %d cores, paradigm %s, backend net (%d daemons)\n", bench, o.cores, o.paradigm, cl.Daemons())
+	fmt.Fprintf(stdout, "%s, %d cores, paradigm %s, backend net (%d daemons)\n", bench, o.cores, o.paradigm, res.Daemons)
 	fmt.Fprintf(stdout, "  sequential      %v (vtime reference)\n", seqTime)
 	fmt.Fprintf(stdout, "  parallel        %v wall clock\n", res.Elapsed)
 	fmt.Fprintf(stdout, "  MTXs committed  %d (misspeculations: %d)\n", res.Committed, res.Misspecs)
@@ -303,16 +256,24 @@ func run(o *options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	in := workloads.Input{Scale: o.scale, Seed: o.seed, MisspecRate: o.misspec}
+
+	// Every execution routes through the job engine: the report below is
+	// one Submit for the sequential reference and one for the parallel run
+	// (unbounded admission — a CLI invocation is its own client).
+	eng := engine.New(engine.Config{})
+	defer eng.Close()
 
 	// The sequential reference always runs in virtual time: it is the cost
 	// model's baseline and, for the host backend, the checksum oracle.
-	seqTime, seqCheck, err := workloads.RunSequentialRef(b, in)
+	seqRes, err := eng.Submit(context.Background(), engine.JobSpec{
+		Kind: engine.KindSeq, Bench: b.Name, Scale: o.scale, Seed: o.seed, Rate: o.misspec,
+	})
 	if err != nil {
 		return err
 	}
+	seqTime, seqCheck := seqRes.SeqTime, seqRes.SeqCheck
 	if o.backend == core.BackendNet {
-		return runNet(o, b.Name, in, seqTime, seqCheck, stdout)
+		return runNet(eng, o, b.Name, seqTime, seqCheck, stdout)
 	}
 	// The tracer is shared across invocations; binding stitches each
 	// invocation's clock (virtual or wall) onto one monotonic timeline.
@@ -323,25 +284,24 @@ func run(o *options, stdout io.Writer) error {
 		tr = trace.NewMetricsOnly()
 	}
 	if o.metricsAddr != "" {
-		stop, err := serveMetrics(o.metricsAddr, tr)
+		stop, err := cli.ServeMetrics(o.metricsAddr, tr)
 		if err != nil {
 			return err
 		}
 		defer stop()
 		fmt.Fprintf(stdout, "metrics: serving http://%s/metrics\n", o.metricsAddr)
 	}
-	var tune func(*core.Config)
-	if tr != nil || o.mtxTrace != "" || o.plan != nil || o.backend != core.BackendVTime || o.shards != 1 {
-		mtx := o.mtxTrace != ""
-		tune = func(cfg *core.Config) {
-			cfg.Trace = mtx
-			cfg.Tracer = tr
-			cfg.Faults = o.plan
-			cfg.Backend = o.backend
-			cfg.CommitShards = o.shards
-		}
-	}
-	res, err := workloads.RunParallel(b, in, o.paradigm, o.cores, tune)
+	res, err := eng.SubmitOpts(context.Background(), engine.JobSpec{
+		Bench:        b.Name,
+		Paradigm:     o.paradigm.String(),
+		Backend:      o.backend.String(),
+		Cores:        o.cores,
+		Scale:        o.scale,
+		Seed:         o.seed,
+		Rate:         o.misspec,
+		Faults:       o.plan.Format(),
+		CommitShards: o.shards,
+	}, engine.Options{Tracer: tr, MTXTrace: o.mtxTrace != ""})
 	if err != nil {
 		return err
 	}

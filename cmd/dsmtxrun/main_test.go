@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"dsmtx/internal/cli/clitest"
 	"dsmtx/internal/core"
 	"dsmtx/internal/workloads"
 )
@@ -36,19 +37,14 @@ func TestParseFlagsBackends(t *testing.T) {
 }
 
 func TestParseFlagsErrors(t *testing.T) {
-	cases := [][]string{
-		{"stray-positional"},
-		{"-paradigm", "openmp"},
-		{"-fault-seed", "7"}, // needs -faults
-		{"-faults", "drop=notanumber"},
+	clitest.RejectAll(t, parseFlags, []clitest.RejectCase{
+		{Args: []string{"stray-positional"}, Want: "unexpected arguments"},
+		{Args: []string{"-paradigm", "openmp"}, Want: "unknown -paradigm"},
+		{Args: []string{"-fault-seed", "7"}, Want: "-fault-seed needs -faults"},
+		{Args: []string{"-faults", "drop=notanumber"}, Want: "-faults"},
 		// vtime-only features on the host backend
-		{"-backend", "host", "-faults", "drop=0.01"},
-	}
-	for _, args := range cases {
-		if _, err := parseFlags(args); err == nil {
-			t.Errorf("parseFlags(%v) accepted invalid arguments", args)
-		}
-	}
+		{Args: []string{"-backend", "host", "-faults", "drop=0.01"}, Want: "vtime"},
+	})
 }
 
 // TestParseFlagsHostObservability pins the lifted restriction: tracing and

@@ -1,0 +1,33 @@
+// Package clitest is the table-test helper the commands' flag tests
+// share: every dsmtx binary pins its parseFlags rejection paths with the
+// same loop, so the loop lives here (a separate package keeps "testing"
+// out of the binaries' import graphs).
+package clitest
+
+import (
+	"strings"
+	"testing"
+)
+
+// RejectCase is one invalid command line and, optionally, a substring the
+// error must carry (empty accepts any error).
+type RejectCase struct {
+	Args []string
+	Want string
+}
+
+// RejectAll asserts parse rejects every case, with the wanted substring
+// when one is given.
+func RejectAll[O any](t *testing.T, parse func(args []string) (O, error), cases []RejectCase) {
+	t.Helper()
+	for _, c := range cases {
+		_, err := parse(c.Args)
+		if err == nil {
+			t.Errorf("parseFlags(%v) accepted invalid arguments", c.Args)
+			continue
+		}
+		if c.Want != "" && !strings.Contains(err.Error(), c.Want) {
+			t.Errorf("parseFlags(%v) err = %v, want substring %q", c.Args, err, c.Want)
+		}
+	}
+}

@@ -1,0 +1,695 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"dsmtx/internal/core"
+	"dsmtx/internal/expsched"
+	"dsmtx/internal/faults"
+	"dsmtx/internal/mem"
+	"dsmtx/internal/netrun"
+	"dsmtx/internal/trace"
+	"dsmtx/internal/workloads"
+)
+
+// ErrOverloaded is the typed admission rejection: the queue is full or the
+// job can never fit the core budget. Clients are expected to back off and
+// retry; the server maps it to 503.
+type ErrOverloaded struct {
+	Reason string
+}
+
+func (e *ErrOverloaded) Error() string { return "engine: overloaded: " + e.Reason }
+
+// ErrDraining rejects submissions arriving after Drain/Close began.
+var ErrDraining = fmt.Errorf("engine: draining: not accepting new jobs")
+
+// Config sizes an Engine.
+type Config struct {
+	// MaxConcurrent bounds jobs running at once; <= 0 is unlimited (the
+	// harness's own worker pool already bounds its submissions).
+	MaxConcurrent int
+	// QueueDepth bounds jobs waiting for a slot beyond the running ones;
+	// <= 0 defaults to 64. Ignored when MaxConcurrent and CoreBudget are
+	// both unlimited.
+	QueueDepth int
+	// CoreBudget bounds the summed Cores of running jobs (the machine's
+	// core budget); <= 0 is unlimited. A job asking for more cores than
+	// the whole budget is rejected outright.
+	CoreBudget int
+	// Cache, when non-nil, serves duplicate specs from the
+	// content-addressed result store instead of re-running them.
+	Cache *expsched.Cache
+	// PoolPerKey bounds idle warm systems kept per pool key; <= 0
+	// defaults to 2.
+	PoolPerKey int
+	// Exe is the binary net-backend jobs re-exec as spawn-local daemons;
+	// empty defaults to os.Args[0] (dsmtxrun, dsmtxd, and test binaries
+	// all divert into DaemonMain).
+	Exe string
+	// Metrics, when non-nil, receives the engine's live instruments
+	// (engine.jobs.*, engine.pool.*) for the -metrics-addr machinery.
+	Metrics *trace.Metrics
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Submitted  uint64 `json:"submitted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Rejected   uint64 `json:"rejected"`
+	CacheHits  uint64 `json:"cache_hits"`
+	Coalesced  uint64 `json:"coalesced"`
+	PoolReuses uint64 `json:"pool_reuses"`
+	PoolBuilds uint64 `json:"pool_builds"`
+	Running    int    `json:"running"`
+	Queued     int    `json:"queued"`
+	CoresInUse int    `json:"cores_in_use"`
+}
+
+// Engine executes jobs: bounded admission in FIFO order with per-job core
+// accounting, warm worker pools on the host backend, persistent daemon
+// fleets on the net backend, and a request-level result cache. The zero
+// value is not usable; construct with New.
+type Engine struct {
+	cfg   Config
+	exe   string
+	pools *hostPools
+
+	mu         sync.Mutex
+	cond       *sync.Cond // broadcast on job completion (Drain waits on it)
+	queue      []*ticket
+	running    int
+	coresInUse int
+	draining   bool
+	stats      Stats
+	inflight   map[JobSpec]*call
+	clusters   map[string]*netCluster
+
+	met *engineMetrics
+}
+
+// ticket is one queued admission request.
+type ticket struct {
+	cores     int
+	ready     chan struct{}
+	cancelled bool
+}
+
+// call is one in-flight cacheable job other submissions of the same spec
+// coalesce onto.
+type call struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// engineMetrics are the live instruments (nil when Config.Metrics is nil).
+type engineMetrics struct {
+	cSubmitted *trace.Counter
+	cCompleted *trace.Counter
+	cFailed    *trace.Counter
+	cRejected  *trace.Counter
+	cCacheHit  *trace.Counter
+	cCoalesced *trace.Counter
+	cPoolReuse *trace.Counter
+	cPoolBuild *trace.Counter
+	gRunning   *trace.Gauge
+	gQueued    *trace.Gauge
+	gCores     *trace.Gauge
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	exe := cfg.Exe
+	if exe == "" {
+		exe = os.Args[0]
+	}
+	perKey := cfg.PoolPerKey
+	if perKey <= 0 {
+		perKey = 2
+	}
+	e := &Engine{
+		cfg:      cfg,
+		exe:      exe,
+		pools:    &hostPools{perKey: perKey},
+		inflight: make(map[JobSpec]*call),
+		clusters: make(map[string]*netCluster),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	if m := cfg.Metrics; m != nil {
+		e.met = &engineMetrics{
+			cSubmitted: m.Counter("engine.jobs.submitted"),
+			cCompleted: m.Counter("engine.jobs.completed"),
+			cFailed:    m.Counter("engine.jobs.failed"),
+			cRejected:  m.Counter("engine.jobs.rejected"),
+			cCacheHit:  m.Counter("engine.jobs.cachehit"),
+			cCoalesced: m.Counter("engine.jobs.coalesced"),
+			cPoolReuse: m.Counter("engine.pool.reuse"),
+			cPoolBuild: m.Counter("engine.pool.build"),
+			gRunning:   m.Gauge("engine.jobs.running"),
+			gQueued:    m.Gauge("engine.jobs.queued"),
+			gCores:     m.Gauge("engine.cores.inuse"),
+		}
+	}
+	return e
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Running = e.running
+	s.Queued = len(e.queue)
+	s.CoresInUse = e.coresInUse
+	return s
+}
+
+// CacheStats reports the result cache's on-disk footprint (zero stats and
+// false when no cache is configured).
+func (e *Engine) CacheStats() (expsched.CacheStats, bool) {
+	if e.cfg.Cache == nil {
+		return expsched.CacheStats{}, false
+	}
+	st, err := e.cfg.Cache.Stats()
+	if err != nil {
+		return expsched.CacheStats{}, false
+	}
+	return st, true
+}
+
+// queueDepth resolves the configured queue bound.
+func (e *Engine) queueDepth() int {
+	if e.cfg.QueueDepth <= 0 {
+		return 64
+	}
+	return e.cfg.QueueDepth
+}
+
+// bounded reports whether admission control is active at all.
+func (e *Engine) bounded() bool { return e.cfg.MaxConcurrent > 0 || e.cfg.CoreBudget > 0 }
+
+// canRunLocked reports whether a job wanting cores fits right now.
+func (e *Engine) canRunLocked(cores int) bool {
+	if e.cfg.MaxConcurrent > 0 && e.running >= e.cfg.MaxConcurrent {
+		return false
+	}
+	if e.cfg.CoreBudget > 0 && e.coresInUse+cores > e.cfg.CoreBudget {
+		return false
+	}
+	return true
+}
+
+// grantLocked accounts a job as running.
+func (e *Engine) grantLocked(cores int) {
+	e.running++
+	e.coresInUse += cores
+	if e.met != nil {
+		e.met.gRunning.Set(int64(e.running))
+		e.met.gCores.Set(int64(e.coresInUse))
+	}
+}
+
+// dispatchLocked grants queued tickets in strict FIFO order: the head
+// blocks everyone behind it until it fits, so a stream of small jobs can
+// never starve a large one (FIFO fairness over throughput).
+func (e *Engine) dispatchLocked() {
+	for len(e.queue) > 0 {
+		t := e.queue[0]
+		if t.cancelled {
+			e.queue = e.queue[1:]
+			continue
+		}
+		if !e.canRunLocked(t.cores) {
+			break
+		}
+		e.queue = e.queue[1:]
+		e.grantLocked(t.cores)
+		close(t.ready)
+	}
+	if e.met != nil {
+		e.met.gQueued.Set(int64(len(e.queue)))
+	}
+}
+
+// admit blocks until the job may run (FIFO, within the core budget) and
+// returns its release function. Rejections are immediate and typed:
+// *ErrOverloaded when the queue is full or the job can never fit,
+// ErrDraining after shutdown began.
+func (e *Engine) admit(ctx context.Context, cores int) (func(), error) {
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if !e.bounded() {
+		// Unlimited admission: account for Stats/Drain only.
+		e.grantLocked(cores)
+		e.mu.Unlock()
+		return func() { e.release(cores) }, nil
+	}
+	if e.cfg.CoreBudget > 0 && cores > e.cfg.CoreBudget {
+		e.stats.Rejected++
+		e.mu.Unlock()
+		e.metInc(func(m *engineMetrics) *trace.Counter { return m.cRejected })
+		return nil, &ErrOverloaded{Reason: fmt.Sprintf("job needs %d cores, budget is %d", cores, e.cfg.CoreBudget)}
+	}
+	if len(e.queue) == 0 && e.canRunLocked(cores) {
+		e.grantLocked(cores)
+		e.mu.Unlock()
+		return func() { e.release(cores) }, nil
+	}
+	if len(e.queue) >= e.queueDepth() {
+		e.stats.Rejected++
+		e.mu.Unlock()
+		e.metInc(func(m *engineMetrics) *trace.Counter { return m.cRejected })
+		return nil, &ErrOverloaded{Reason: fmt.Sprintf("%d jobs queued (depth %d)", e.queueDepth(), e.queueDepth())}
+	}
+	t := &ticket{cores: cores, ready: make(chan struct{})}
+	e.queue = append(e.queue, t)
+	if e.met != nil {
+		e.met.gQueued.Set(int64(len(e.queue)))
+	}
+	e.mu.Unlock()
+
+	select {
+	case <-t.ready:
+		return func() { e.release(cores) }, nil
+	case <-ctx.Done():
+		e.mu.Lock()
+		select {
+		case <-t.ready:
+			// Granted while we were cancelling: release the slot.
+			e.mu.Unlock()
+			e.release(cores)
+		default:
+			t.cancelled = true
+			// A cancelled head must not block the tickets behind it.
+			e.dispatchLocked()
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a job's admission slot and wakes the queue.
+func (e *Engine) release(cores int) {
+	e.mu.Lock()
+	e.running--
+	e.coresInUse -= cores
+	if e.met != nil {
+		e.met.gRunning.Set(int64(e.running))
+		e.met.gCores.Set(int64(e.coresInUse))
+	}
+	e.dispatchLocked()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+func (e *Engine) metInc(pick func(*engineMetrics) *trace.Counter) {
+	if e.met != nil {
+		pick(e.met).Inc()
+	}
+}
+
+// Submit runs one job to completion: cache first, then coalescing with an
+// identical in-flight spec, then bounded admission and execution on a warm
+// pool. It blocks until the result is ready; ctx cancels waiting in the
+// admission queue (a job already running completes regardless — partial
+// speculative state cannot be handed back).
+func (e *Engine) Submit(ctx context.Context, spec JobSpec) (Result, error) {
+	return e.SubmitOpts(ctx, spec, Options{})
+}
+
+// SubmitOpts is Submit with per-submission observability and placement
+// options. Submissions carrying observability sinks bypass the cache, the
+// coalescer, and the warm pools (tracers bind at system construction).
+func (e *Engine) SubmitOpts(ctx context.Context, spec JobSpec, opts Options) (Result, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	e.bump(func(s *Stats) { s.Submitted++ })
+	e.metInc(func(m *engineMetrics) *trace.Counter { return m.cSubmitted })
+
+	cacheable := opts.plain()
+	if cacheable && e.cfg.Cache != nil {
+		var rec record
+		if ok, err := e.cfg.Cache.Get(spec, &rec); err == nil && ok {
+			e.bump(func(s *Stats) { s.CacheHits++; s.Completed++ })
+			e.metInc(func(m *engineMetrics) *trace.Counter { return m.cCacheHit })
+			res := rec.toResult()
+			res.Source = "cache"
+			return res, nil
+		}
+	}
+
+	if cacheable {
+		e.mu.Lock()
+		if c, ok := e.inflight[spec]; ok {
+			e.stats.Coalesced++
+			e.mu.Unlock()
+			e.metInc(func(m *engineMetrics) *trace.Counter { return m.cCoalesced })
+			select {
+			case <-c.done:
+				if c.err != nil {
+					return Result{}, c.err
+				}
+				res := c.res
+				res.Source = "coalesced"
+				e.bump(func(s *Stats) { s.Completed++ })
+				return res, nil
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		e.inflight[spec] = c
+		e.mu.Unlock()
+		res, err := e.runJob(ctx, spec, opts)
+		c.res, c.err = res, err
+		e.mu.Lock()
+		delete(e.inflight, spec)
+		e.mu.Unlock()
+		close(c.done)
+		return res, err
+	}
+	return e.runJob(ctx, spec, opts)
+}
+
+// bump mutates the stats under the lock.
+func (e *Engine) bump(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+// runJob admits and executes one job (the singleflight leader's path).
+func (e *Engine) runJob(ctx context.Context, spec JobSpec, opts Options) (Result, error) {
+	// Resolve the verification reference before taking an admission slot:
+	// the seq job takes its own slot, and nesting Submit under a held slot
+	// could deadlock a fully-loaded engine.
+	var seqTime Result
+	if spec.Verify {
+		var err error
+		seqTime, err = e.Submit(ctx, spec.seqSpec())
+		if err != nil {
+			return Result{}, fmt.Errorf("engine: %s: sequential reference: %w", spec, err)
+		}
+	}
+	release, err := e.admit(ctx, spec.coresNeeded())
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := e.execute(spec, opts)
+	release()
+	if err != nil {
+		e.bump(func(s *Stats) { s.Failed++ })
+		e.metInc(func(m *engineMetrics) *trace.Counter { return m.cFailed })
+		return Result{}, err
+	}
+	if spec.Verify {
+		res.SeqTime = seqTime.SeqTime
+		res.SeqCheck = seqTime.SeqCheck
+		res.Verified = res.Checksum == seqTime.SeqCheck
+	}
+	res.Source = "run"
+	if opts.plain() && e.cfg.Cache != nil {
+		// Cache write failures are non-fatal: the job ran.
+		_ = e.cfg.Cache.Put(spec, recordOf(res))
+	}
+	e.bump(func(s *Stats) { s.Completed++ })
+	e.metInc(func(m *engineMetrics) *trace.Counter { return m.cCompleted })
+	return res, nil
+}
+
+// execute runs the admitted job on its backend.
+func (e *Engine) execute(spec JobSpec, opts Options) (Result, error) {
+	b, err := workloads.ByName(spec.Bench)
+	if err != nil {
+		return Result{}, err
+	}
+	in := spec.input()
+	if spec.Kind == KindSeq {
+		tune, err := KnobTune(spec.Knob)
+		if err != nil {
+			return Result{}, err
+		}
+		elapsed, check, err := workloads.RunSequentialTuned(b, in, tune)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{SeqTime: elapsed, SeqCheck: check}, nil
+	}
+	if spec.backend() == core.BackendNet {
+		return e.executeNet(spec, opts)
+	}
+	tune, err := e.buildTune(spec, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if spec.Invocations > 0 {
+		shallow := *b
+		shallow.Invocations = spec.Invocations
+		b = &shallow
+	}
+	if e.poolable(spec, opts) {
+		return e.executePooled(b, in, spec, tune)
+	}
+	res, err := workloads.RunParallel(b, in, spec.paradigm(), spec.Cores, tune)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Result: res}, nil
+}
+
+// buildTune composes the configuration hook a spec and its options name:
+// knob, then faults, then backend/shards, then observability — the same
+// composition order the pre-engine callers used.
+func (e *Engine) buildTune(spec JobSpec, opts Options) (func(*core.Config), error) {
+	knob, err := KnobTune(spec.Knob)
+	if err != nil {
+		return nil, err
+	}
+	var plan *faults.Plan
+	if spec.Faults != "" {
+		p, err := faults.Parse(spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+		plan = &p
+	}
+	backend := spec.backend()
+	shards := spec.CommitShards
+	if knob == nil && plan == nil && backend == core.BackendVTime && shards <= 1 && opts.plain() {
+		// Nothing to tune: hand workloads.RunParallel a nil hook, exactly
+		// like the pre-engine callers, so the default-config path is
+		// untouched.
+		return nil, nil
+	}
+	mtx := opts.MTXTrace
+	tr := opts.Tracer
+	return func(cfg *core.Config) {
+		if knob != nil {
+			knob(cfg)
+		}
+		if plan != nil {
+			cfg.Faults = plan
+		}
+		cfg.Backend = backend
+		if shards > 1 {
+			cfg.CommitShards = shards
+		}
+		if mtx {
+			cfg.Trace = true
+		}
+		if tr != nil {
+			cfg.Tracer = tr
+		}
+	}, nil
+}
+
+// poolable reports whether a job may run on a recycled warm rank set:
+// plain host-backend runs only. vtime jobs are never pooled — their
+// byte-identical determinism is the repo's golden invariant and they hold
+// no OS resources worth recycling anyway.
+func (e *Engine) poolable(spec JobSpec, opts Options) bool {
+	return spec.backend() == core.BackendHost && opts.plain() &&
+		spec.Faults == "" && spec.Knob == KnobNone
+}
+
+// executePooled runs a host job on a warm system when one is available,
+// building (and afterwards parking) one otherwise.
+func (e *Engine) executePooled(b *workloads.Benchmark, in workloads.Input, spec JobSpec, tune func(*core.Config)) (Result, error) {
+	key := poolKey{bench: spec.Bench, paradigm: spec.Paradigm, cores: spec.Cores, shards: spec.CommitShards}
+	var sys *core.System
+	warm := false
+	tried := false
+	factory := func(cfg core.Config, prog workloads.Program, img *mem.Image) (*core.System, error) {
+		if sys == nil && !tried {
+			tried = true
+			if ps := e.pools.get(key); ps != nil {
+				if err := ps.Reset(cfg, prog, img); err == nil {
+					sys = ps
+					warm = true
+					return sys, nil
+				}
+				// Incompatible pooled system (stale plan): drop it.
+			}
+		} else if sys != nil {
+			// Later invocation of this job: recycle the same rank set.
+			if err := sys.Reset(cfg, prog, img); err == nil {
+				return sys, nil
+			}
+			sys = nil
+		}
+		fresh, err := core.NewSystem(cfg, prog, img)
+		if err != nil {
+			return nil, err
+		}
+		sys = fresh
+		return sys, nil
+	}
+	res, err := workloads.RunParallelSystems(b, in, spec.paradigm(), spec.Cores, tune, factory)
+	if err != nil {
+		return Result{}, err
+	}
+	if warm {
+		e.bump(func(s *Stats) { s.PoolReuses++ })
+		e.metInc(func(m *engineMetrics) *trace.Counter { return m.cPoolReuse })
+	} else {
+		e.bump(func(s *Stats) { s.PoolBuilds++ })
+		e.metInc(func(m *engineMetrics) *trace.Counter { return m.cPoolBuild })
+	}
+	if sys != nil {
+		e.pools.put(key, sys)
+	}
+	return Result{Result: res, PoolWarm: warm}, nil
+}
+
+// executeNet runs a job across a daemon fleet, reusing a persistent
+// cluster per placement (the daemons accept successive Job frames on one
+// control session).
+func (e *Engine) executeNet(spec JobSpec, opts Options) (Result, error) {
+	key, h := e.netClusterFor(opts)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cl == nil {
+		var cl *netrun.Cluster
+		var err error
+		if len(opts.NetJoin) > 0 {
+			cl, err = netrun.Connect(opts.NetJoin)
+		} else {
+			daemons := opts.NetDaemons
+			if daemons <= 0 {
+				daemons = 2
+			}
+			cl, err = netrun.LaunchLocal(daemons, e.exe)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		h.cl = cl
+	} else {
+		e.bump(func(s *Stats) { s.PoolReuses++ })
+		e.metInc(func(m *engineMetrics) *trace.Counter { return m.cPoolReuse })
+	}
+	res, err := h.cl.Run(netrun.JobSpec{
+		Bench:       spec.Bench,
+		Scale:       spec.Scale,
+		MisspecRate: spec.Rate,
+		Seed:        spec.Seed,
+		Cores:       spec.Cores,
+		Invocations: spec.Invocations,
+	})
+	if err != nil {
+		// The control session is desynchronized; tear the fleet down so
+		// the next job gets a fresh one.
+		h.cl.Close()
+		h.cl = nil
+		e.dropCluster(key)
+		return Result{}, err
+	}
+	return Result{
+		Result: workloads.Result{
+			Elapsed:   res.Elapsed,
+			Checksum:  res.Checksum,
+			Committed: res.Committed,
+			Misspecs:  res.Misspecs,
+			Bytes:     res.Traffic.Bytes,
+			Traffic:   res.Traffic,
+		},
+		Daemons: res.Daemons,
+	}, nil
+}
+
+// netCluster is one persistent daemon fleet; its mutex serializes jobs on
+// the shared control session.
+type netCluster struct {
+	mu sync.Mutex
+	cl *netrun.Cluster
+}
+
+// netClusterFor resolves the fleet a submission's placement names.
+func (e *Engine) netClusterFor(opts Options) (string, *netCluster) {
+	var key string
+	if len(opts.NetJoin) > 0 {
+		key = "join:" + strings.Join(opts.NetJoin, ",")
+	} else {
+		daemons := opts.NetDaemons
+		if daemons <= 0 {
+			daemons = 2
+		}
+		key = fmt.Sprintf("local:%d", daemons)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.clusters[key]
+	if !ok {
+		h = &netCluster{}
+		e.clusters[key] = h
+	}
+	return key, h
+}
+
+func (e *Engine) dropCluster(key string) {
+	e.mu.Lock()
+	delete(e.clusters, key)
+	e.mu.Unlock()
+}
+
+// Drain stops admitting new jobs (ErrDraining) and blocks until every
+// running and queued job has finished.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	e.draining = true
+	for e.running > 0 || len(e.queue) > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// Close drains the engine and tears down its warm resources (net daemon
+// fleets; host pools are plain memory and simply dropped).
+func (e *Engine) Close() {
+	e.Drain()
+	e.mu.Lock()
+	clusters := e.clusters
+	e.clusters = make(map[string]*netCluster)
+	e.mu.Unlock()
+	for _, h := range clusters {
+		h.mu.Lock()
+		if h.cl != nil {
+			h.cl.Close()
+			h.cl = nil
+		}
+		h.mu.Unlock()
+	}
+	e.pools.drop()
+}

@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dsmtx/internal/expsched"
+	"dsmtx/internal/workloads"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// crc32Spec is the cheap vtime job the behavioural tests run.
+func crc32Spec(seed uint64) JobSpec {
+	return JobSpec{Bench: "crc32", Cores: 8, Seed: seed}
+}
+
+// TestAdmitQueueFull: with one slot running and the queue at depth, the
+// next admission is rejected immediately with the typed overload error.
+func TestAdmitQueueFull(t *testing.T) {
+	e := New(Config{MaxConcurrent: 1, QueueDepth: 2})
+	release, err := e.admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := e.admit(context.Background(), 1)
+			if err == nil {
+				r()
+			}
+		}()
+	}
+	waitFor(t, "queue to fill", func() bool { return e.Stats().Queued == 2 })
+	_, err = e.admit(context.Background(), 1)
+	var over *ErrOverloaded
+	if !errors.As(err, &over) {
+		t.Fatalf("err = %v, want *ErrOverloaded", err)
+	}
+	if e.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d", e.Stats().Rejected)
+	}
+	release()
+	waitFor(t, "queue to drain", func() bool {
+		s := e.Stats()
+		return s.Queued == 0 && s.Running == 0
+	})
+}
+
+// TestAdmitCoreBudget: core accounting admits what fits, queues what does
+// not, and rejects outright a job bigger than the whole budget.
+func TestAdmitCoreBudget(t *testing.T) {
+	e := New(Config{CoreBudget: 8})
+	if _, err := e.admit(context.Background(), 9); err == nil {
+		t.Fatal("9 cores must never fit a budget of 8")
+	}
+	rel4, err := e.admit(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel3, err := e.admit(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().CoresInUse; got != 7 {
+		t.Fatalf("cores in use = %d, want 7", got)
+	}
+	// 2 more cores do not fit 7/8: the admission parks in the queue.
+	granted := make(chan func(), 1)
+	go func() {
+		r, err := e.admit(context.Background(), 2)
+		if err == nil {
+			granted <- r
+		}
+	}()
+	waitFor(t, "2-core job to queue", func() bool { return e.Stats().Queued == 1 })
+	select {
+	case <-granted:
+		t.Fatal("2-core job admitted over budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel3()
+	var rel2 func()
+	select {
+	case rel2 = <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued job not granted after release")
+	}
+	if got := e.Stats().CoresInUse; got != 6 {
+		t.Fatalf("cores in use = %d, want 6 (4 running + 2 granted)", got)
+	}
+	rel4()
+	rel2()
+	if got := e.Stats().CoresInUse; got != 0 {
+		t.Fatalf("cores in use after release = %d", got)
+	}
+}
+
+// TestAdmitFIFO: a small job arriving behind a large queued job waits for
+// it (head-of-line blocking is the fairness guarantee: a stream of small
+// jobs can never starve a large one).
+func TestAdmitFIFO(t *testing.T) {
+	e := New(Config{CoreBudget: 8})
+	rel6, err := e.admit(context.Background(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	enqueue := func(name string, cores int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := e.admit(context.Background(), cores)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			order <- name
+			r()
+		}()
+	}
+	enqueue("big", 8)
+	waitFor(t, "big to queue", func() bool { return e.Stats().Queued == 1 })
+	enqueue("small", 1)
+	waitFor(t, "small to queue", func() bool { return e.Stats().Queued == 2 })
+	// The small job fits right now (6+1 <= 8) but must wait behind big —
+	// and big needs the whole budget, so the grant order is observable.
+	select {
+	case name := <-order:
+		t.Fatalf("%s admitted past the queue head", name)
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel6()
+	wg.Wait()
+	if first := <-order; first != "big" {
+		t.Fatalf("first grant = %s, want big", first)
+	}
+}
+
+// TestAdmitCancelledHead: a cancelled ticket at the queue head must not
+// block the tickets behind it.
+func TestAdmitCancelledHead(t *testing.T) {
+	e := New(Config{MaxConcurrent: 1})
+	release, err := e.admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := e.admit(ctx, 1)
+		headErr <- err
+	}()
+	waitFor(t, "head to queue", func() bool { return e.Stats().Queued == 1 })
+	granted := make(chan func(), 1)
+	go func() {
+		r, err := e.admit(context.Background(), 1)
+		if err == nil {
+			granted <- r
+		}
+	}()
+	waitFor(t, "second to queue", func() bool { return e.Stats().Queued == 2 })
+	cancel()
+	if err := <-headErr; err != context.Canceled {
+		t.Fatalf("cancelled head err = %v", err)
+	}
+	release()
+	select {
+	case r := <-granted:
+		r()
+	case <-time.After(5 * time.Second):
+		t.Fatal("ticket behind a cancelled head never granted")
+	}
+}
+
+// TestSubmitVTimeMatchesDirect: the engine is a pure refactor of the
+// pre-engine call path — a vtime job through Submit returns exactly what
+// workloads.RunParallel returns directly.
+func TestSubmitVTimeMatchesDirect(t *testing.T) {
+	spec := crc32Spec(7).Normalized()
+	e := New(Config{})
+	defer e.Close()
+	got, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workloads.ByName(spec.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workloads.RunParallel(b, spec.input(), spec.paradigm(), spec.Cores, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Result, want) {
+		t.Fatalf("engine result diverges from direct RunParallel:\n got %+v\nwant %+v", got.Result, want)
+	}
+	if got.Source != "run" {
+		t.Fatalf("source = %q", got.Source)
+	}
+}
+
+// TestSubmitVerify: a Verify job resolves the sequential reference and
+// reports the checksum match.
+func TestSubmitVerify(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	spec := crc32Spec(3)
+	spec.Verify = true
+	res, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.SeqCheck == 0 || res.Checksum != res.SeqCheck {
+		t.Fatalf("verify: %+v", res)
+	}
+	if res.SeqTime == 0 {
+		t.Fatal("verify must carry the sequential reference time")
+	}
+}
+
+// TestSubmitCache: a configured cache serves the second submission of a
+// spec without re-running it, bit-exactly.
+func TestSubmitCache(t *testing.T) {
+	cache, err := expsched.OpenCache(t.TempDir(), "enginetest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Cache: cache})
+	defer e.Close()
+	spec := crc32Spec(5)
+	first, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != "cache" {
+		t.Fatalf("second source = %q, want cache", second.Source)
+	}
+	first.Source, second.Source = "", ""
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cache round trip not bit-exact:\n got %+v\nwant %+v", second, first)
+	}
+	st := e.Stats()
+	if st.CacheHits != 1 || st.Completed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if cs, ok := e.CacheStats(); !ok || cs.Entries == 0 {
+		t.Fatalf("cache stats = %+v, %v", cs, ok)
+	}
+}
+
+// TestSubmitStorm: a storm of concurrent duplicate submissions — the
+// race-detector gate for the engine's admission, singleflight, and stats
+// paths. Every submission must succeed with the identical deterministic
+// result, and duplicates in flight must coalesce rather than re-run.
+func TestSubmitStorm(t *testing.T) {
+	e := New(Config{MaxConcurrent: 4, QueueDepth: 256})
+	defer e.Close()
+	const n = 32
+	results := make([]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two distinct specs interleaved; duplicates of each coalesce.
+			results[i], errs[i] = e.Submit(context.Background(), crc32Spec(uint64(i%2)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for i := 2; i < n; i++ {
+		if results[i].Checksum != results[i%2].Checksum {
+			t.Fatalf("checksum %d diverges: %x vs %x", i, results[i].Checksum, results[i%2].Checksum)
+		}
+	}
+	st := e.Stats()
+	if st.Submitted != n || st.Completed != n || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Coalesced == 0 {
+		t.Fatalf("no coalescing across %d duplicate submissions: %+v", n, st)
+	}
+	if st.Running != 0 || st.Queued != 0 || st.CoresInUse != 0 {
+		t.Fatalf("engine not quiescent: %+v", st)
+	}
+}
+
+// TestDrainRejects: after Drain, submissions fail with the typed error.
+func TestDrainRejects(t *testing.T) {
+	e := New(Config{MaxConcurrent: 1})
+	e.Drain()
+	if _, err := e.Submit(context.Background(), crc32Spec(1)); err != ErrDraining {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+}
+
+// TestSubmitValidates: broken specs are rejected before admission.
+func TestSubmitValidates(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	for _, spec := range []JobSpec{
+		{},                          // no bench
+		{Bench: "no-such-bench"},    // unknown bench
+		{Bench: "crc32", Cores: -1}, // bad core count
+		{Bench: "crc32", Cores: 8, Knob: "warp-drive"},                  // unknown knob
+		{Bench: "crc32", Cores: 8, Paradigm: "openmp"},                  // unknown paradigm
+		{Bench: "crc32", Cores: 8, Backend: "host", Faults: "drop=0.5"}, // faults are vtime-only
+	} {
+		if _, err := e.Submit(context.Background(), spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+	if st := e.Stats(); st.Completed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

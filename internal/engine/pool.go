@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"sync"
+
+	"dsmtx/internal/core"
+)
+
+// poolKey identifies a warm rank set's shape: everything that decides the
+// layout NewSystem built (plan comes with the benchmark+paradigm; cores
+// and commit shards fix the rank split). Input scale, seed, and misspec
+// rate only shape the program, which Reset swaps freely.
+type poolKey struct {
+	bench    string
+	paradigm string
+	cores    int
+	shards   int
+}
+
+// hostPools parks finished host systems for reuse: a bounded free list per
+// key. Systems hold no OS resources (their goroutines have exited), so
+// overflow is simply dropped for the GC.
+type hostPools struct {
+	mu     sync.Mutex
+	perKey int
+	m      map[poolKey][]*core.System
+}
+
+// get pops a warm system for the key, or nil.
+func (p *hostPools) get(k poolKey) *core.System {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := p.m[k]
+	if len(free) == 0 {
+		return nil
+	}
+	sys := free[len(free)-1]
+	p.m[k] = free[:len(free)-1]
+	return sys
+}
+
+// put parks a finished system, dropping it when the key's list is full.
+func (p *hostPools) put(k poolKey, sys *core.System) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = make(map[poolKey][]*core.System)
+	}
+	if len(p.m[k]) >= p.perKey {
+		return
+	}
+	p.m[k] = append(p.m[k], sys)
+}
+
+// drop empties every pool.
+func (p *hostPools) drop() {
+	p.mu.Lock()
+	p.m = nil
+	p.mu.Unlock()
+}

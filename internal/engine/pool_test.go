@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// TestWarmPoolDeterminism is the pooling acceptance gate: a host job on a
+// recycled warm rank set must produce exactly the outcome a cold build
+// produces — same checksum, same committed count, same misspeculation
+// count — and the engine must report which path ran.
+func TestWarmPoolDeterminism(t *testing.T) {
+	e := New(Config{PoolPerKey: 2})
+	defer e.Close()
+	spec := JobSpec{Bench: "crc32", Cores: 4, Backend: "host", Seed: 11, Rate: 0.02}
+
+	cold, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PoolWarm {
+		t.Fatal("first run cannot be warm")
+	}
+	// Same spec again: sequential submissions do not coalesce, and with no
+	// cache configured the job really re-runs — on the parked rank set.
+	warm, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.PoolWarm {
+		t.Fatal("second run did not reuse the warm pool")
+	}
+	if warm.Checksum != cold.Checksum {
+		t.Errorf("checksum: warm %x vs cold %x", warm.Checksum, cold.Checksum)
+	}
+	if warm.Committed != cold.Committed {
+		t.Errorf("committed: warm %d vs cold %d", warm.Committed, cold.Committed)
+	}
+	if warm.Misspecs != cold.Misspecs {
+		t.Errorf("misspecs: warm %d vs cold %d", warm.Misspecs, cold.Misspecs)
+	}
+	st := e.Stats()
+	if st.PoolBuilds != 1 || st.PoolReuses != 1 {
+		t.Fatalf("pool stats = %+v, want 1 build + 1 reuse", st)
+	}
+}
+
+// TestPoolKeysDoNotMix: different job shapes draw from different pools —
+// a parked crc32 system must never serve a different benchmark.
+func TestPoolKeysDoNotMix(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	a := JobSpec{Bench: "crc32", Cores: 4, Backend: "host", Seed: 1}
+	b := JobSpec{Bench: "164.gzip", Cores: 8, Backend: "host", Seed: 1}
+	if _, err := e.Submit(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Submit(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoolWarm {
+		t.Fatal("different benchmark reported a warm pool hit")
+	}
+	st := e.Stats()
+	if st.PoolBuilds != 2 || st.PoolReuses != 0 {
+		t.Fatalf("pool stats = %+v, want 2 builds", st)
+	}
+}
+
+// TestVTimeNeverPools: the simulator's byte-identical determinism is the
+// repo's golden invariant; pooled reuse must be host-only.
+func TestVTimeNeverPools(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	spec := crc32Spec(2)
+	for i := 0; i < 2; i++ {
+		res, err := e.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PoolWarm {
+			t.Fatal("vtime job reported a warm pool")
+		}
+	}
+	st := e.Stats()
+	if st.PoolBuilds != 0 && st.PoolReuses != 0 {
+		t.Fatalf("vtime runs touched the pool: %+v", st)
+	}
+}

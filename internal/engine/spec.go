@@ -1,0 +1,312 @@
+// Package engine owns the job lifecycle that was previously smeared across
+// the harness, the netrun coordinator, and the CLIs: a JobSpec names one
+// benchmark execution completely (workload, paradigm, backend, input scale,
+// config knobs), Engine.Submit runs it with bounded admission, warm
+// worker-pool placement, and a content-addressed result cache, and every
+// caller — figure sweeps, dsmtxrun, the dsmtxd job server — is a thin
+// client of Submit.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dsmtx/internal/cluster"
+	"dsmtx/internal/core"
+	"dsmtx/internal/faults"
+	"dsmtx/internal/platform"
+	"dsmtx/internal/trace"
+	"dsmtx/internal/workloads"
+)
+
+// Job kinds.
+const (
+	KindParallel = "parallel" // one parallel benchmark run (the default)
+	KindSeq      = "seq"      // the sequential vtime reference
+)
+
+// Named configuration variations. A cache key must capture everything that
+// changes a result and an opaque tune closure cannot be hashed, so every
+// variation a client may request is registered here by name (the harness's
+// knob vocabulary).
+const (
+	KnobNone       = ""
+	KnobQueueUnopt = "queue-unopt" // Fig. 5b: flush every produce
+	KnobManycore   = "manycore"    // §7: coherence-free manycore machine model
+	KnobBigCluster = "bigcluster"  // Figure S: 64 × 16 cores, same InfiniBand
+)
+
+// KnobTune resolves a knob name to its configuration hook (nil for
+// KnobNone).
+func KnobTune(knob string) (func(*core.Config), error) {
+	switch knob {
+	case KnobNone:
+		return nil, nil
+	case KnobQueueUnopt:
+		return func(cfg *core.Config) { cfg.Queue = cfg.Queue.Unoptimized() }, nil
+	case KnobManycore:
+		return func(cfg *core.Config) { cfg.Cluster = cluster.ManycoreConfig() }, nil
+	case KnobBigCluster:
+		return func(cfg *core.Config) { cfg.Cluster = cluster.BigClusterConfig() }, nil
+	}
+	return nil, fmt.Errorf("engine: unknown config knob %q", knob)
+}
+
+// JobSpec is the complete identity of one job: everything that can change
+// its result, and nothing else. It is comparable (the singleflight key)
+// and marshals to canonical JSON (struct field order is fixed), which —
+// prefixed by the source fingerprint — addresses the result cache. It is a
+// superset of the harness's PointSpec: the same fields plus the execution
+// backend, an invocation override, and the verify flag the serving path
+// uses.
+type JobSpec struct {
+	Kind     string  `json:"kind"`
+	Bench    string  `json:"bench,omitempty"`
+	Paradigm string  `json:"paradigm,omitempty"`
+	Backend  string  `json:"backend,omitempty"`
+	Cores    int     `json:"cores,omitempty"`
+	Scale    int     `json:"scale,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+	Knob     string  `json:"knob,omitempty"`
+	// Faults is a canonical faults.Plan spec string (faults.Plan.Format),
+	// empty for fault-free jobs. Canonical form matters: two spellings of
+	// one plan must not split cache entries.
+	Faults string `json:"faults,omitempty"`
+	// CommitShards partitions the commit pipeline; 0 or 1 is the paper's
+	// single commit unit.
+	CommitShards int `json:"commit_shards,omitempty"`
+	// Invocations overrides the benchmark's invocation count when > 0
+	// (load tests use 1 to bound job size).
+	Invocations int `json:"invocations,omitempty"`
+	// Verify asks the engine to also resolve the sequential vtime
+	// reference and report whether the parallel checksum matches — the
+	// serving path's correctness gate.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// Normalized returns the spec in canonical form: defaults made explicit
+// where they change identity (kind, paradigm, backend, scale) so
+// equivalent submissions share one cache entry and one singleflight slot.
+func (s JobSpec) Normalized() JobSpec {
+	if s.Kind == "" {
+		s.Kind = KindParallel
+	}
+	if s.Kind == KindSeq {
+		// The sequential reference always runs in vtime on one core;
+		// paradigm, backend, cores, and shards do not apply.
+		s.Paradigm, s.Backend, s.Cores, s.CommitShards, s.Invocations = "", "", 0, 0, 0
+		s.Verify = false
+	} else {
+		if s.Paradigm == "" {
+			s.Paradigm = workloads.DSMTX.String()
+		}
+		if s.Backend == "" {
+			s.Backend = core.BackendVTime.String()
+		}
+		if s.CommitShards == 1 {
+			s.CommitShards = 0
+		}
+	}
+	if s.Scale <= 0 {
+		s.Scale = 1
+	}
+	return s
+}
+
+// seqSpec derives the sequential-reference spec a Verify job resolves.
+func (s JobSpec) seqSpec() JobSpec {
+	return JobSpec{Kind: KindSeq, Bench: s.Bench, Scale: s.Scale, Seed: s.Seed,
+		Rate: s.Rate, Knob: s.Knob}.Normalized()
+}
+
+// Validate rejects specs the engine cannot run. The spec must already be
+// normalized.
+func (s JobSpec) Validate() error {
+	if s.Bench == "" {
+		return fmt.Errorf("engine: job needs a benchmark name")
+	}
+	if _, err := workloads.ByName(s.Bench); err != nil {
+		return err
+	}
+	if _, err := KnobTune(s.Knob); err != nil {
+		return err
+	}
+	switch s.Kind {
+	case KindSeq:
+		return nil
+	case KindParallel:
+	default:
+		return fmt.Errorf("engine: unknown job kind %q", s.Kind)
+	}
+	if s.Paradigm != workloads.DSMTX.String() && s.Paradigm != workloads.TLS.String() {
+		return fmt.Errorf("engine: unknown paradigm %q (have DSMTX, TLS)", s.Paradigm)
+	}
+	backend, err := core.ParseBackend(s.Backend)
+	if err != nil {
+		return err
+	}
+	if s.Cores < 1 {
+		return fmt.Errorf("engine: parallel job needs cores >= 1, got %d", s.Cores)
+	}
+	if s.Faults != "" {
+		if backend != core.BackendVTime {
+			return fmt.Errorf("engine: fault plans run on the vtime backend only")
+		}
+		if _, err := faults.Parse(s.Faults); err != nil {
+			return err
+		}
+	}
+	if backend == core.BackendNet {
+		if s.CommitShards > 1 {
+			return fmt.Errorf("engine: commit shards share an in-process image arena; not available on the net backend")
+		}
+		if s.Paradigm != workloads.DSMTX.String() {
+			return fmt.Errorf("engine: the net backend runs the DSMTX paradigm only")
+		}
+	}
+	return nil
+}
+
+// backend parses the spec's backend (vtime for seq jobs). The spec must be
+// normalized and validated.
+func (s JobSpec) backend() core.Backend {
+	if s.Kind == KindSeq {
+		return core.BackendVTime
+	}
+	b, _ := core.ParseBackend(s.Backend)
+	return b
+}
+
+// paradigm parses the spec's paradigm.
+func (s JobSpec) paradigm() workloads.Paradigm {
+	if s.Paradigm == workloads.TLS.String() {
+		return workloads.TLS
+	}
+	return workloads.DSMTX
+}
+
+// coresNeeded is the job's claim against the engine's core budget.
+func (s JobSpec) coresNeeded() int {
+	if s.Kind == KindSeq {
+		return 1
+	}
+	return s.Cores
+}
+
+// input builds the workload input the spec names.
+func (s JobSpec) input() workloads.Input {
+	return workloads.Input{Scale: s.Scale, Seed: s.Seed, MisspecRate: s.Rate}
+}
+
+// String renders a compact human label.
+func (s JobSpec) String() string {
+	s = s.Normalized()
+	if s.Kind == KindSeq {
+		return s.Bench + " seq"
+	}
+	label := fmt.Sprintf("%s %s@%d/%s", s.Bench, s.Paradigm, s.Cores, s.Backend)
+	if s.Knob != "" {
+		label += "/" + s.Knob
+	}
+	if s.Faults != "" {
+		label += "/" + s.Faults
+	}
+	if s.CommitShards > 1 {
+		label += fmt.Sprintf("/cs%d", s.CommitShards)
+	}
+	return label
+}
+
+// Options carries per-submission settings that are deliberately not part
+// of the job's identity: observability sinks cannot be hashed and
+// placement does not change results. Any non-zero observability option
+// makes the submission uncacheable and unpoolable.
+type Options struct {
+	// Tracer attaches the trace/metrics registry to the run.
+	Tracer *trace.Tracer
+	// MTXTrace collects the MTX lifecycle event log (Result.Trace).
+	MTXTrace bool
+	// NetDaemons is the loopback fleet size a net-backend job spawns when
+	// NetJoin is empty (default 2).
+	NetDaemons int
+	// NetJoin lists already-running daemon addresses to join instead of
+	// spawning (last hosts the commit unit).
+	NetJoin []string
+}
+
+// plain reports whether the submission carries no observability sinks and
+// is therefore cacheable and poolable.
+func (o Options) plain() bool { return o.Tracer == nil && !o.MTXTrace }
+
+// Result is a completed job's outcome. For parallel jobs the embedded
+// workloads.Result carries the run; for seq jobs SeqTime/SeqCheck do.
+type Result struct {
+	workloads.Result
+	// SeqTime/SeqCheck are the sequential reference (seq jobs always;
+	// parallel jobs when the spec asked to Verify).
+	SeqTime  platform.Duration `json:"seq_time,omitempty"`
+	SeqCheck uint64            `json:"seq_check,omitempty"`
+	// Verified is true when Verify was requested and the parallel checksum
+	// matches the sequential reference.
+	Verified bool `json:"verified,omitempty"`
+	// Daemons is the net-backend fleet size (0 otherwise).
+	Daemons int `json:"daemons,omitempty"`
+	// Source tells how the result was satisfied: "run", "cache", or
+	// "coalesced" (another in-flight submission of the same spec).
+	Source string `json:"source,omitempty"`
+	// PoolWarm is true when the run reused a recycled warm rank set.
+	PoolWarm bool `json:"pool_warm,omitempty"`
+}
+
+// record is the cacheable subset of Result. Stalls and Trace are always
+// empty on cacheable submissions (observability options bypass the cache),
+// so the round-trip below is lossless.
+type record struct {
+	Elapsed    platform.Duration     `json:"elapsed"`
+	Checksum   uint64                `json:"checksum"`
+	Committed  uint64                `json:"committed"`
+	Misspecs   uint64                `json:"misspecs"`
+	ERM        platform.Duration     `json:"erm,omitempty"`
+	FLQ        platform.Duration     `json:"flq,omitempty"`
+	SEQ        platform.Duration     `json:"seq,omitempty"`
+	RFP        platform.Duration     `json:"rfp,omitempty"`
+	Bytes      uint64                `json:"bytes,omitempty"`
+	Events     uint64                `json:"events,omitempty"`
+	Crashes    uint64                `json:"crashes,omitempty"`
+	Redispatch platform.Duration     `json:"redispatch,omitempty"`
+	Traffic    platform.TrafficStats `json:"traffic"`
+	SeqTime    platform.Duration     `json:"seq_time,omitempty"`
+	SeqCheck   uint64                `json:"seq_check,omitempty"`
+	Verified   bool                  `json:"verified,omitempty"`
+	Daemons    int                   `json:"daemons,omitempty"`
+}
+
+func recordOf(res Result) record {
+	r := res.Result
+	return record{
+		Elapsed: r.Elapsed, Checksum: r.Checksum, Committed: r.Committed,
+		Misspecs: r.Misspecs, ERM: r.ERM, FLQ: r.FLQ, SEQ: r.SEQ, RFP: r.RFP,
+		Bytes: r.Bytes, Events: r.Events, Crashes: r.Crashes, Redispatch: r.Redispatch,
+		Traffic: r.Traffic, SeqTime: res.SeqTime, SeqCheck: res.SeqCheck,
+		Verified: res.Verified, Daemons: res.Daemons,
+	}
+}
+
+func (rec record) toResult() Result {
+	return Result{
+		Result: workloads.Result{
+			Elapsed: rec.Elapsed, Checksum: rec.Checksum, Committed: rec.Committed,
+			Misspecs: rec.Misspecs, ERM: rec.ERM, FLQ: rec.FLQ, SEQ: rec.SEQ, RFP: rec.RFP,
+			Bytes: rec.Bytes, Events: rec.Events, Crashes: rec.Crashes,
+			Redispatch: rec.Redispatch, Traffic: rec.Traffic,
+		},
+		SeqTime: rec.SeqTime, SeqCheck: rec.SeqCheck, Verified: rec.Verified,
+		Daemons: rec.Daemons,
+	}
+}
+
+// CanonicalJSON renders the normalized spec's canonical cache-key JSON.
+func (s JobSpec) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s.Normalized())
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 )
@@ -66,27 +67,61 @@ func (c *Cache) path(key string) string {
 
 // Get looks a spec up and, on a hit, decodes the stored value into v
 // (a pointer). Unreadable or corrupt entries count as misses: the cache
-// must never be able to fail a run that would succeed without it.
+// must never be able to fail a run that would succeed without it. A
+// truncated or garbled file is additionally deleted, so the recompute's
+// Put rewrites it instead of leaving the corruption to be re-parsed on
+// every future lookup. (A fingerprint mismatch is not corruption — the
+// entry belongs to another checkout state — so it is left in place.)
 func (c *Cache) Get(spec, v any) (bool, error) {
 	key, err := c.Key(spec)
 	if err != nil {
 		return false, err
 	}
-	raw, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return false, nil
 	}
 	var e entry
 	if err := json.Unmarshal(raw, &e); err != nil {
+		os.Remove(path)
 		return false, nil
 	}
 	if e.Fingerprint != c.fingerprint {
 		return false, nil
 	}
 	if err := json.Unmarshal(e.Value, v); err != nil {
+		os.Remove(path)
 		return false, nil
 	}
 	return true, nil
+}
+
+// CacheStats is the cache's on-disk footprint.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats walks the cache directory and reports entry count and total size
+// (load harnesses report cache growth from it). Files still being written
+// (temp files) are not counted.
+func (c *Cache) Stats() (CacheStats, error) {
+	var st CacheStats
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			// Racing a concurrent delete is benign.
+			return nil
+		}
+		st.Entries++
+		st.Bytes += info.Size()
+		return nil
+	})
+	return st, err
 }
 
 // Put stores a spec's value. The write is atomic (temp file + rename) so

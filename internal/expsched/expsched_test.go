@@ -163,22 +163,76 @@ func TestCacheKeying(t *testing.T) {
 	}
 }
 
-// TestCacheCorruptEntryIsMiss: a truncated entry file degrades to a miss,
-// never an error.
+// TestCacheCorruptEntryIsMiss: a truncated or garbled entry file degrades
+// to a miss — never an error — and is deleted so the recompute's Put
+// rewrites it instead of leaving corruption to be re-parsed forever. A
+// fingerprint mismatch, by contrast, is someone else's valid entry and
+// stays on disk.
 func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	c, _ := OpenCache(t.TempDir(), "fp")
 	spec := testSpec{Bench: "x"}
-	if err := c.Put(spec, testValue{Elapsed: 9}); err != nil {
-		t.Fatal(err)
-	}
 	key, _ := c.Key(spec)
 	path := filepath.Join(c.Dir(), key[:2], key+".json")
-	if err := os.WriteFile(path, []byte("{\"trunc"), 0o644); err != nil {
+	for _, corrupt := range []string{
+		"{\"trunc",                 // truncated mid-JSON
+		"\x00\x01 not json at all", // garbled
+		`{"fingerprint":"fp","spec":{},"value":"not-a-testValue-object"}`, // wrong value shape
+	} {
+		if err := c.Put(spec, testValue{Elapsed: 9}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var v testValue
+		if ok, err := c.Get(spec, &v); ok || err != nil {
+			t.Fatalf("corrupt entry %q: ok=%v err=%v", corrupt, ok, err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry %q not deleted (err=%v)", corrupt, err)
+		}
+		// The recompute path repairs the cache.
+		if err := c.Put(spec, testValue{Elapsed: 10}); err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := c.Get(spec, &v); !ok || v.Elapsed != 10 {
+			t.Fatalf("repaired entry: ok=%v v=%+v", ok, v)
+		}
+	}
+
+	// A foreign fingerprint is a miss but not corruption: left in place.
+	other, _ := OpenCache(c.Dir(), "other-fp")
+	var v testValue
+	if ok, _ := other.Get(spec, &v); ok {
+		t.Fatal("foreign fingerprint must miss")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("foreign-fingerprint entry must survive: %v", err)
+	}
+}
+
+// TestCacheStats: entry count and byte size track Puts; temp files and
+// non-entry files are not counted.
+func TestCacheStats(t *testing.T) {
+	c, _ := OpenCache(t.TempDir(), "fp")
+	st, err := c.Stats()
+	if err != nil || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("empty cache stats = %+v, %v", st, err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(testSpec{Bench: "x", Cores: i}, testValue{Elapsed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "stray.tmp"), []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var v testValue
-	if ok, err := c.Get(spec, &v); ok || err != nil {
-		t.Fatalf("corrupt entry: ok=%v err=%v", ok, err)
+	st, err = c.Stats()
+	if err != nil || st.Entries != 3 {
+		t.Fatalf("stats = %+v, %v (want 3 entries)", st, err)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("stats bytes = %d, want > 0", st.Bytes)
 	}
 }
 

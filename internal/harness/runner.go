@@ -1,16 +1,15 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
-	"dsmtx/internal/cluster"
-	"dsmtx/internal/core"
+	"dsmtx/internal/engine"
 	"dsmtx/internal/expsched"
-	"dsmtx/internal/faults"
 	"dsmtx/internal/platform"
 	"dsmtx/internal/workloads"
 )
@@ -40,6 +39,18 @@ type Runner struct {
 	mu    sync.Mutex
 	memo  map[PointSpec]pointRecord
 	stats RunnerStats
+
+	engOnce sync.Once
+	eng     *engine.Engine
+}
+
+// engine lazily builds the job engine every simulation routes through.
+// Admission is unbounded — Prefetch's worker pool already bounds the
+// harness's concurrency — and the engine-level result cache stays off:
+// the Runner layers its own memo and fingerprinted disk cache above.
+func (r *Runner) engine() *engine.Engine {
+	r.engOnce.Do(func() { r.eng = engine.New(engine.Config{}) })
+	return r.eng
 }
 
 // RunnerStats counts how points were satisfied.
@@ -64,30 +75,15 @@ const (
 	pointMicro    = "micro"    // one §5.3 bandwidth measurement: Knob = mechanism
 )
 
-// Named configuration variations. Cache keys must capture everything
-// that changes a result, and an opaque tune closure cannot be hashed —
-// so every variation the harness uses is registered here by name.
+// Named configuration variations, registered by name so cache keys can
+// capture them (an opaque tune closure cannot be hashed). The vocabulary
+// lives in internal/engine now; the harness aliases it.
 const (
-	KnobNone       = ""
-	KnobQueueUnopt = "queue-unopt" // Fig. 5b: flush every produce
-	KnobManycore   = "manycore"    // §7: coherence-free manycore machine model
-	KnobBigCluster = "bigcluster"  // Figure S: 64 × 16 cores, same InfiniBand
+	KnobNone       = engine.KnobNone
+	KnobQueueUnopt = engine.KnobQueueUnopt // Fig. 5b: flush every produce
+	KnobManycore   = engine.KnobManycore   // §7: coherence-free manycore machine model
+	KnobBigCluster = engine.KnobBigCluster // Figure S: 64 × 16 cores, same InfiniBand
 )
-
-// knobTune resolves a knob name to its configuration hook.
-func knobTune(knob string) (func(*core.Config), error) {
-	switch knob {
-	case KnobNone:
-		return nil, nil
-	case KnobQueueUnopt:
-		return func(cfg *core.Config) { cfg.Queue = cfg.Queue.Unoptimized() }, nil
-	case KnobManycore:
-		return func(cfg *core.Config) { cfg.Cluster = cluster.ManycoreConfig() }, nil
-	case KnobBigCluster:
-		return func(cfg *core.Config) { cfg.Cluster = cluster.BigClusterConfig() }, nil
-	}
-	return nil, fmt.Errorf("harness: unknown config knob %q", knob)
-}
 
 // PointSpec is the complete identity of one experiment point: everything
 // that can change its result, and nothing else. It doubles as the memo
@@ -255,65 +251,30 @@ func (r *Runner) remember(spec PointSpec, rec pointRecord, source string) {
 	}
 }
 
-// compute runs the simulation a spec names.
+// compute runs the simulation a spec names: parallel and sequential
+// points are engine submissions (a PointSpec is a strict subset of a
+// JobSpec); the micro bandwidth measurement stays harness-local.
 func (r *Runner) compute(spec PointSpec) (pointRecord, error) {
-	in := workloads.Input{Scale: spec.Scale, Seed: spec.Seed, MisspecRate: spec.Rate}
 	switch spec.Kind {
 	case pointParallel:
-		tune, err := knobTune(spec.Knob)
+		res, err := r.engine().Submit(context.Background(), engine.JobSpec{
+			Kind: engine.KindParallel, Bench: spec.Bench, Paradigm: spec.Paradigm,
+			Cores: spec.Cores, Scale: spec.Scale, Seed: spec.Seed, Rate: spec.Rate,
+			Knob: spec.Knob, Faults: spec.Faults, CommitShards: spec.CommitShards,
+		})
 		if err != nil {
 			return pointRecord{}, err
 		}
-		if spec.Faults != "" {
-			plan, err := faults.Parse(spec.Faults)
-			if err != nil {
-				return pointRecord{}, err
-			}
-			knob := tune
-			tune = func(cfg *core.Config) {
-				if knob != nil {
-					knob(cfg)
-				}
-				cfg.Faults = &plan
-			}
-		}
-		if spec.CommitShards > 1 {
-			knob := tune
-			shards := spec.CommitShards
-			tune = func(cfg *core.Config) {
-				if knob != nil {
-					knob(cfg)
-				}
-				cfg.CommitShards = shards
-			}
-		}
-		b, err := workloads.ByName(spec.Bench)
-		if err != nil {
-			return pointRecord{}, err
-		}
-		paradigm := workloads.DSMTX
-		if spec.Paradigm == workloads.TLS.String() {
-			paradigm = workloads.TLS
-		}
-		res, err := workloads.RunParallel(b, in, paradigm, spec.Cores, tune)
-		if err != nil {
-			return pointRecord{}, err
-		}
-		return pointRecord{Result: recordFromResult(res)}, nil
+		return pointRecord{Result: recordFromResult(res.Result)}, nil
 	case pointSeq:
-		tune, err := knobTune(spec.Knob)
+		res, err := r.engine().Submit(context.Background(), engine.JobSpec{
+			Kind: engine.KindSeq, Bench: spec.Bench, Scale: spec.Scale,
+			Seed: spec.Seed, Rate: spec.Rate, Knob: spec.Knob,
+		})
 		if err != nil {
 			return pointRecord{}, err
 		}
-		b, err := workloads.ByName(spec.Bench)
-		if err != nil {
-			return pointRecord{}, err
-		}
-		elapsed, check, err := workloads.RunSequentialTuned(b, in, tune)
-		if err != nil {
-			return pointRecord{}, err
-		}
-		return pointRecord{SeqTime: elapsed, SeqCheck: check}, nil
+		return pointRecord{SeqTime: res.SeqTime, SeqCheck: res.SeqCheck}, nil
 	case pointMicro:
 		mbps, err := microBandwidth(spec.Knob)
 		if err != nil {
@@ -387,9 +348,10 @@ func (r *Runner) Prefetch(specs []PointSpec) error {
 // else (rendering, CLI, docs, tests) keeps cached points valid, while
 // any kernel/runtime/workload change invalidates every entry.
 var simSourceDirs = []string{
-	"internal/cluster", "internal/core", "internal/faults", "internal/mem",
-	"internal/mpi", "internal/pipeline", "internal/platform", "internal/queue",
-	"internal/sim", "internal/tlsrt", "internal/uva", "internal/workloads",
+	"internal/cluster", "internal/core", "internal/engine", "internal/faults",
+	"internal/mem", "internal/mpi", "internal/pipeline", "internal/platform",
+	"internal/queue", "internal/sim", "internal/tlsrt", "internal/uva",
+	"internal/workloads",
 }
 
 // recordSchema versions the pointRecord layout; bump it when the record

@@ -26,11 +26,17 @@ func newJobID() uint64 {
 
 // Cluster is a coordinator's handle on a daemon fleet: either processes it
 // spawned on loopback (LaunchLocal) or remote daemons it joined (Connect).
+// The control connections persist across Run calls — daemons serve
+// successive jobs on the same session — so a warm cluster amortizes spawn
+// and dial cost over many jobs.
 type Cluster struct {
 	addrs []string
 	conns []gonet.Conn
 	procs []*exec.Cmd
-	jobID uint64
+	// sessionID identifies this coordinator's control session; each Run
+	// additionally mints a fresh job ID so daemons can tell one job's data
+	// connections from a stale redial of the previous job's.
+	sessionID uint64
 }
 
 // LaunchLocal forks daemons copies of exe (normally os.Args[0]) on
@@ -42,7 +48,7 @@ func LaunchLocal(daemons int, exe string) (*Cluster, error) {
 	if daemons < 1 {
 		return nil, fmt.Errorf("netrun: need at least 1 daemon, got %d", daemons)
 	}
-	c := &Cluster{jobID: newJobID()}
+	c := &Cluster{sessionID: newJobID()}
 	for i := 0; i < daemons; i++ {
 		cmd := exec.Command(exe)
 		cmd.Env = append(os.Environ(), DaemonEnv+"=1")
@@ -81,7 +87,7 @@ func Connect(addrs []string) (*Cluster, error) {
 	if len(addrs) < 1 {
 		return nil, fmt.Errorf("netrun: need at least one daemon address")
 	}
-	c := &Cluster{jobID: newJobID(), addrs: append([]string(nil), addrs...)}
+	c := &Cluster{sessionID: newJobID(), addrs: append([]string(nil), addrs...)}
 	if err := c.dialControl(); err != nil {
 		c.Close()
 		return nil, err
@@ -112,7 +118,7 @@ func (c *Cluster) dialControl() error {
 		if err != nil {
 			return fmt.Errorf("netrun: control dial daemon %d (%s): %w", i, addr, err)
 		}
-		hello := wire.Hello{Role: wire.RoleControl, JobID: c.jobID}
+		hello := wire.Hello{Role: wire.RoleControl, JobID: c.sessionID}
 		if _, err := conn.Write(wire.AppendHello(nil, hello)); err != nil {
 			conn.Close()
 			return fmt.Errorf("netrun: control hello daemon %d: %w", i, err)
@@ -149,8 +155,12 @@ func (c *Cluster) Run(spec JobSpec) (Result, error) {
 		return Result{}, fmt.Errorf("netrun: %d cores across %d daemons: need at least one rank per daemon", spec.Cores, len(c.addrs))
 	}
 
+	// A fresh ID per job: persistent daemons key each job's mesh on it, so
+	// successive jobs on one session never adopt each other's (or a stale
+	// redial's) data connections.
+	jobID := newJobID()
 	for i, conn := range c.conns {
-		job := jobWire{JobID: c.jobID, Self: i, Addrs: c.addrs, Spec: spec}
+		job := jobWire{JobID: jobID, Self: i, Addrs: c.addrs, Spec: spec}
 		if err := writeCtl(conn, wire.FrameJob, job); err != nil {
 			return Result{}, fmt.Errorf("netrun: job to daemon %d: %w", i, err)
 		}
